@@ -1,0 +1,322 @@
+// Package repro's root bench harness regenerates every table and figure of
+// the paper's evaluation as a testing.B benchmark (run with
+// `go test -bench=. -benchmem`), plus the DESIGN.md ablation benches.
+// Each figure benchmark reports the experiment's headline quantity as a
+// custom metric so `go test -bench` output doubles as a results table.
+package repro_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/domain"
+	"repro/internal/experiments"
+	"repro/internal/pdn"
+	"repro/internal/perf"
+	"repro/internal/refmodel"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *experiments.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return envVal
+}
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, e, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure (DESIGN.md per-experiment index).
+
+func BenchmarkFig2a(b *testing.B) { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B) { benchExperiment(b, "fig2b") }
+func BenchmarkFig3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig4j(b *testing.B) { benchExperiment(b, "fig4j") }
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B) { benchExperiment(b, "fig8c") }
+func BenchmarkFig8d(b *testing.B) { benchExperiment(b, "fig8d") }
+func BenchmarkFig8e(b *testing.B) { benchExperiment(b, "fig8e") }
+func BenchmarkTab1(b *testing.B)  { benchExperiment(b, "tab1") }
+func BenchmarkTab2(b *testing.B)  { benchExperiment(b, "tab2") }
+func BenchmarkObs(b *testing.B)   { benchExperiment(b, "obs") }
+
+// BenchmarkEvaluateETEE measures the cost of one closed-form PDN
+// evaluation, the framework's innermost primitive.
+func BenchmarkEvaluateETEE(b *testing.B) {
+	e := benchEnv(b)
+	s, err := workload.TDPScenario(e.Platform, 18, workload.MultiThread, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := e.Baselines[pdn.IVR]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Evaluate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictor measures one Algorithm 1 table-lookup decision, the
+// operation the PMU performs every 10 ms interval.
+func BenchmarkPredictor(b *testing.B) {
+	e := benchEnv(b)
+	in := core.Inputs{TDP: 18, AR: 0.6, Type: workload.MultiThread, CState: domain.C0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Predictor.Predict(in)
+	}
+}
+
+// BenchmarkReferenceSim measures the time-stepped validation reference
+// (2000 steps of 1 us).
+func BenchmarkReferenceSim(b *testing.B) {
+	e := benchEnv(b)
+	s, err := workload.TDPScenario(e.Platform, 18, workload.MultiThread, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := e.Baselines[pdn.IVR]
+	cfg := refmodel.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := refmodel.Measure(m, s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceSim measures FlexWatts trace simulation throughput
+// (phases per second of a mixed 200-phase trace).
+func BenchmarkTraceSim(b *testing.B) {
+	e := benchEnv(b)
+	tr := workload.NewGenerator(1).Mixed("bench", workload.MultiThread, 200, 0.3, 0.85, 0.25)
+	cfg := sim.Config{Platform: e.Platform, TDP: 18}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl := core.NewController(e.Predictor, core.DefaultSwitchFlow())
+		if _, err := sim.RunFlexWatts(cfg, e.Flex, ctrl, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md "Design choices called out for ablation").
+
+// BenchmarkAblationTableRes quantifies predictor quality versus firmware
+// table resolution: it reports the ETEE lost to mispredictions (relative to
+// oracle mode selection) for coarse and fine tables.
+func BenchmarkAblationTableRes(b *testing.B) {
+	e := benchEnv(b)
+	for _, cfg := range []struct {
+		name string
+		pc   core.PredictorConfig
+	}{
+		{"coarse-3x3", core.PredictorConfig{TDPGrid: []units.Watt{4, 18, 50}, ARPoints: 3}},
+		{"default-7x9", core.DefaultPredictorConfig()},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			pred, err := core.NewPredictor(e.Platform, e.Flex, cfg.pc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var lost, points float64
+			for i := 0; i < b.N; i++ {
+				lost, points = 0, 0
+				for _, wt := range workload.Types() {
+					for tdp := 4.0; tdp <= 50; tdp += 4.6 {
+						for ar := 0.35; ar <= 0.85; ar += 0.1 {
+							s, err := workload.TDPScenario(e.Platform, tdp, wt, ar)
+							if err != nil {
+								b.Fatal(err)
+							}
+							_, ri, rl, err := e.Flex.BestMode(s)
+							if err != nil {
+								b.Fatal(err)
+							}
+							best := ri.ETEE
+							if rl.ETEE > best {
+								best = rl.ETEE
+							}
+							got := pred.Predict(core.Inputs{TDP: tdp, AR: ar, Type: wt, CState: domain.C0})
+							var chosen float64
+							if got == core.IVRMode {
+								chosen = ri.ETEE
+							} else {
+								chosen = rl.ETEE
+							}
+							lost += best - chosen
+							points++
+						}
+					}
+				}
+			}
+			b.ReportMetric(lost/points*100, "%ETEE-lost/point")
+		})
+	}
+}
+
+// BenchmarkAblationInterval sweeps the controller's minimum mode residency
+// and reports switch counts and energy on the same bursty trace.
+func BenchmarkAblationInterval(b *testing.B) {
+	e := benchEnv(b)
+	tr := workload.NewGenerator(5).Mixed("bursty", workload.MultiThread, 400, 0.3, 0.85, 0.3)
+	cfg := sim.Config{Platform: e.Platform, TDP: 18}
+	for _, res := range []struct {
+		name string
+		min  units.Second
+	}{
+		{"residency-0ms", 0},
+		{"residency-10ms", 10e-3},
+		{"residency-100ms", 100e-3},
+	} {
+		res := res
+		b.Run(res.name, func(b *testing.B) {
+			var rep sim.Report
+			for i := 0; i < b.N; i++ {
+				ctrl := core.NewController(e.Predictor, core.DefaultSwitchFlow())
+				ctrl.MinResidency = res.min
+				var err error
+				rep, err = sim.RunFlexWatts(cfg, e.Flex, ctrl, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.ModeSwitches), "switches")
+			b.ReportMetric(rep.Energy, "J")
+		})
+	}
+}
+
+// BenchmarkAblationSharedRail quantifies the ETEE cost of the hybrid VR's
+// resource sharing by sweeping the input load-line penalty.
+func BenchmarkAblationSharedRail(b *testing.B) {
+	for _, pen := range []struct {
+		name string
+		f    float64
+	}{
+		{"dedicated-1.0x", 1.0},
+		{"shared-1.1x", 1.1},
+		{"shared-1.5x", 1.5},
+	} {
+		pen := pen
+		b.Run(pen.name, func(b *testing.B) {
+			params := pdn.DefaultParams()
+			params.FlexSharePenalty = pen.f
+			m := core.NewModel(params)
+			plat := domain.NewClientPlatform()
+			s, err := workload.TDPScenario(plat, 50, workload.MultiThread, 0.6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var etee float64
+			for i := 0; i < b.N; i++ {
+				r, err := m.EvaluateMode(s, core.IVRMode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				etee = r.ETEE
+			}
+			b.ReportMetric(etee*100, "%ETEE@50W")
+		})
+	}
+}
+
+// BenchmarkAblationOracle compares Algorithm 1 against oracle mode
+// selection on a mixed trace (energy delta is the predictor's cost).
+func BenchmarkAblationOracle(b *testing.B) {
+	e := benchEnv(b)
+	tr := workload.NewGenerator(9).Mixed("oracle", workload.MultiThread, 300, 0.3, 0.85, 0.25)
+	cfg := sim.Config{Platform: e.Platform, TDP: 25}
+	b.Run("algorithm1", func(b *testing.B) {
+		var rep sim.Report
+		for i := 0; i < b.N; i++ {
+			ctrl := core.NewController(e.Predictor, core.DefaultSwitchFlow())
+			var err error
+			rep, err = sim.RunFlexWatts(cfg, e.Flex, ctrl, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rep.Energy, "J")
+	})
+	b.Run("oracle", func(b *testing.B) {
+		var energy float64
+		for i := 0; i < b.N; i++ {
+			energy = 0
+			for _, ph := range tr.Phases {
+				var s pdn.Scenario
+				var err error
+				if ph.CState != domain.C0 {
+					s = workload.CStateScenario(e.Platform, ph.CState)
+				} else {
+					s, err = workload.TDPScenario(e.Platform, cfg.TDP, ph.Type, ph.AR)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				_, ri, rl, err := e.Flex.BestMode(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pin := ri.PIn
+				if rl.PIn < pin {
+					pin = rl.PIn
+				}
+				energy += pin * ph.Duration
+			}
+		}
+		b.ReportMetric(energy, "J")
+	})
+}
+
+// BenchmarkPerfModel measures the power-frequency inversion.
+func BenchmarkPerfModel(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perf.FreqRatioForBudget(e.Platform, 18, workload.MultiThread, 0.5)
+	}
+}
+
+// BenchmarkCostModel measures the BOM/area sizing path.
+func BenchmarkCostModel(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cost.Normalized(e.Platform, 18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoise regenerates the §6 mode-switch droop analysis.
+func BenchmarkNoise(b *testing.B) { benchExperiment(b, "noise") }

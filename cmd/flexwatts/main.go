@@ -1,0 +1,54 @@
+// Command flexwatts regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	flexwatts -exp fig7          # one experiment
+//	flexwatts -exp all           # every registered experiment
+//	flexwatts -list              # list experiment ids
+//
+// Experiment ids follow the paper's figure/table numbering (fig2a ... fig8e,
+// tab1, tab2, obs); see DESIGN.md for the per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: flexwatts -exp <id>|all   (or -list)")
+		os.Exit(2)
+	}
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexwatts:", err)
+		os.Exit(1)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		if err := experiments.Run(id, env, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "flexwatts: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,117 @@
+// Command pdnspot evaluates a PDN architecture at one operating point and
+// prints the end-to-end efficiency, power flow, and loss breakdown.
+//
+// Usage:
+//
+//	pdnspot -pdn IVR -tdp 4 -workload mt -ar 0.6
+//	pdnspot -pdn LDO -cstate C8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/units"
+	"repro/pdnspot"
+)
+
+func parseKind(s string) (pdnspot.Kind, error) {
+	switch strings.ToUpper(s) {
+	case "IVR":
+		return pdnspot.IVR, nil
+	case "MBVR":
+		return pdnspot.MBVR, nil
+	case "LDO":
+		return pdnspot.LDO, nil
+	case "I+MBVR", "IMBVR":
+		return pdnspot.IMBVR, nil
+	default:
+		return 0, fmt.Errorf("unknown PDN %q (IVR, MBVR, LDO, I+MBVR)", s)
+	}
+}
+
+func parseCState(s string) (domain.CState, error) {
+	for _, c := range domain.CStates() {
+		if strings.EqualFold(c.String(), s) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown C-state %q", s)
+}
+
+func main() {
+	kindF := flag.String("pdn", "IVR", "PDN architecture: IVR, MBVR, LDO, I+MBVR")
+	tdp := flag.Float64("tdp", 4, "thermal design power (W)")
+	wl := flag.String("workload", "mt", "workload class: st, mt, gfx")
+	ar := flag.Float64("ar", 0.6, "application ratio (0,1]")
+	cstate := flag.String("cstate", "", "evaluate a package C-state instead (C0MIN, C2..C8)")
+	validate := flag.Bool("validate", false, "also run the time-stepped reference and report accuracy")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pdnspot:", err)
+		os.Exit(1)
+	}
+
+	kind, err := parseKind(*kindF)
+	if err != nil {
+		fail(err)
+	}
+	ps, err := pdnspot.New()
+	if err != nil {
+		fail(err)
+	}
+
+	if *cstate != "" {
+		c, err := parseCState(*cstate)
+		if err != nil {
+			fail(err)
+		}
+		r, err := ps.EvaluateCState(kind, c)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s in %s: ETEE %s, PNom %s, PIn %s\n",
+			kind, c, units.Percent(r.ETEE), units.FormatWatt(r.PNomTotal), units.FormatWatt(r.PIn))
+		return
+	}
+
+	var wt = pdnspot.MultiThread
+	switch strings.ToLower(*wl) {
+	case "st":
+		wt = pdnspot.SingleThread
+	case "mt":
+		wt = pdnspot.MultiThread
+	case "gfx", "graphics":
+		wt = pdnspot.Graphics
+	default:
+		fail(fmt.Errorf("unknown workload %q (st, mt, gfx)", *wl))
+	}
+
+	pt := pdnspot.Point{TDP: *tdp, Workload: wt, AR: *ar}
+	r, err := ps.Evaluate(kind, pt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s @ %gW TDP, %s, AR %s\n", kind, *tdp, wt, units.Percent(*ar))
+	fmt.Printf("  ETEE        %s\n", units.Percent(r.ETEE))
+	fmt.Printf("  PNom / PIn  %s / %s\n", units.FormatWatt(r.PNomTotal), units.FormatWatt(r.PIn))
+	fmt.Printf("  chip input  %.2fA\n", r.ChipInputCurrent)
+	b := r.Breakdown
+	fmt.Printf("  losses: VR on-chip %s, VR off-chip %s, I2R compute %s, I2R uncore %s, guardband %s, power-gate %s\n",
+		units.FormatWatt(b.OnChipVR), units.FormatWatt(b.OffChipVR),
+		units.FormatWatt(b.CondCompute), units.FormatWatt(b.CondUncore),
+		units.FormatWatt(b.Guardband), units.FormatWatt(b.PowerGate))
+
+	if *validate {
+		pred, meas, acc, err := ps.ValidateAgainstReference(kind, pt, 1)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  validation: predicted %s, measured %s, accuracy %s\n",
+			units.Percent(pred), units.Percent(meas), units.Percent(acc))
+	}
+}

@@ -1,0 +1,66 @@
+// Command tracegen emits synthetic workload phase traces as CSV, standing
+// in for the paper's ~5000 measured benchmark traces (§4.1). Each row is
+// one phase: duration (s), workload type, package C-state, and application
+// ratio.
+//
+// Usage:
+//
+//	tracegen -kind mixed -n 200 -seed 7
+//	tracegen -kind battery -workload "Video Playback" -frames 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "mixed", "trace kind: mixed, battery")
+	n := flag.Int("n", 100, "number of phases (mixed)")
+	seed := flag.Int64("seed", 1, "random seed (mixed)")
+	wtype := flag.String("type", "mt", "workload type for mixed traces: st, mt, gfx")
+	idle := flag.Float64("idle", 0.2, "fraction of idle phases (mixed)")
+	name := flag.String("workload", "Video Playback", "battery workload name")
+	frames := flag.Int("frames", 10, "frames (battery)")
+	flag.Parse()
+
+	var tr workload.Trace
+	switch *kind {
+	case "mixed":
+		t := workload.MultiThread
+		switch *wtype {
+		case "st":
+			t = workload.SingleThread
+		case "gfx":
+			t = workload.Graphics
+		}
+		g := workload.NewGenerator(*seed)
+		tr = g.Mixed(fmt.Sprintf("mixed-%s-%d", *wtype, *seed), t, *n, 0.3, 0.85, *idle)
+	case "battery":
+		var bw *workload.BatteryWorkload
+		for _, w := range workload.BatteryLifeWorkloads() {
+			if w.Name == *name {
+				w := w
+				bw = &w
+				break
+			}
+		}
+		if bw == nil {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown battery workload %q\n", *name)
+			os.Exit(1)
+		}
+		tr = workload.BatteryTrace(*bw, *frames, 1.0/60)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# trace %s: %d phases, %.3fs total\n", tr.Name, len(tr.Phases), tr.Duration())
+	fmt.Println("duration_s,type,cstate,ar")
+	for _, ph := range tr.Phases {
+		fmt.Printf("%.6f,%s,%s,%.3f\n", ph.Duration, ph.Type, ph.CState, ph.AR)
+	}
+}

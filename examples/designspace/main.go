@@ -1,0 +1,73 @@
+// designspace uses PDNspot the way the paper intends architects to: as a
+// multi-dimensional exploration tool. It sweeps two design parameters — the
+// compute load-line impedance and the VR tolerance band — and shows how each
+// PDN's ETEE responds, then sweeps the FlexWatts sharing penalty to show the
+// cost of the hybrid's shared routing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/flexwatts"
+	"repro/internal/pdn"
+	"repro/internal/units"
+	"repro/pdnspot"
+)
+
+func main() {
+	pt := pdnspot.Point{TDP: 18, Workload: pdnspot.MultiThread, AR: 0.6}
+	fmt.Printf("Design-space exploration at %gW TDP, %s, AR %.0f%%\n\n", pt.TDP, pt.Workload, pt.AR*100)
+
+	fmt.Println("ETEE vs compute load-line impedance (MBVR V_Cores rail)")
+	for _, mul := range []float64{0.5, 1.0, 1.5, 2.0, 3.0} {
+		p := pdn.DefaultParams()
+		p.CoresLL *= mul
+		p.GfxLL *= mul
+		ps, err := pdnspot.NewWithParams(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := ps.Evaluate(pdnspot.MBVR, pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  RLL x%.1f (%.2f mOhm): MBVR ETEE %.1f%%\n", mul, p.CoresLL/units.Milli, r.ETEE*100)
+	}
+
+	fmt.Println("\nETEE vs tolerance band (all PDNs)")
+	for _, tobMV := range []float64{10, 20, 30, 40} {
+		p := pdn.DefaultParams()
+		p.TOBIVR = units.MilliVolt(tobMV)
+		p.TOBMBVR = units.MilliVolt(tobMV)
+		p.TOBLDO = units.MilliVolt(tobMV)
+		ps, err := pdnspot.NewWithParams(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  TOB %2.0fmV:", tobMV)
+		for _, k := range []pdnspot.Kind{pdnspot.IVR, pdnspot.MBVR, pdnspot.LDO} {
+			r, err := ps.Evaluate(k, pt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s %.1f%%", k, r.ETEE*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nFlexWatts ETEE vs hybrid-VR sharing penalty (input load-line factor)")
+	for _, pen := range []float64{1.0, 1.1, 1.25, 1.5, 2.0} {
+		p := pdn.DefaultParams()
+		p.FlexSharePenalty = pen
+		fw, err := flexwatts.NewWithParams(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := fw.Evaluate(flexwatts.Point{TDP: pt.TDP, Workload: pt.Workload, AR: pt.AR})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  penalty x%.2f: ETEE %.1f%% (%s)\n", pen, r.ETEE*100, r.Mode)
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: evaluate the three commonly-used PDNs and FlexWatts at one
+// operating point and print their end-to-end efficiencies — the 30-second
+// tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/flexwatts"
+	"repro/pdnspot"
+)
+
+func main() {
+	ps, err := pdnspot.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := flexwatts.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 4 W tablet running a multi-threaded workload at 60 % application
+	// ratio — the regime where the paper finds the state-of-the-art IVR
+	// PDN weakest.
+	pt := pdnspot.Point{TDP: 4, Workload: pdnspot.MultiThread, AR: 0.6}
+	fmt.Printf("Operating point: %gW TDP, %s, AR %.0f%%\n\n", pt.TDP, pt.Workload, pt.AR*100)
+
+	for _, k := range []pdnspot.Kind{pdnspot.IVR, pdnspot.MBVR, pdnspot.LDO, pdnspot.IMBVR} {
+		r, err := ps.Evaluate(k, pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s ETEE %.1f%%  (draws %.2fW for %.2fW of load)\n",
+			k.String(), r.ETEE*100, r.PIn, r.PNomTotal)
+	}
+
+	fr, err := fw.Evaluate(flexwatts.Point{TDP: pt.TDP, Workload: pt.Workload, AR: pt.AR})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s ETEE %.1f%%  (Algorithm 1 selected %s)\n", "FlexWatts", fr.ETEE*100, fr.Mode)
+
+	// Validate the IVR model against the time-stepped reference simulator,
+	// the reproduction's stand-in for the paper's lab measurements.
+	pred, meas, acc, err := ps.ValidateAgainstReference(pdnspot.IVR, pt, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPDNspot validation (IVR): predicted %.1f%%, measured %.1f%%, accuracy %.2f%%\n",
+		pred*100, meas*100, acc*100)
+}

@@ -1,0 +1,59 @@
+// spec_sweep reproduces the paper's headline performance result (Fig 7 /
+// Fig 8(a)): it sweeps the SPEC CPU2006 suite across TDPs and reports each
+// PDN's average performance normalized to the IVR baseline, showing the
+// crossover between LDO-friendly low TDPs and IVR-friendly high TDPs — and
+// FlexWatts tracking the best of both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/flexwatts"
+	"repro/internal/core"
+	"repro/internal/pdn"
+	"repro/internal/perf"
+	"repro/internal/workload"
+	"repro/pdnspot"
+)
+
+func main() {
+	ps, err := pdnspot.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := flexwatts.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	suite := workload.SPECCPU2006()
+	base, err := ps.Model(pdnspot.IVR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := perf.NewEvaluator(ps.Platform(), base)
+
+	fmt.Println("SPEC CPU2006 average performance vs IVR (higher is better)")
+	fmt.Printf("%-5s %8s %8s %8s %8s\n", "TDP", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+	for _, tdp := range workload.StandardTDPs() {
+		candidates := []pdn.Model{}
+		for _, k := range []pdnspot.Kind{pdnspot.MBVR, pdnspot.LDO, pdnspot.IMBVR} {
+			m, err := ps.Model(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			candidates = append(candidates, m)
+		}
+		candidates = append(candidates, core.NewAutoModel(fw.Model(), fw.Predictor(), tdp))
+		avg, err := ev.SuiteAverage(tdp, suite, candidates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5g %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", tdp,
+			avg[pdnspot.MBVR]*100, avg[pdnspot.LDO]*100,
+			avg[pdnspot.IMBVR]*100, avg[pdn.FlexWatts]*100)
+	}
+	fmt.Println("\nAt 4W the hybrid runs LDO-Mode and gains like LDO; at 50W it runs")
+	fmt.Println("IVR-Mode and keeps the IVR PDN's high-power efficiency.")
+}

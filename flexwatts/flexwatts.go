@@ -1,0 +1,133 @@
+// Package flexwatts is the public API of the FlexWatts hybrid adaptive PDN
+// (the paper's contribution): a PDN whose compute domains sit behind hybrid
+// voltage regulators that switch between an IVR-Mode (efficient at high
+// power) and an LDO-Mode (efficient at low power), driven by a runtime
+// ETEE-prediction algorithm (Algorithm 1) and a voltage-noise-free mode
+// switching flow through package C6.
+//
+// Quick start:
+//
+//	fw, _ := flexwatts.New()
+//	res, _ := fw.Evaluate(flexwatts.Point{TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6})
+//	fmt.Println(res.Mode, res.ETEE)
+package flexwatts
+
+import (
+	"repro/internal/activity"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Mode re-exports the hybrid modes.
+const (
+	IVRMode = core.IVRMode
+	LDOMode = core.LDOMode
+)
+
+// Workload type identifiers.
+const (
+	SingleThread = workload.SingleThread
+	MultiThread  = workload.MultiThread
+	Graphics     = workload.Graphics
+)
+
+// Point mirrors pdnspot.Point.
+type Point struct {
+	TDP      units.Watt
+	Workload workload.Type
+	AR       float64
+	// CState optionally evaluates a battery-life package state instead of
+	// an active point (leave zero, i.e. C0, for active evaluation).
+	CState domain.CState
+}
+
+// Result is a FlexWatts evaluation outcome: the PDN result plus the mode
+// Algorithm 1 selected.
+type Result struct {
+	pdn.Result
+	Mode core.Mode
+}
+
+// FlexWatts is the adaptive hybrid PDN with its predictor.
+type FlexWatts struct {
+	platform  *domain.Platform
+	model     *core.Model
+	predictor *core.Predictor
+}
+
+// New constructs FlexWatts with the paper's calibration and characterizes
+// the predictor's firmware ETEE tables.
+func New() (*FlexWatts, error) {
+	return NewWithParams(pdn.DefaultParams())
+}
+
+// NewWithParams constructs FlexWatts with custom PDNspot parameters.
+func NewWithParams(p pdn.Params) (*FlexWatts, error) {
+	plat := domain.NewClientPlatform()
+	m := core.NewModel(p)
+	pred, err := core.NewPredictor(plat, m, core.DefaultPredictorConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &FlexWatts{platform: plat, model: m, predictor: pred}, nil
+}
+
+// Platform exposes the modeled client SoC.
+func (f *FlexWatts) Platform() *domain.Platform { return f.platform }
+
+// Model exposes the internal hybrid model (for mode-forced evaluation).
+func (f *FlexWatts) Model() *core.Model { return f.model }
+
+// Predictor exposes the Algorithm 1 predictor.
+func (f *FlexWatts) Predictor() *core.Predictor { return f.predictor }
+
+// scenario builds the evaluation scenario for a point.
+func (f *FlexWatts) scenario(pt Point) (pdn.Scenario, error) {
+	if pt.CState != domain.C0 {
+		return workload.CStateScenario(f.platform, pt.CState), nil
+	}
+	return workload.TDPScenario(f.platform, pt.TDP, pt.Workload, pt.AR)
+}
+
+// Evaluate predicts the best mode for the point (Algorithm 1) and evaluates
+// the hybrid PDN in it.
+func (f *FlexWatts) Evaluate(pt Point) (Result, error) {
+	s, err := f.scenario(pt)
+	if err != nil {
+		return Result{}, err
+	}
+	mode := f.predictor.Predict(core.Inputs{
+		TDP: pt.TDP, AR: pt.AR, Type: pt.Workload, CState: pt.CState,
+	})
+	r, err := f.model.EvaluateMode(s, mode)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Result: r, Mode: mode}, nil
+}
+
+// EvaluateMode forces a specific hybrid mode (for mode-comparison studies).
+func (f *FlexWatts) EvaluateMode(pt Point, mode core.Mode) (Result, error) {
+	s, err := f.scenario(pt)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := f.model.EvaluateMode(s, mode)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Result: r, Mode: mode}, nil
+}
+
+// SimulateTrace runs a workload phase trace with the mode controller in the
+// loop, accounting for every 94 µs mode switch. Pass a nil sensor for
+// oracle AR estimation or an activity sensor for realistic noisy inputs.
+func (f *FlexWatts) SimulateTrace(tdp units.Watt, tr workload.Trace, sensor *activity.Sensor) (sim.Report, error) {
+	cfg := sim.Config{Platform: f.platform, TDP: tdp, Sensor: sensor}
+	ctrl := core.NewController(f.predictor, core.DefaultSwitchFlow())
+	return sim.RunFlexWatts(cfg, f.model, ctrl, tr)
+}

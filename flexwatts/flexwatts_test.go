@@ -1,0 +1,89 @@
+package flexwatts_test
+
+import (
+	"testing"
+
+	"repro/flexwatts"
+	"repro/internal/workload"
+	"repro/pdnspot"
+)
+
+func newFW(t *testing.T) *flexwatts.FlexWatts {
+	t.Helper()
+	fw, err := flexwatts.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func TestModeSelection(t *testing.T) {
+	fw := newFW(t)
+	low, err := fw.Evaluate(flexwatts.Point{TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Mode != flexwatts.LDOMode {
+		t.Errorf("4W should select LDO-Mode, got %v", low.Mode)
+	}
+	high, err := fw.Evaluate(flexwatts.Point{TDP: 50, Workload: flexwatts.MultiThread, AR: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Mode != flexwatts.IVRMode {
+		t.Errorf("50W MT should select IVR-Mode, got %v", high.Mode)
+	}
+}
+
+func TestBeatsIVRAtLowTDP(t *testing.T) {
+	fw := newFW(t)
+	ps, err := pdnspot.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pdnspot.Point{TDP: 4, Workload: pdnspot.MultiThread, AR: 0.6}
+	ivr, _ := ps.Evaluate(pdnspot.IVR, pt)
+	flex, _ := fw.Evaluate(flexwatts.Point{TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6})
+	if !(flex.ETEE > ivr.ETEE+0.05) {
+		t.Errorf("FlexWatts %.3f should beat IVR %.3f by >5%% at 4W", flex.ETEE, ivr.ETEE)
+	}
+}
+
+func TestEvaluateModeForced(t *testing.T) {
+	fw := newFW(t)
+	pt := flexwatts.Point{TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6}
+	ri, err := fw.EvaluateMode(pt, flexwatts.IVRMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := fw.EvaluateMode(pt, flexwatts.LDOMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rl.ETEE > ri.ETEE) {
+		t.Error("forced-mode evaluation disagrees with mode selection at 4W")
+	}
+}
+
+func TestCStatePoint(t *testing.T) {
+	fw := newFW(t)
+	r, err := fw.Evaluate(flexwatts.Point{CState: pdnspot.C8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.ETEE > 0.7) {
+		t.Errorf("C8 ETEE %.3f implausible", r.ETEE)
+	}
+}
+
+func TestSimulateTrace(t *testing.T) {
+	fw := newFW(t)
+	tr := workload.NewGenerator(11).Mixed("t", workload.MultiThread, 80, 0.3, 0.85, 0.25)
+	rep, err := fw.SimulateTrace(18, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Energy <= 0 || rep.Duration <= 0 {
+		t.Error("empty simulation report")
+	}
+}

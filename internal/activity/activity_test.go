@@ -1,0 +1,81 @@
+package activity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateTracksTruth(t *testing.T) {
+	s := NewSensor(DefaultWeights(), 1)
+	// Averaged over many reads, the sensor estimate must stay close to the
+	// true AR across the operating range.
+	for ar := 0.2; ar <= 0.95; ar += 0.05 {
+		var sum float64
+		const n = 200
+		for i := 0; i < n; i++ {
+			sum += s.Read(ar, 0.3)
+		}
+		avg := sum / n
+		if math.Abs(avg-ar) > 0.08 {
+			t.Errorf("AR %.2f estimated as %.3f (bias > 0.08)", ar, avg)
+		}
+	}
+}
+
+func TestEstimateBounded(t *testing.T) {
+	s := NewSensor(DefaultWeights(), 2)
+	f := func(arRaw, vecRaw float64) bool {
+		ar := math.Mod(math.Abs(arRaw), 1)
+		vec := math.Mod(math.Abs(vecRaw), 1)
+		got := s.Read(ar, vec)
+		return got > 0 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	s := NewSensor(DefaultWeights(), 3)
+	heavy := s.Synthesize(0.9, 0.5)
+	light := s.Synthesize(0.2, 0.5)
+	if !(heavy[PortActive] > light[PortActive]) {
+		t.Error("port activity should track AR")
+	}
+	if !(light[MemStall] > heavy[MemStall]) {
+		t.Error("memory stalls should anticorrelate with AR")
+	}
+	// The vector split partitions the issue rate.
+	noVec := s.Synthesize(0.8, 0)
+	if noVec[Vec128]+noVec[Vec256]+noVec[Vec512] != 0 {
+		t.Error("vecFrac 0 should produce no vector events")
+	}
+}
+
+func TestSensorDeterminism(t *testing.T) {
+	a := NewSensor(DefaultWeights(), 7).Read(0.6, 0.3)
+	b := NewSensor(DefaultWeights(), 7).Read(0.6, 0.3)
+	if a != b {
+		t.Error("same-seed sensors must agree")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if PortActive.String() != "port-active" || Vec512.String() != "vec512" {
+		t.Error("Event.String mismatch")
+	}
+	if Event(99).String() != "unknown" {
+		t.Error("unknown event label")
+	}
+}
+
+func TestSynthesizePanicsOnBadInput(t *testing.T) {
+	s := NewSensor(DefaultWeights(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for AR > 1")
+		}
+	}()
+	s.Synthesize(1.5, 0.3)
+}

@@ -1,0 +1,166 @@
+// Package core implements FlexWatts, the paper's contribution (§6): a
+// power- and workload-aware hybrid adaptive PDN.
+//
+// FlexWatts rests on three ideas:
+//
+//  1. The wide-power-range compute domains (cores, LLC, GFX) sit behind
+//     hybrid VRs that share the IVR's high-side power switch, decoupling
+//     capacitors, routing, and the off-chip V_IN VR between an IVR-Mode
+//     (two-stage, V_IN at 1.8 V) and an LDO-Mode (V_IN at the maximum
+//     compute voltage, on-chip LDOs regulating down or bypassing).
+//  2. The narrow-power-range SA and IO domains get dedicated off-chip VRs,
+//     as in the LDO PDN.
+//  3. A runtime prediction algorithm (Algorithm 1, predictor.go) selects
+//     the mode with the higher predicted ETEE from firmware curve tables,
+//     and a voltage-noise-free switching flow (switchflow.go) carries out
+//     the transition through package C6.
+//
+// The resource sharing costs a slightly higher input load-line in both
+// modes (Params.FlexSharePenalty), which is why FlexWatts trails the best
+// static PDN by under 1 % while beating the worst by 20 %+.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+	"repro/internal/vr"
+)
+
+// Mode is the hybrid PDN's operating mode (§6).
+type Mode int
+
+// The two modes of the hybrid VR.
+const (
+	// IVRMode runs the compute domains' hybrid VRs as integrated switching
+	// regulators from a 1.8 V input rail — efficient at high power.
+	IVRMode Mode = iota
+	// LDOMode runs them as LDOs (or bypass switches) from an input rail at
+	// the maximum compute voltage — efficient at low power.
+	LDOMode
+)
+
+// Modes lists both modes.
+func Modes() []Mode { return []Mode{IVRMode, LDOMode} }
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	switch m {
+	case IVRMode:
+		return "IVR-Mode"
+	case LDOMode:
+		return "LDO-Mode"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Model is the FlexWatts PDN. It implements pdn.Model; Evaluate uses the
+// currently configured mode, while EvaluateMode evaluates a specific one
+// (used by the predictor's offline table generation and by oracle
+// baselines). The zero mode is IVRMode.
+type Model struct {
+	params pdn.Params
+	ivr    *vr.Buck
+	ldo    *vr.LDO
+	vin    *vr.Buck
+	sa     *vr.Buck
+	io     *vr.Buck
+	mode   Mode
+}
+
+// NewModel constructs a FlexWatts PDN with the given PDNspot parameters.
+func NewModel(p pdn.Params) *Model {
+	return &Model{
+		params: p,
+		ivr:    vr.NewIVR("HybridIVR", p.IVRIccmax),
+		ldo:    vr.NewPlatformLDO("HybridLDO", p.IVRIccmax),
+		vin:    vr.NewVinVR(p.VINIccmax),
+		sa:     vr.NewSmallRailVR("V_SA", p.SAIccmax),
+		io:     vr.NewSmallRailVR("V_IO", p.IOIccmax),
+	}
+}
+
+// Kind implements pdn.Model.
+func (m *Model) Kind() pdn.Kind { return pdn.FlexWatts }
+
+// Mode returns the currently configured hybrid mode.
+func (m *Model) Mode() Mode { return m.mode }
+
+// SetMode configures the hybrid mode. The electrical transition itself is
+// modeled by SwitchFlow; SetMode only changes which mode Evaluate uses.
+func (m *Model) SetMode(mode Mode) { m.mode = mode }
+
+// Evaluate implements pdn.Model using the current mode.
+func (m *Model) Evaluate(s pdn.Scenario) (pdn.Result, error) {
+	return m.EvaluateMode(s, m.mode)
+}
+
+// EvaluateMode computes the end-to-end power flow with the hybrid VRs in
+// the given mode. In both modes the SA and IO domains ride their dedicated
+// board VRs; the compute domains go through the shared V_IN rail whose
+// load-line is the corresponding static PDN's times the sharing penalty.
+func (m *Model) EvaluateMode(s pdn.Scenario, mode Mode) (pdn.Result, error) {
+	if err := pdn.Validate(s); err != nil {
+		return pdn.Result{}, err
+	}
+	p := m.params
+	compute := []pdn.Load{
+		s.LoadFor(domain.Core0), s.LoadFor(domain.Core1),
+		s.LoadFor(domain.LLC), s.LoadFor(domain.GFX),
+	}
+
+	var st pdn.StageOut
+	var vinLevel units.Volt
+	var rll units.Ohm
+	switch mode {
+	case IVRMode:
+		vinLevel = p.VINLevel
+		st = pdn.IVRStage(compute, m.ivr, p.TOBIVR, vinLevel, s.CState)
+		rll = p.IVRInLL * p.FlexSharePenalty
+	case LDOMode:
+		vinLevel, st = pdn.LDOStage(compute, m.ldo, p.TOBLDO)
+		rll = p.LDOInLL * p.FlexSharePenalty
+	default:
+		return pdn.Result{}, fmt.Errorf("core: unknown mode %v", mode)
+	}
+
+	var pin units.Watt
+	var bd pdn.Breakdown
+	rails := make([]pdn.RailDraw, 0, 3)
+	if st.PIn > 0 {
+		rail := pdn.VinRail(m.vin, st, vinLevel, rll, s.PSU, s.CState, 1)
+		pin += rail.PIn
+		bd.Add(st.Breakdown)
+		bd.Add(rail.Breakdown)
+		rails = append(rails, rail.Rail)
+	}
+	saOut := pdn.BoardRail(m.sa, []pdn.Load{s.LoadFor(domain.SA)}, p.TOBLDO, p.RPG, p.SALL, s.PSU, s.CState, false)
+	ioOut := pdn.BoardRail(m.io, []pdn.Load{s.LoadFor(domain.IO)}, p.TOBLDO, p.RPG, p.IOLL, s.PSU, s.CState, false)
+	pin += saOut.PIn + ioOut.PIn
+	bd.Add(saOut.Breakdown)
+	bd.Add(ioOut.Breakdown)
+	rails = append(rails, saOut.Rail, ioOut.Rail)
+
+	return pdn.Finish(pdn.FlexWatts, s, pin, bd, rails, rll), nil
+}
+
+// BestMode evaluates both modes on the scenario and returns the one with
+// the higher ETEE together with both results. This is the oracle selection
+// used to bound the predictor's quality in the ablation benches.
+func (m *Model) BestMode(s pdn.Scenario) (Mode, pdn.Result, pdn.Result, error) {
+	ri, err := m.EvaluateMode(s, IVRMode)
+	if err != nil {
+		return IVRMode, pdn.Result{}, pdn.Result{}, err
+	}
+	rl, err := m.EvaluateMode(s, LDOMode)
+	if err != nil {
+		return IVRMode, pdn.Result{}, pdn.Result{}, err
+	}
+	if ri.ETEE >= rl.ETEE {
+		return IVRMode, ri, rl, nil
+	}
+	return LDOMode, ri, rl, nil
+}

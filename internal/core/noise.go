@@ -1,0 +1,88 @@
+package core
+
+import (
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+)
+
+// This file models the voltage-noise argument behind FlexWatts' C6-based
+// mode-switch flow (§6, "Voltage Noise-Free Mode-Switching"). Switching the
+// hybrid VR reconfigures the regulation topology and retargets the shared
+// V_IN rail between very different levels (1.8 V in IVR-Mode versus the
+// 0.6–1.1 V maximum compute voltage in LDO-Mode). During the reconfiguration
+// window the hybrid VR cannot regulate, so an active domain's load current
+// discharges the decoupling capacitance:
+//
+//	droop ≈ I_load · t_reconfigure / C_decap
+//
+// With amperes of load current this droop dwarfs the tolerance band — a
+// voltage emergency. Parking the compute domains in package C6 first drops
+// the load current to (nearly) zero, which is what makes the flow
+// noise-free.
+
+// NoiseParams characterizes the hybrid VR's switching transient.
+type NoiseParams struct {
+	// Reconfigure is the dead time while the hybrid VR changes topology
+	// (§6 assumes ≤2 µs for on-chip VR retargeting).
+	Reconfigure units.Second
+	// Decap is the effective die+package decoupling capacitance per
+	// compute domain rail.
+	Decap float64 // farads
+	// LeakCurrent is the residual current drawn by a C6-parked domain
+	// (retention SRAM on the always-on rail is excluded; this is gate
+	// leakage through the disabled power switches).
+	LeakCurrent units.Amp
+	// Tolerance is the voltage excursion budget (the VR tolerance band;
+	// exceeding it is a voltage emergency).
+	Tolerance units.Volt
+}
+
+// DefaultNoiseParams returns the modeled client-platform transient
+// characteristics.
+func DefaultNoiseParams() NoiseParams {
+	return NoiseParams{
+		Reconfigure: units.MicroSecond(2),
+		Decap:       40e-6, // 40 µF die+package per compute rail
+		LeakCurrent: 0.02,
+		Tolerance:   units.MilliVolt(20),
+	}
+}
+
+// SwitchNoise is the predicted worst-case supply excursion for one mode
+// switch.
+type SwitchNoise struct {
+	// Excursion is the worst-case droop across compute domains.
+	Excursion units.Volt
+	// Emergency reports whether the excursion exceeds the tolerance band.
+	Emergency bool
+}
+
+// ModeSwitchNoise predicts the supply droop if the hybrid PDN switched
+// modes under the given scenario's load. With inC6 the compute domains are
+// parked (the FlexWatts flow); without, the switch happens live — the
+// naive alternative the paper's flow exists to avoid.
+func ModeSwitchNoise(s pdn.Scenario, p NoiseParams, inC6 bool) SwitchNoise {
+	var worst units.Amp
+	for _, k := range domain.ComputeKinds() {
+		l := s.LoadFor(k)
+		if !l.Active() {
+			continue
+		}
+		i := l.PNom / l.VNom
+		if inC6 {
+			i = p.LeakCurrent
+		}
+		if i > worst {
+			worst = i
+		}
+	}
+	if worst == 0 {
+		worst = p.LeakCurrent
+	}
+	droop := worst * p.Reconfigure / p.Decap
+	return SwitchNoise{
+		Excursion: droop,
+		Emergency: droop > p.Tolerance,
+	}
+}

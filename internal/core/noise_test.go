@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/workload"
+)
+
+func TestLiveSwitchCausesEmergency(t *testing.T) {
+	// Switching modes while an 18W multi-threaded workload runs would
+	// droop the compute rails far past the tolerance band — the reason
+	// FlexWatts routes the switch through package C6.
+	plat := domain.NewClientPlatform()
+	s, err := workload.TDPScenario(plat, 18, workload.MultiThread, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultNoiseParams()
+
+	live := ModeSwitchNoise(s, p, false)
+	if !live.Emergency {
+		t.Errorf("live switch at 18W should be a voltage emergency (droop %.1fmV vs TOB %.0fmV)",
+			live.Excursion*1e3, p.Tolerance*1e3)
+	}
+
+	parked := ModeSwitchNoise(s, p, true)
+	if parked.Emergency {
+		t.Errorf("C6-parked switch should be noise-free, droop %.2fmV", parked.Excursion*1e3)
+	}
+	if !(parked.Excursion < live.Excursion/10) {
+		t.Errorf("C6 should cut the excursion by orders of magnitude: %.3fmV vs %.1fmV",
+			parked.Excursion*1e3, live.Excursion*1e3)
+	}
+}
+
+func TestNoiseScalesWithLoad(t *testing.T) {
+	plat := domain.NewClientPlatform()
+	p := DefaultNoiseParams()
+	s4, _ := workload.TDPScenario(plat, 4, workload.MultiThread, 0.6)
+	s50, _ := workload.TDPScenario(plat, 50, workload.MultiThread, 0.6)
+	n4 := ModeSwitchNoise(s4, p, false)
+	n50 := ModeSwitchNoise(s50, p, false)
+	if !(n50.Excursion > n4.Excursion) {
+		t.Errorf("droop should grow with load: %.2fmV (4W) vs %.2fmV (50W)",
+			n4.Excursion*1e3, n50.Excursion*1e3)
+	}
+}
+
+func TestIdleScenarioNoise(t *testing.T) {
+	// With no compute load at all the droop is the leakage floor.
+	plat := domain.NewClientPlatform()
+	s := workload.CStateScenario(plat, domain.C8)
+	n := ModeSwitchNoise(s, DefaultNoiseParams(), false)
+	if n.Emergency {
+		t.Errorf("idle switch should not be an emergency, droop %.3fmV", n.Excursion*1e3)
+	}
+}

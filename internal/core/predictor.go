@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/curves"
+	"repro/internal/domain"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Predictor implements the paper's Algorithm 1: it stores two sets of ETEE
+// curves in (modeled) PMU firmware — one per hybrid mode — and at every
+// evaluation interval picks the mode whose predicted ETEE is higher for the
+// current (TDP, AR, workload type, power state).
+//
+// A curve set is a multidimensional table: for each workload type a 2-D
+// surface ETEE(AR, TDP), plus one curve over package power states for the
+// battery-life conditions (Fig 4(j)). The tables are generated offline by
+// evaluating the FlexWatts model itself in each mode over a grid — exactly
+// how a vendor would characterize the curves pre-silicon and burn them into
+// PMU firmware (§6: "A modern PMU implements multiple curves (as tables)").
+type Predictor struct {
+	ivrSurf map[workload.Type]*curves.Table2D // ETEE(AR, TDP) in IVR-Mode
+	ldoSurf map[workload.Type]*curves.Table2D // ETEE(AR, TDP) in LDO-Mode
+	ivrIdle map[domain.CState]float64
+	ldoIdle map[domain.CState]float64
+}
+
+// PredictorConfig controls the firmware table resolution. Coarser grids are
+// cheaper to store but predict less accurately (ablated by
+// BenchmarkAblationTableRes).
+type PredictorConfig struct {
+	// TDPGrid lists the TDP axis points (watts). Defaults to the seven
+	// design points of Fig 2/8.
+	TDPGrid []units.Watt
+	// ARPoints is the number of AR samples in [0.2, 1.0]. Defaults to 9.
+	ARPoints int
+}
+
+// DefaultPredictorConfig returns the configuration used in the evaluation.
+func DefaultPredictorConfig() PredictorConfig {
+	return PredictorConfig{TDPGrid: workload.StandardTDPs(), ARPoints: 9}
+}
+
+// NewPredictor characterizes the given FlexWatts model over the
+// configuration grid and returns the firmware predictor.
+func NewPredictor(plat *domain.Platform, m *Model, cfg PredictorConfig) (*Predictor, error) {
+	if len(cfg.TDPGrid) < 2 {
+		return nil, fmt.Errorf("core: predictor needs >= 2 TDP grid points")
+	}
+	if cfg.ARPoints < 2 {
+		return nil, fmt.Errorf("core: predictor needs >= 2 AR points")
+	}
+	arGrid := make([]float64, cfg.ARPoints)
+	for i := range arGrid {
+		arGrid[i] = 0.2 + 0.8*float64(i)/float64(cfg.ARPoints-1)
+	}
+	tdpGrid := make([]float64, len(cfg.TDPGrid))
+	copy(tdpGrid, cfg.TDPGrid)
+
+	p := &Predictor{
+		ivrSurf: make(map[workload.Type]*curves.Table2D),
+		ldoSurf: make(map[workload.Type]*curves.Table2D),
+		ivrIdle: make(map[domain.CState]float64),
+		ldoIdle: make(map[domain.CState]float64),
+	}
+	for _, t := range workload.Types() {
+		surf := func(mode Mode) (*curves.Table2D, error) {
+			zs := make([][]float64, len(tdpGrid))
+			for ti, tdp := range tdpGrid {
+				row := make([]float64, len(arGrid))
+				for ai, ar := range arGrid {
+					s, err := workload.TDPScenario(plat, tdp, t, ar)
+					if err != nil {
+						return nil, err
+					}
+					r, err := m.EvaluateMode(s, mode)
+					if err != nil {
+						return nil, err
+					}
+					row[ai] = r.ETEE
+				}
+				zs[ti] = row
+			}
+			return curves.NewTable2D(arGrid, tdpGrid, zs)
+		}
+		var err error
+		if p.ivrSurf[t], err = surf(IVRMode); err != nil {
+			return nil, fmt.Errorf("core: characterizing %v IVR-Mode: %w", t, err)
+		}
+		if p.ldoSurf[t], err = surf(LDOMode); err != nil {
+			return nil, fmt.Errorf("core: characterizing %v LDO-Mode: %w", t, err)
+		}
+	}
+	for _, c := range domain.CStates() {
+		if c == domain.C0 {
+			continue
+		}
+		s := workload.CStateScenario(plat, c)
+		ri, err := m.EvaluateMode(s, IVRMode)
+		if err != nil {
+			return nil, err
+		}
+		rl, err := m.EvaluateMode(s, LDOMode)
+		if err != nil {
+			return nil, err
+		}
+		p.ivrIdle[c] = ri.ETEE
+		p.ldoIdle[c] = rl.ETEE
+	}
+	return p, nil
+}
+
+// Inputs are the runtime estimates Algorithm 1 consumes, produced by the
+// PMU: the configured TDP (cTDP is runtime-visible), the activity-sensor AR
+// proxy, the workload type inferred from domain power states, and the
+// package power state.
+type Inputs struct {
+	TDP    units.Watt
+	AR     float64
+	Type   workload.Type
+	CState domain.CState
+}
+
+// ETEE returns the predicted ETEE for a mode at the given inputs.
+func (p *Predictor) ETEE(mode Mode, in Inputs) float64 {
+	if in.CState != domain.C0 {
+		// Battery-life curve: one entry per package state (Fig 4(j)).
+		if mode == IVRMode {
+			return p.ivrIdle[in.CState]
+		}
+		return p.ldoIdle[in.CState]
+	}
+	t := in.Type
+	if t == workload.BatteryLife {
+		t = workload.SingleThread
+	}
+	var surf *curves.Table2D
+	if mode == IVRMode {
+		surf = p.ivrSurf[t]
+	} else {
+		surf = p.ldoSurf[t]
+	}
+	return surf.At(in.AR, in.TDP)
+}
+
+// Predict implements Algorithm 1: it returns the mode with the higher
+// predicted ETEE (IVR-Mode on ties, matching the algorithm's >= test).
+func (p *Predictor) Predict(in Inputs) Mode {
+	if p.ETEE(IVRMode, in) >= p.ETEE(LDOMode, in) {
+		return IVRMode
+	}
+	return LDOMode
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"repro/internal/units"
+)
+
+// SwitchFlow models FlexWatts' voltage-noise-free mode-switching flow (§6):
+// to retarget the shared V_IN rail and reconfigure the hybrid VRs without
+// injecting noise into running domains, the PMU (1) enters package C6 —
+// compute contexts are saved to always-on SRAM and compute voltages drop to
+// zero, (2) moves the off-chip and on-chip VRs to the new mode's levels,
+// (3) exits C6 and resumes in the new mode.
+type SwitchFlow struct {
+	// EnterC6 is the package-C6 entry latency (context save, clock/voltage
+	// off); §6 measures ~45 µs without voltage changes.
+	EnterC6 units.Second
+	// AdjustVR covers retargeting the on-chip hybrid VRs (≤2 µs) and
+	// slewing the off-chip V_IN at ~50 mV/µs; §6 totals ~19 µs.
+	AdjustVR units.Second
+	// ExitC6 is the package-C6 exit latency (~30 µs).
+	ExitC6 units.Second
+	// C6Power is the platform power drawn while parked in C6 during the
+	// switch; the energy cost of a switch is Latency()·C6Power.
+	C6Power units.Watt
+}
+
+// DefaultSwitchFlow returns the paper's measured flow: 45 + 19 + 30 ≈ 94 µs
+// total, well under the up-to-500 µs DVFS transitions client parts already
+// tolerate (§6).
+func DefaultSwitchFlow() SwitchFlow {
+	return SwitchFlow{
+		EnterC6:  units.MicroSecond(45),
+		AdjustVR: units.MicroSecond(19),
+		ExitC6:   units.MicroSecond(30),
+		C6Power:  0.5, // platform C6 power (domain tables: SA 0.30 + IO 0.20)
+	}
+}
+
+// Latency returns the total mode-switch latency.
+func (f SwitchFlow) Latency() units.Second { return f.EnterC6 + f.AdjustVR + f.ExitC6 }
+
+// Energy returns the energy spent parked in C6 for one switch.
+func (f SwitchFlow) Energy() units.Watt { return f.C6Power * f.Latency() }
+
+// Controller drives mode decisions over time: every evaluation interval it
+// asks the predictor for the best mode and, if it differs from the current
+// one, performs the switch flow. A minimum-residency hysteresis prevents
+// thrashing when the two modes' predicted ETEEs cross repeatedly (ablated
+// by BenchmarkAblationInterval).
+type Controller struct {
+	Predictor *Predictor
+	Flow      SwitchFlow
+	// Interval is the evaluation period (§6 uses 10 ms).
+	Interval units.Second
+	// MinResidency is the minimum time the PDN stays in a mode after a
+	// switch before another switch is allowed.
+	MinResidency units.Second
+
+	mode        Mode
+	sinceSwitch units.Second
+	switches    int
+}
+
+// NewController returns a controller with the paper's parameters: a 10 ms
+// evaluation interval and one-interval minimum residency, starting in
+// IVR-Mode.
+func NewController(p *Predictor, flow SwitchFlow) *Controller {
+	return &Controller{
+		Predictor:    p,
+		Flow:         flow,
+		Interval:     10e-3,
+		MinResidency: 10e-3,
+		mode:         IVRMode,
+		sinceSwitch:  1, // allow an immediate first decision
+	}
+}
+
+// Mode returns the current hybrid mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// Switches returns how many mode transitions have occurred.
+func (c *Controller) Switches() int { return c.switches }
+
+// Step advances the controller by dt with the given runtime inputs and
+// returns the mode to use for the elapsed interval plus any switch overhead
+// (latency spent parked in C6, energy burned) incurred at the interval
+// boundary.
+func (c *Controller) Step(dt units.Second, in Inputs) (mode Mode, overhead units.Second, energy float64) {
+	c.sinceSwitch += dt
+	want := c.Predictor.Predict(in)
+	if want != c.mode && c.sinceSwitch >= c.MinResidency {
+		c.mode = want
+		c.sinceSwitch = 0
+		c.switches++
+		return c.mode, c.Flow.Latency(), c.Flow.Energy()
+	}
+	return c.mode, 0, 0
+}

@@ -1,0 +1,253 @@
+// Package cost implements PDNspot's board-area and bill-of-materials (BOM)
+// model (§3.2): the area and cost of a PDN's off-chip voltage regulators are
+// driven by the maximum current (Iccmax) each rail must be electrically
+// designed to support.
+//
+// Two regimes apply, as in the paper: platforms up to 18 W TDP use a power
+// management IC (PMIC) that integrates several small VRs into one part,
+// while higher-TDP platforms use discrete voltage regulator modules (VRMs)
+// whose cost and footprint grow with phase count. VR sharing between
+// domains (IVR, LDO, FlexWatts share V_IN) reduces total Iccmax and hence
+// cost — FlexWatts additionally sizes its shared rail for IVR-Mode current,
+// roughly half of what LDO-Mode would need, because high-current workloads
+// run in IVR-Mode (§7.1, "Why does FlexWatts have better BOM and board
+// area...").
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Sizing constants.
+const (
+	// turboFactor is the PL2-style excursion above TDP that every rail
+	// must ride out (Turbo Boost, §1).
+	turboFactor = 1.25
+	// lowVMargin is the transient (di/dt) design margin for rails that
+	// deliver core-class voltages directly: the VR sees load transients
+	// unbuffered, so Iccmax is sized well above the thermal current. The
+	// PMIC regime uses a smaller margin (mobile parts see gentler
+	// transients and lean on package decoupling).
+	lowVMargin     = 1.8
+	lowVMarginPmic = 1.3
+	// highVMargin applies to ≥1.5 V chip-input rails (IVR PDN's V_IN):
+	// the on-die second stage and its decoupling buffer transients.
+	highVMargin     = 1.15
+	highVMarginPmic = 1.0
+	// pmicTDPLimit is the highest TDP served by a PMIC (§3.2).
+	pmicTDPLimit = 18.0
+	// ivrStageEff approximates the on-die stage efficiency when referring
+	// compute power to the 1.8 V input rail.
+	ivrStageEff = 0.87
+)
+
+// Rail is one off-chip VR requirement.
+type Rail struct {
+	Name   string
+	VOut   units.Volt
+	Iccmax units.Amp
+}
+
+// Requirements is a PDN's complete off-chip VR demand at one TDP.
+type Requirements struct {
+	PDN   pdn.Kind
+	TDP   units.Watt
+	Rails []Rail
+}
+
+// TotalIccmax sums the rails' design currents.
+func (r Requirements) TotalIccmax() units.Amp {
+	var sum units.Amp
+	for _, rail := range r.Rails {
+		sum += rail.Iccmax
+	}
+	return sum
+}
+
+// virusPowers returns each domain group's worst-case (power-virus) power at
+// the TDP design point: dynamic power at AR=1 plus leakage at the thermal
+// design temperature.
+func virusPowers(plat *domain.Platform, tdp units.Watt) map[domain.Kind]units.Watt {
+	tj := domain.JunctionTemp(tdp, false)
+	fCPU := workload.CPUDesignFreq(tdp)
+	fGFX := workload.GfxDesignFreq(tdp)
+	out := make(map[domain.Kind]units.Watt, 6)
+	core := plat.Domain(domain.Core0)
+	out[domain.Core0] = core.Power(fCPU, 1, tj)
+	out[domain.Core1] = out[domain.Core0]
+	out[domain.LLC] = plat.Domain(domain.LLC).Power(fCPU, 1, tj)
+	out[domain.GFX] = plat.Domain(domain.GFX).Power(fGFX, 1, tj)
+	out[domain.SA] = plat.UncorePower(domain.SA, domain.C0) * 1.3
+	out[domain.IO] = plat.UncorePower(domain.IO, domain.C0) * 1.3
+	return out
+}
+
+// groupPeak caps a rail group's worst-case power at the platform turbo
+// limit: no single rail can draw more than the whole package excursion.
+func groupPeak(virus map[domain.Kind]units.Watt, members []domain.Kind, tdp units.Watt) units.Watt {
+	var sum units.Watt
+	for _, k := range members {
+		sum += virus[k]
+	}
+	if limit := tdp * turboFactor; sum > limit {
+		return limit
+	}
+	return sum
+}
+
+// Size computes the off-chip VR requirements of a PDN architecture at a
+// TDP, from the platform's power-virus characterization.
+func Size(plat *domain.Platform, kind pdn.Kind, tdp units.Watt) (Requirements, error) {
+	virus := virusPowers(plat, tdp)
+	fCPU := workload.CPUDesignFreq(tdp)
+	fGFX := workload.GfxDesignFreq(tdp)
+	coreV := plat.Domain(domain.Core0).VoltageAt(fCPU)
+	gfxV := plat.Domain(domain.GFX).VoltageAt(fGFX)
+	maxComputeV := coreV
+	if gfxV > maxComputeV {
+		maxComputeV = gfxV
+	}
+	saV := plat.UncoreVoltage(domain.SA)
+	ioV := plat.UncoreVoltage(domain.IO)
+	compute := []domain.Kind{domain.Core0, domain.Core1, domain.LLC, domain.GFX}
+	all := domain.Kinds()
+
+	pmic := tdp <= pmicTDPLimit
+	rail := func(name string, p units.Watt, v units.Volt) Rail {
+		margin := lowVMargin
+		switch {
+		case v >= 1.5 && pmic:
+			margin = highVMarginPmic
+		case v >= 1.5:
+			margin = highVMargin
+		case pmic:
+			margin = lowVMarginPmic
+		}
+		return Rail{Name: name, VOut: v, Iccmax: p / v * margin}
+	}
+
+	req := Requirements{PDN: kind, TDP: tdp}
+	switch kind {
+	case pdn.IVR:
+		// One shared chip-input rail at 1.8 V carries everything through
+		// the on-die stage.
+		p := groupPeak(virus, all, tdp) / ivrStageEff
+		req.Rails = []Rail{rail("V_IN", p, 1.8)}
+	case pdn.MBVR:
+		req.Rails = []Rail{
+			rail("V_Cores", groupPeak(virus, []domain.Kind{domain.Core0, domain.Core1}, tdp), coreV),
+			rail("V_GFX", groupPeak(virus, []domain.Kind{domain.GFX, domain.LLC}, tdp), gfxV),
+			rail("V_SA", virus[domain.SA], saV),
+			rail("V_IO", virus[domain.IO], ioV),
+		}
+	case pdn.LDO:
+		// The shared V_IN delivers compute power at the maximum compute
+		// voltage — low voltage, so high current and full transient margin.
+		req.Rails = []Rail{
+			rail("V_IN", groupPeak(virus, compute, tdp), maxComputeV),
+			rail("V_SA", virus[domain.SA], saV),
+			rail("V_IO", virus[domain.IO], ioV),
+		}
+	case pdn.IMBVR, pdn.FlexWatts:
+		// Compute rides the 1.8 V rail (FlexWatts switches to IVR-Mode for
+		// high-current workloads, so the shared VR is sized like IVR's).
+		p := groupPeak(virus, compute, tdp) / ivrStageEff
+		req.Rails = []Rail{
+			rail("V_IN", p, 1.8),
+			rail("V_SA", virus[domain.SA], saV),
+			rail("V_IO", virus[domain.IO], ioV),
+		}
+	default:
+		return Requirements{}, fmt.Errorf("cost: unknown PDN kind %v", kind)
+	}
+	return req, nil
+}
+
+// Estimate is the modeled BOM cost (arbitrary currency units) and board
+// area (mm²) of a PDN's off-chip VRs.
+type Estimate struct {
+	PDN  pdn.Kind
+	TDP  units.Watt
+	BOM  float64
+	Area float64 // mm²
+}
+
+// Part-cost constants, calibrated so the normalized ratios reproduce
+// Fig 8(d,e): MBVR 2.1–4.2× and LDO 1.6–3.1× the IVR BOM, MBVR 1.5–4.5×
+// and LDO 1.1–3.3× the IVR area, while FlexWatts/I+MBVR stay comparable to
+// IVR.
+const (
+	pmicBase     = 2.6  // controller + package, shared across rails
+	pmicPerRail  = 0.22 // per integrated VR
+	pmicPerAmp   = 0.30
+	vrmPerRail   = 0.9 // controller + drivers per discrete rail
+	vrmPerAmp    = 0.16
+	phaseAmps    = 25.0 // amps per (fractional) discrete phase
+	vrmPerPhase  = 1.6  // inductor + FETs per phase
+	smallRailAmp = 8.0  // below this a cheap fixed buck serves the rail
+	smallRailBOM = 0.55
+	smallRailA   = 0.10 // incremental cost per amp of a small buck
+	areaPmicBase = 55.0 // mm²
+	areaPmicAmp  = 6.0
+	areaVrmRail  = 55.0
+	areaVrmAmp   = 2.2
+	areaVrmPhase = 72.0 // power stage + inductor footprint
+	areaSmall    = 22.0
+	areaSmallAmp = 3.0
+)
+
+// Price maps requirements to BOM cost and board area under the appropriate
+// regime (PMIC up to 18 W, VRM above).
+func Price(req Requirements) Estimate {
+	est := Estimate{PDN: req.PDN, TDP: req.TDP}
+	if req.TDP <= pmicTDPLimit {
+		est.BOM = pmicBase
+		est.Area = areaPmicBase
+		for _, r := range req.Rails {
+			est.BOM += pmicPerRail + pmicPerAmp*r.Iccmax
+			est.Area += areaPmicAmp * r.Iccmax
+		}
+		return est
+	}
+	for _, r := range req.Rails {
+		if r.Iccmax < smallRailAmp {
+			est.BOM += smallRailBOM + smallRailA*r.Iccmax
+			est.Area += areaSmall + areaSmallAmp*r.Iccmax
+			continue
+		}
+		phases := r.Iccmax / phaseAmps
+		if phases < 1 {
+			phases = 1
+		}
+		est.BOM += vrmPerRail + vrmPerAmp*r.Iccmax + vrmPerPhase*phases
+		est.Area += areaVrmRail + areaVrmAmp*r.Iccmax + areaVrmPhase*phases
+	}
+	return est
+}
+
+// Normalized evaluates all five PDNs at a TDP and returns BOM and area
+// normalized to the IVR PDN (the Fig 8(d,e) presentation).
+func Normalized(plat *domain.Platform, tdp units.Watt) (bom, area map[pdn.Kind]float64, err error) {
+	bom = make(map[pdn.Kind]float64, 5)
+	area = make(map[pdn.Kind]float64, 5)
+	base, err := Size(plat, pdn.IVR, tdp)
+	if err != nil {
+		return nil, nil, err
+	}
+	ref := Price(base)
+	for _, k := range pdn.AllKinds() {
+		req, err := Size(plat, k, tdp)
+		if err != nil {
+			return nil, nil, err
+		}
+		e := Price(req)
+		bom[k] = e.BOM / ref.BOM
+		area[k] = e.Area / ref.Area
+	}
+	return bom, area, nil
+}

@@ -1,0 +1,147 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/workload"
+)
+
+func TestSizeRailCounts(t *testing.T) {
+	plat := domain.NewClientPlatform()
+	want := map[pdn.Kind]int{
+		pdn.IVR:       1, // single shared V_IN
+		pdn.MBVR:      4, // V_Cores, V_GFX, V_SA, V_IO
+		pdn.LDO:       3, // V_IN, V_SA, V_IO
+		pdn.IMBVR:     3,
+		pdn.FlexWatts: 3,
+	}
+	for k, n := range want {
+		req, err := Size(plat, k, 18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(req.Rails) != n {
+			t.Errorf("%v: %d rails, want %d", k, len(req.Rails), n)
+		}
+		if req.TotalIccmax() <= 0 {
+			t.Errorf("%v: non-positive total Iccmax", k)
+		}
+	}
+	if _, err := Size(plat, pdn.Kind(99), 18); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSharingReducesIccmax(t *testing.T) {
+	// §3.2: "VR sharing between multiple domains effectively reduces the
+	// maximum current required". The IVR PDN's single 1.8V rail needs less
+	// total Iccmax than MBVR's four low-voltage rails.
+	plat := domain.NewClientPlatform()
+	for _, tdp := range workload.StandardTDPs() {
+		ivr, _ := Size(plat, pdn.IVR, tdp)
+		mbvr, _ := Size(plat, pdn.MBVR, tdp)
+		if !(ivr.TotalIccmax() < mbvr.TotalIccmax()) {
+			t.Errorf("%gW: IVR Iccmax %.1fA should undercut MBVR %.1fA",
+				tdp, ivr.TotalIccmax(), mbvr.TotalIccmax())
+		}
+	}
+}
+
+func TestFlexSizedLikeIVR(t *testing.T) {
+	// §7.1: FlexWatts' shared VR is designed with a maximum current level
+	// similar to IVR's because high-power workloads run IVR-Mode.
+	plat := domain.NewClientPlatform()
+	for _, tdp := range workload.StandardTDPs() {
+		flex, _ := Size(plat, pdn.FlexWatts, tdp)
+		ldo, _ := Size(plat, pdn.LDO, tdp)
+		if !(flex.Rails[0].Iccmax < ldo.Rails[0].Iccmax) {
+			t.Errorf("%gW: Flex V_IN %.1fA should undercut LDO's %.1fA (1.8V vs low-V rail)",
+				tdp, flex.Rails[0].Iccmax, ldo.Rails[0].Iccmax)
+		}
+	}
+}
+
+func TestNormalizedRatioBands(t *testing.T) {
+	// Fig 8(d,e): MBVR 2.1-4.2x / LDO 1.6-3.1x the IVR BOM (we accept a
+	// slightly wider modeled envelope); FlexWatts and I+MBVR comparable to
+	// IVR (< 1.5x).
+	plat := domain.NewClientPlatform()
+	for _, tdp := range workload.StandardTDPs() {
+		bom, area, err := Normalized(plat, tdp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bom[pdn.IVR] != 1 || area[pdn.IVR] != 1 {
+			t.Fatalf("%gW: IVR not normalized to 1", tdp)
+		}
+		if bom[pdn.MBVR] < 1.8 || bom[pdn.MBVR] > 4.5 {
+			t.Errorf("%gW: MBVR BOM ratio %.2f outside [1.8, 4.5]", tdp, bom[pdn.MBVR])
+		}
+		if bom[pdn.LDO] < 1.4 || bom[pdn.LDO] > 3.3 {
+			t.Errorf("%gW: LDO BOM ratio %.2f outside [1.4, 3.3]", tdp, bom[pdn.LDO])
+		}
+		if bom[pdn.FlexWatts] > 1.5 || bom[pdn.IMBVR] > 1.5 {
+			t.Errorf("%gW: Flex/I+MBVR BOM %.2f/%.2f should stay comparable to IVR",
+				tdp, bom[pdn.FlexWatts], bom[pdn.IMBVR])
+		}
+		if area[pdn.MBVR] < 1.4 || area[pdn.MBVR] > 4.8 {
+			t.Errorf("%gW: MBVR area ratio %.2f outside [1.4, 4.8]", tdp, area[pdn.MBVR])
+		}
+		if area[pdn.FlexWatts] > 1.5 {
+			t.Errorf("%gW: Flex area ratio %.2f too high", tdp, area[pdn.FlexWatts])
+		}
+		// LDO is always cheaper than MBVR (it shares the compute rail).
+		if !(bom[pdn.LDO] < bom[pdn.MBVR]) {
+			t.Errorf("%gW: LDO BOM %.2f should undercut MBVR %.2f", tdp, bom[pdn.LDO], bom[pdn.MBVR])
+		}
+	}
+}
+
+func TestPriceMonotoneInCurrent(t *testing.T) {
+	// Property: more Iccmax never costs less, in either regime.
+	f := func(iRaw float64, pmic bool) bool {
+		i := 1 + mod(iRaw, 60)
+		tdp := 25.0
+		if pmic {
+			tdp = 10
+		}
+		a := Price(Requirements{PDN: pdn.IVR, TDP: tdp, Rails: []Rail{{Name: "r", VOut: 1, Iccmax: i}}})
+		b := Price(Requirements{PDN: pdn.IVR, TDP: tdp, Rails: []Rail{{Name: "r", VOut: 1, Iccmax: i + 5}}})
+		return b.BOM >= a.BOM && b.Area >= a.Area
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsoluteCostGrowsWithTDP(t *testing.T) {
+	// Within each regime, bigger platforms cost more.
+	plat := domain.NewClientPlatform()
+	for _, k := range pdn.AllKinds() {
+		for _, span := range [][]float64{{4, 8, 10, 18}, {25, 36, 50}} {
+			prev := 0.0
+			for _, tdp := range span {
+				req, err := Size(plat, k, tdp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				est := Price(req)
+				if est.BOM <= prev {
+					t.Errorf("%v: BOM %.2f at %gW not above %.2f", k, est.BOM, tdp, prev)
+				}
+				prev = est.BOM
+			}
+		}
+	}
+}
+
+func mod(v, m float64) float64 {
+	v = v - float64(int(v/m))*m
+	if v < 0 {
+		v += m
+	}
+	return v
+}

@@ -1,0 +1,276 @@
+// Package curves provides the interpolation-table machinery PDNspot uses to
+// represent voltage-regulator efficiency surfaces, ETEE curves stored in PMU
+// firmware, voltage-frequency curves, and cost tables.
+//
+// The paper's models are driven by measured curves ("the actual curves in
+// PDNspot plot the efficiency as a function of input voltage, output voltage
+// and output current", §4.2); this package supplies the equivalent
+// table-lookup-with-interpolation primitive. Tables are immutable after
+// construction and safe for concurrent use.
+package curves
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when constructing a table with no points.
+var ErrEmpty = errors.New("curves: table needs at least one point")
+
+// ErrUnsorted is returned when x-coordinates are not strictly increasing.
+var ErrUnsorted = errors.New("curves: x values must be strictly increasing")
+
+// Point is a single (X, Y) sample of a 1-D curve.
+type Point struct {
+	X, Y float64
+}
+
+// Table1D is a piecewise-linear 1-D interpolation table. Queries outside the
+// sampled range clamp to the end values, matching how firmware lookup tables
+// behave in real power-management units.
+type Table1D struct {
+	xs []float64
+	ys []float64
+}
+
+// NewTable1D builds a table from points whose X values must be strictly
+// increasing.
+func NewTable1D(pts []Point) (*Table1D, error) {
+	if len(pts) == 0 {
+		return nil, ErrEmpty
+	}
+	t := &Table1D{
+		xs: make([]float64, len(pts)),
+		ys: make([]float64, len(pts)),
+	}
+	for i, p := range pts {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			return nil, fmt.Errorf("curves: NaN at point %d", i)
+		}
+		if i > 0 && p.X <= pts[i-1].X {
+			return nil, ErrUnsorted
+		}
+		t.xs[i] = p.X
+		t.ys[i] = p.Y
+	}
+	return t, nil
+}
+
+// MustTable1D is NewTable1D that panics on error; for static tables.
+func MustTable1D(pts []Point) *Table1D {
+	t, err := NewTable1D(pts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromFunc samples f at n points uniformly spaced over [lo, hi] (inclusive)
+// and returns the resulting table. n must be >= 2.
+func FromFunc(lo, hi float64, n int, f func(float64) float64) *Table1D {
+	if n < 2 {
+		panic("curves: FromFunc needs n >= 2")
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = Point{X: x, Y: f(x)}
+	}
+	return MustTable1D(pts)
+}
+
+// FromFuncLog samples f at n log-spaced points over [lo, hi]; lo must be > 0.
+// Log spacing matches how VR efficiency is characterized over decades of load
+// current.
+func FromFuncLog(lo, hi float64, n int, f func(float64) float64) *Table1D {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic("curves: FromFuncLog needs n >= 2 and 0 < lo < hi")
+	}
+	ratio := math.Log(hi / lo)
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		x := lo * math.Exp(ratio*float64(i)/float64(n-1))
+		pts[i] = Point{X: x, Y: f(x)}
+	}
+	return MustTable1D(pts)
+}
+
+// At returns the piecewise-linear interpolation of the curve at x, clamping
+// to the end values outside the sampled domain.
+func (t *Table1D) At(x float64) float64 {
+	n := len(t.xs)
+	if x <= t.xs[0] {
+		return t.ys[0]
+	}
+	if x >= t.xs[n-1] {
+		return t.ys[n-1]
+	}
+	// sort.SearchFloat64s returns the first index with xs[i] >= x.
+	i := sort.SearchFloat64s(t.xs, x)
+	x0, x1 := t.xs[i-1], t.xs[i]
+	y0, y1 := t.ys[i-1], t.ys[i]
+	frac := (x - x0) / (x1 - x0)
+	return y0 + frac*(y1-y0)
+}
+
+// Domain returns the sampled [min, max] X range.
+func (t *Table1D) Domain() (lo, hi float64) { return t.xs[0], t.xs[len(t.xs)-1] }
+
+// Len returns the number of sample points.
+func (t *Table1D) Len() int { return len(t.xs) }
+
+// Points returns a copy of the sample points.
+func (t *Table1D) Points() []Point {
+	pts := make([]Point, len(t.xs))
+	for i := range t.xs {
+		pts[i] = Point{X: t.xs[i], Y: t.ys[i]}
+	}
+	return pts
+}
+
+// MinY and MaxY return the extreme sampled values.
+func (t *Table1D) MinY() float64 {
+	m := t.ys[0]
+	for _, y := range t.ys[1:] {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// MaxY returns the maximum sampled value.
+func (t *Table1D) MaxY() float64 {
+	m := t.ys[0]
+	for _, y := range t.ys[1:] {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// IsMonotoneNonDecreasing reports whether sampled Y values never decrease.
+func (t *Table1D) IsMonotoneNonDecreasing() bool {
+	for i := 1; i < len(t.ys); i++ {
+		if t.ys[i] < t.ys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// ArgMax returns the X of the maximum sampled Y (first occurrence).
+func (t *Table1D) ArgMax() float64 {
+	best, bx := t.ys[0], t.xs[0]
+	for i := 1; i < len(t.ys); i++ {
+		if t.ys[i] > best {
+			best, bx = t.ys[i], t.xs[i]
+		}
+	}
+	return bx
+}
+
+// Table2D is a bilinear interpolation table over a rectangular grid. It is
+// used for efficiency surfaces η(x=Iout, y=Vout) and ETEE surfaces
+// η(x=AR, y=TDP).
+type Table2D struct {
+	xs, ys []float64 // strictly increasing axes
+	zs     [][]float64
+}
+
+// NewTable2D builds a grid table; zs is indexed zs[yi][xi]. Axes must be
+// strictly increasing and zs dimensions must match.
+func NewTable2D(xs, ys []float64, zs [][]float64) (*Table2D, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return nil, ErrEmpty
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, ErrUnsorted
+		}
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] <= ys[i-1] {
+			return nil, ErrUnsorted
+		}
+	}
+	if len(zs) != len(ys) {
+		return nil, fmt.Errorf("curves: zs has %d rows, want %d", len(zs), len(ys))
+	}
+	t := &Table2D{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		zs: make([][]float64, len(ys)),
+	}
+	for yi, row := range zs {
+		if len(row) != len(xs) {
+			return nil, fmt.Errorf("curves: row %d has %d cols, want %d", yi, len(row), len(xs))
+		}
+		t.zs[yi] = append([]float64(nil), row...)
+	}
+	return t, nil
+}
+
+// MustTable2D is NewTable2D that panics on error.
+func MustTable2D(xs, ys []float64, zs [][]float64) *Table2D {
+	t, err := NewTable2D(xs, ys, zs)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromFunc2D samples f over the cross product of the given axes.
+func FromFunc2D(xs, ys []float64, f func(x, y float64) float64) *Table2D {
+	zs := make([][]float64, len(ys))
+	for yi, y := range ys {
+		row := make([]float64, len(xs))
+		for xi, x := range xs {
+			row[xi] = f(x, y)
+		}
+		zs[yi] = row
+	}
+	return MustTable2D(xs, ys, zs)
+}
+
+// At returns the bilinear interpolation at (x, y), clamping outside the grid.
+func (t *Table2D) At(x, y float64) float64 {
+	xi, xf := locate(t.xs, x)
+	yi, yf := locate(t.ys, y)
+	z00 := t.zs[yi][xi]
+	z01 := t.zs[yi][xi+1]
+	z10 := t.zs[yi+1][xi]
+	z11 := t.zs[yi+1][xi+1]
+	z0 := z00 + xf*(z01-z00)
+	z1 := z10 + xf*(z11-z10)
+	return z0 + yf*(z1-z0)
+}
+
+// locate finds the cell index i and fraction f such that
+// axis[i] + f*(axis[i+1]-axis[i]) corresponds to v (clamped).
+func locate(axis []float64, v float64) (int, float64) {
+	n := len(axis)
+	if n == 1 {
+		return 0, 0
+	}
+	if v <= axis[0] {
+		return 0, 0
+	}
+	if v >= axis[n-1] {
+		return n - 2, 1
+	}
+	i := sort.SearchFloat64s(axis, v)
+	// axis[i-1] < v <= axis[i]; interpolate within cell i-1.
+	i--
+	f := (v - axis[i]) / (axis[i+1] - axis[i])
+	return i, f
+}
+
+// XAxis returns a copy of the X axis.
+func (t *Table2D) XAxis() []float64 { return append([]float64(nil), t.xs...) }
+
+// YAxis returns a copy of the Y axis.
+func (t *Table2D) YAxis() []float64 { return append([]float64(nil), t.ys...) }

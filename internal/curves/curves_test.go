@@ -1,0 +1,170 @@
+package curves
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1DBasics(t *testing.T) {
+	tab := MustTable1D([]Point{{0, 0}, {1, 10}, {2, 40}})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 10}, {2, 40}, // exact points
+		{0.5, 5}, {1.5, 25}, // interpolation
+		{-1, 0}, {3, 40}, // clamping
+	}
+	for _, c := range cases {
+		if got := tab.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if lo, hi := tab.Domain(); lo != 0 || hi != 2 {
+		t.Errorf("Domain() = %g,%g", lo, hi)
+	}
+	if tab.Len() != 3 {
+		t.Errorf("Len() = %d", tab.Len())
+	}
+	if tab.MinY() != 0 || tab.MaxY() != 40 {
+		t.Errorf("MinY/MaxY = %g/%g", tab.MinY(), tab.MaxY())
+	}
+	if tab.ArgMax() != 2 {
+		t.Errorf("ArgMax() = %g", tab.ArgMax())
+	}
+	if !tab.IsMonotoneNonDecreasing() {
+		t.Error("table should be monotone")
+	}
+}
+
+func TestTable1DErrors(t *testing.T) {
+	if _, err := NewTable1D(nil); err != ErrEmpty {
+		t.Errorf("empty: got %v", err)
+	}
+	if _, err := NewTable1D([]Point{{1, 0}, {1, 1}}); err != ErrUnsorted {
+		t.Errorf("duplicate x: got %v", err)
+	}
+	if _, err := NewTable1D([]Point{{2, 0}, {1, 1}}); err != ErrUnsorted {
+		t.Errorf("descending x: got %v", err)
+	}
+	if _, err := NewTable1D([]Point{{math.NaN(), 0}}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestTable1DPoints(t *testing.T) {
+	pts := []Point{{1, 2}, {3, 4}}
+	tab := MustTable1D(pts)
+	got := tab.Points()
+	got[0].Y = 99 // must not alias internal state
+	if tab.At(1) != 2 {
+		t.Error("Points() aliases internal storage")
+	}
+}
+
+// Property: interpolated values never leave the sampled Y envelope, and the
+// table reproduces its sample points exactly.
+func TestTable1DProperty(t *testing.T) {
+	f := func(raw []float64, probe float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		pts := make([]Point, 0, len(raw))
+		for i, y := range raw {
+			if math.IsNaN(y) || math.IsInf(y, 0) || math.Abs(y) > 1e100 {
+				// Extreme magnitudes lose the interpolation identity to
+				// floating-point cancellation; the model domain is watts
+				// and volts, nowhere near this.
+				return true
+			}
+			pts = append(pts, Point{X: float64(i), Y: y})
+		}
+		tab := MustTable1D(pts)
+		x := math.Mod(math.Abs(probe), float64(len(pts)))
+		y := tab.At(x)
+		span := math.Max(math.Abs(tab.MinY()), math.Abs(tab.MaxY()))
+		tol := 1e-9 * math.Max(span, 1)
+		if y < tab.MinY()-tol || y > tab.MaxY()+tol {
+			return false
+		}
+		for _, p := range pts {
+			if tab.At(p.X) != p.Y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromFunc(t *testing.T) {
+	sq := FromFunc(0, 10, 101, func(x float64) float64 { return x * x })
+	if got := sq.At(5); math.Abs(got-25) > 0.1 {
+		t.Errorf("At(5) = %g, want ~25", got)
+	}
+	log := FromFuncLog(0.1, 10, 50, math.Log10)
+	if got := log.At(1); math.Abs(got) > 0.01 {
+		t.Errorf("log At(1) = %g, want ~0", got)
+	}
+	if got := log.At(0.1); math.Abs(got+1) > 1e-9 {
+		t.Errorf("log At(0.1) = %g, want -1", got)
+	}
+}
+
+func TestFromFuncPanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { FromFunc(0, 1, 1, func(float64) float64 { return 0 }) })
+	mustPanic(func() { FromFuncLog(0, 1, 10, func(float64) float64 { return 0 }) })
+	mustPanic(func() { FromFuncLog(2, 1, 10, func(float64) float64 { return 0 }) })
+}
+
+func TestTable2DBilinear(t *testing.T) {
+	// z = x + 10y sampled on a 3x3 grid: bilinear interpolation of a linear
+	// function must be exact.
+	tab := FromFunc2D([]float64{0, 1, 2}, []float64{0, 1, 2}, func(x, y float64) float64 { return x + 10*y })
+	cases := []struct{ x, y, want float64 }{
+		{0, 0, 0}, {2, 2, 22}, {1, 1, 11},
+		{0.5, 0.5, 5.5}, {1.5, 0.25, 4},
+		{-1, 0, 0}, {5, 5, 22}, // clamping
+	}
+	for _, c := range cases {
+		if got := tab.At(c.x, c.y); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g,%g) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestTable2DErrors(t *testing.T) {
+	if _, err := NewTable2D(nil, []float64{1}, nil); err != ErrEmpty {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := NewTable2D([]float64{1, 1}, []float64{1}, [][]float64{{1, 2}}); err != ErrUnsorted {
+		t.Errorf("unsorted: %v", err)
+	}
+	if _, err := NewTable2D([]float64{1, 2}, []float64{1}, [][]float64{{1}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := NewTable2D([]float64{1, 2}, []float64{1, 2}, [][]float64{{1, 2}}); err == nil {
+		t.Error("missing rows accepted")
+	}
+}
+
+func TestTable2DAxes(t *testing.T) {
+	tab := FromFunc2D([]float64{0, 1}, []float64{2, 3}, func(x, y float64) float64 { return 0 })
+	xs := tab.XAxis()
+	xs[0] = 99
+	if tab.XAxis()[0] != 0 {
+		t.Error("XAxis aliases internal storage")
+	}
+	if got := tab.YAxis(); got[0] != 2 || got[1] != 3 {
+		t.Errorf("YAxis = %v", got)
+	}
+}

@@ -1,0 +1,220 @@
+package domain
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// CState identifies a package power state (§5 Observation 3, Fig 4(j)).
+// C0 is the active state; C0MIN is C0 with compute domains at minimum
+// frequency; C2–C8 are progressively deeper package idle states.
+type CState int
+
+// Package power states modeled by PDNspot.
+const (
+	C0 CState = iota
+	C0MIN
+	C2
+	C3
+	C6
+	C7
+	C8
+	numCStates
+)
+
+// CStates lists all package states in canonical order.
+func CStates() []CState { return []CState{C0, C0MIN, C2, C3, C6, C7, C8} }
+
+// IdleCStates lists the package idle states of Fig 4(j).
+func IdleCStates() []CState { return []CState{C2, C3, C6, C7, C8} }
+
+// String returns the conventional state name.
+func (c CState) String() string {
+	switch c {
+	case C0:
+		return "C0"
+	case C0MIN:
+		return "C0MIN"
+	case C2:
+		return "C2"
+	case C3:
+		return "C3"
+	case C6:
+		return "C6"
+	case C7:
+		return "C7"
+	case C8:
+		return "C8"
+	default:
+		return fmt.Sprintf("CState(%d)", int(c))
+	}
+}
+
+// ComputeActive reports whether compute domains draw power in the state.
+// In C2 and deeper, cores/LLC/GFX are power-gated (paper §5: "the cores and
+// graphics engines are idle (power-gated) in this state").
+func (c CState) ComputeActive() bool { return c == C0 || c == C0MIN }
+
+// uncoreStatePower gives the SA and IO nominal power per package state.
+// The values are calibrated so the platform totals reproduce the paper's
+// video-playback example (§5): C0MIN ≈ 2.5 W, C2 ≈ 1.2 W, C8 ≈ 0.13 W.
+type uncoreStatePower struct {
+	sa, io units.Watt
+}
+
+// Platform models the whole client SoC: the four compute domains plus the
+// SA/IO nominal power tables, junction-temperature policy, and supported
+// TDP range.
+type Platform struct {
+	domains map[Kind]*Domain
+	uncore  map[CState]uncoreStatePower
+	saVolt  units.Volt
+	ioVolt  units.Volt
+}
+
+// StandardTDPs returns the TDP design points the paper evaluates
+// (Fig 2, Fig 8): 4, 8, 10, 18, 25, 36, 50 W.
+func StandardTDPs() []units.Watt { return []units.Watt{4, 8, 10, 18, 25, 36, 50} }
+
+// NewClientPlatform constructs the modeled client SoC with parameters
+// calibrated to Table 1/Table 2:
+//
+//   - cores: 0.8–4 GHz shared clock, power-virus 30 W at fmax (Table 2's
+//     0.6–30 W nominal range over 4–50 W TDPs),
+//   - GFX: 0.1–1.2 GHz, power-virus 29.4 W at fmax (0.58–29.4 W range),
+//   - LLC: clocked with the cores, 0.5–4 W,
+//   - SA/IO: fixed-frequency domains with per-C-state power tables whose
+//     totals reproduce the §5 video-playback state powers.
+func NewClientPlatform() *Platform {
+	coreCurve := VFCurve{A: 0.42, B: 0.17, VMin: 0.55, VMax: 1.10}
+	gfxCurve := VFCurve{A: 0.48, B: 0.475, VMin: 0.50, VMax: 1.05}
+
+	p := &Platform{
+		domains: make(map[Kind]*Domain, 4),
+		uncore: map[CState]uncoreStatePower{
+			C0:    {sa: 0.80, io: 0.45},
+			C0MIN: {sa: 0.80, io: 0.45},
+			C2:    {sa: 0.75, io: 0.45},
+			C3:    {sa: 0.55, io: 0.35},
+			C6:    {sa: 0.30, io: 0.20},
+			C7:    {sa: 0.22, io: 0.13},
+			C8:    {sa: 0.09, io: 0.04},
+		},
+		saVolt: 0.85,
+		ioVolt: 1.05,
+	}
+
+	// Per-core dynamic virus power: both cores together dissipate 30 W at
+	// (4 GHz, 1.1 V) with a 22 % leakage fraction, so the dynamic part is
+	// 23.4 W split across two cores; each core's Cdyn follows.
+	const coresVirusDyn = 23.4 // W at 4 GHz, 1.1 V, both cores
+	coreCdyn := coresVirusDyn / 2 / (1.1 * 1.1 * 4e9)
+	corePleak := 0.90 // W per core at 1.0 V, 80 °C (22 % FL at typical points)
+	for _, k := range []Kind{Core0, Core1} {
+		p.domains[k] = New(Params{
+			Kind:     k,
+			FMin:     units.GigaHertz(0.8),
+			FMax:     units.GigaHertz(4.0),
+			FStep:    units.MegaHertz(100),
+			Curve:    coreCurve,
+			Cdyn:     coreCdyn,
+			PleakRef: corePleak,
+		})
+	}
+
+	// GFX: 29.4 W virus at (1.2 GHz, 1.05 V), 45 % leakage fraction
+	// (§3.1 cites Rusu et al. for the graphics domain's FL).
+	const gfxVirusDyn = 16.2 // W dynamic at fmax
+	p.domains[GFX] = New(Params{
+		Kind:     GFX,
+		FMin:     units.GigaHertz(0.1),
+		FMax:     units.GigaHertz(1.2),
+		FStep:    units.MegaHertz(50),
+		Curve:    gfxCurve,
+		Cdyn:     gfxVirusDyn / (1.05 * 1.05 * 1.2e9),
+		PleakRef: 7.0,
+	})
+
+	// LLC: clocked with the cores (Table 1: "LLC size scales proportionally
+	// to the CPU core and graphics engine frequencies"), 4 W max.
+	const llcVirusDyn = 3.12 // W dynamic at 4 GHz, 1.1 V
+	p.domains[LLC] = New(Params{
+		Kind:     LLC,
+		FMin:     units.GigaHertz(0.8),
+		FMax:     units.GigaHertz(4.0),
+		FStep:    units.MegaHertz(100),
+		Curve:    coreCurve,
+		Cdyn:     llcVirusDyn / (1.1 * 1.1 * 4e9),
+		PleakRef: 0.41,
+	})
+	return p
+}
+
+// Domain returns the compute domain of the given kind; it panics for SA/IO,
+// which are table-driven (use UncorePower).
+func (p *Platform) Domain(k Kind) *Domain {
+	d, ok := p.domains[k]
+	if !ok {
+		panic(fmt.Sprintf("domain: %v is not a compute domain", k))
+	}
+	return d
+}
+
+// UncorePower returns the nominal power of SA or IO in the given package
+// state.
+func (p *Platform) UncorePower(k Kind, c CState) units.Watt {
+	up, ok := p.uncore[c]
+	if !ok {
+		panic(fmt.Sprintf("domain: unknown C-state %v", c))
+	}
+	switch k {
+	case SA:
+		return up.sa
+	case IO:
+		return up.io
+	default:
+		panic(fmt.Sprintf("domain: %v is not an uncore domain", k))
+	}
+}
+
+// UncoreVoltage returns the fixed rail voltage of SA or IO.
+func (p *Platform) UncoreVoltage(k Kind) units.Volt {
+	switch k {
+	case SA:
+		return p.saVolt
+	case IO:
+		return p.ioVolt
+	default:
+		panic(fmt.Sprintf("domain: %v is not an uncore domain", k))
+	}
+}
+
+// JunctionTemp returns the junction-temperature design point for a TDP
+// following §7.1: fan-less systems run at Tj = 80 °C up to 8 W and 100 °C
+// above; battery-life workloads are evaluated at 50 °C.
+func JunctionTemp(tdp units.Watt, batteryLife bool) float64 {
+	if batteryLife {
+		return 50
+	}
+	if tdp <= 8 {
+		return 80
+	}
+	return 100
+}
+
+// MaxComputeVoltage returns the highest supply voltage across active compute
+// domains at the given frequencies; the LDO PDN's shared V_IN rail is set to
+// this value (§2.3).
+func (p *Platform) MaxComputeVoltage(freqs map[Kind]units.Hertz) units.Volt {
+	var vmax units.Volt
+	for k, f := range freqs {
+		if !k.IsCompute() {
+			continue
+		}
+		if v := p.Domain(k).VoltageAt(f); v > vmax {
+			vmax = v
+		}
+	}
+	return vmax
+}

@@ -1,0 +1,92 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index). Each driver
+// renders the same rows/series the paper reports, so the repository's
+// cmd/flexwatts binary and bench harness can regenerate every artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/pdn"
+)
+
+// Env bundles the objects every experiment needs: the platform model, the
+// PDNspot parameters, the four baseline PDNs, and FlexWatts with its
+// predictor.
+type Env struct {
+	Platform  *domain.Platform
+	Params    pdn.Params
+	Baselines map[pdn.Kind]pdn.Model
+	Flex      *core.Model
+	Predictor *core.Predictor
+}
+
+// NewEnv constructs the default evaluation environment.
+func NewEnv() (*Env, error) {
+	plat := domain.NewClientPlatform()
+	params := pdn.DefaultParams()
+	baselines := make(map[pdn.Kind]pdn.Model, 4)
+	for _, k := range pdn.Kinds() {
+		m, err := pdn.New(k, params)
+		if err != nil {
+			return nil, err
+		}
+		baselines[k] = m
+	}
+	flex := core.NewModel(params)
+	pred, err := core.NewPredictor(plat, flex, core.DefaultPredictorConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Platform:  plat,
+		Params:    params,
+		Baselines: baselines,
+		Flex:      flex,
+		Predictor: pred,
+	}, nil
+}
+
+// AllModels returns the five PDNs in plotting order, with FlexWatts wrapped
+// in its Algorithm 1 auto-mode adapter for the given TDP.
+func (e *Env) AllModels(tdp float64) []pdn.Model {
+	return []pdn.Model{
+		e.Baselines[pdn.IVR],
+		e.Baselines[pdn.MBVR],
+		e.Baselines[pdn.LDO],
+		e.Baselines[pdn.IMBVR],
+		core.NewAutoModel(e.Flex, e.Predictor, tdp),
+	}
+}
+
+// Runner is an experiment entry point.
+type Runner func(e *Env, w io.Writer) error
+
+// registry maps experiment ids to runners; populated by init() calls in
+// the per-figure files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// Run executes the experiment with the given id.
+func Run(id string, e *Env, w io.Writer) error {
+	r, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(e, w)
+}
+
+// IDs lists the registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

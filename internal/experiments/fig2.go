@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/perf"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig2a", Fig2a)
+	register("fig2b", Fig2b)
+}
+
+// Fig2a regenerates Fig 2(a): the additional power budget (mW) required to
+// raise the CPU or GFX clock by 1 % at each TDP design point — small at low
+// TDP (~tens of mW), hundreds of mW at 50 W, which is why PDN efficiency
+// matters most for low-TDP parts.
+func Fig2a(e *Env, w io.Writer) error {
+	t := report.NewTable("Fig 2(a): power-budget increase for 1% frequency increase (mW)",
+		"TDP", "CPU", "GFX")
+	for _, tdp := range workload.StandardTDPs() {
+		cpu := perf.Sensitivity(e.Platform, tdp, domain.Core0, 0.56)
+		gfx := perf.Sensitivity(e.Platform, tdp, domain.GFX, 0.56)
+		t.AddRowF(fmtTDP(tdp), cpu/units.Milli, gfx/units.Milli)
+	}
+	return t.WriteASCII(w)
+}
+
+// Fig2b regenerates Fig 2(b): the percentage of the TDP power budget going
+// to SA+IO, CPU cores, LLC, and PDN loss for a CPU-intensive workload,
+// using at each TDP the commonly-used PDN with the highest loss (IVR at low
+// TDP, MBVR at high TDP), as the paper does.
+func Fig2b(e *Env, w io.Writer) error {
+	t := report.NewTable("Fig 2(b): power-budget breakdown, CPU-intensive workload, worst PDN per TDP",
+		"TDP", "WorstPDN", "SA+IO", "CPU", "LLC", "PDNLoss")
+	const ar = 0.56
+	for _, tdp := range workload.StandardTDPs() {
+		s, err := workload.TDPScenario(e.Platform, tdp, workload.MultiThread, ar)
+		if err != nil {
+			return err
+		}
+		// Find the worst of the three commonly-used PDNs.
+		var worst pdn.Result
+		var worstKind pdn.Kind
+		for _, k := range []pdn.Kind{pdn.IVR, pdn.MBVR, pdn.LDO} {
+			r, err := e.Baselines[k].Evaluate(s)
+			if err != nil {
+				return err
+			}
+			if worst.PIn == 0 || r.PIn > worst.PIn {
+				worst, worstKind = r, k
+			}
+		}
+		cores := s.LoadFor(domain.Core0).PNom + s.LoadFor(domain.Core1).PNom
+		llc := s.LoadFor(domain.LLC).PNom
+		saio := s.LoadFor(domain.SA).PNom + s.LoadFor(domain.IO).PNom
+		loss := worst.PIn - worst.PNomTotal
+		t.AddRow(fmtTDP(tdp), worstKind.String(),
+			report.Pct(saio/worst.PIn), report.Pct(cores/worst.PIn),
+			report.Pct(llc/worst.PIn), report.Pct(loss/worst.PIn))
+	}
+	return t.WriteASCII(w)
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+	"repro/internal/vr"
+)
+
+func init() { register("fig3", Fig3) }
+
+// Fig3 regenerates Fig 3: off-chip VR efficiency as a function of output
+// current (0.1–10 A, log-spaced), output voltage (0.6/0.7/1.0/1.8 V), and
+// VR power state (PS0/PS1), at 7.2 V input.
+func Fig3(e *Env, w io.Writer) error {
+	b := vr.NewVinVR(e.Params.VINIccmax)
+	vouts := []float64{0.6, 0.7, 1.0, 1.8}
+	states := []vr.PowerState{vr.PS0, vr.PS1}
+
+	cols := []string{"Iout(A)"}
+	for _, ps := range states {
+		for _, vo := range vouts {
+			cols = append(cols, fmt.Sprintf("%s/Vout=%.1f", ps, vo))
+		}
+	}
+	t := report.NewTable("Fig 3: off-chip VR efficiency curves (Vin=7.2V)", cols...)
+
+	const n = 13
+	curve := vr.EfficiencyCurve(b, 7.2, 1.0, vr.PS0, 0.1, 10, n)
+	for _, pt := range curve.Points() {
+		row := []string{fmt.Sprintf("%.3g", pt.X)}
+		for _, ps := range states {
+			for _, vo := range vouts {
+				eta := b.Efficiency(vr.OperatingPoint{Vin: 7.2, Vout: vo, Iout: pt.X, State: ps})
+				row = append(row, report.Pct(eta))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.WriteASCII(w)
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/refmodel"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig4", Fig4)
+	register("fig4j", Fig4j)
+}
+
+// validatedPDNs are the three commonly-used PDNs the paper validates.
+var validatedPDNs = []pdn.Kind{pdn.IVR, pdn.MBVR, pdn.LDO}
+
+// Fig4 regenerates Fig 4(a–i): PDNspot-predicted versus reference-measured
+// ETEE for single-threaded, multi-threaded and graphics workloads at 4, 18
+// and 50 W TDP across the 40–80 % AR range, plus the per-model validation
+// accuracy summary (§4.3 reports 99.1/99.4/99.2 % average accuracy).
+func Fig4(e *Env, w io.Writer) error {
+	tdps := []float64{4, 18, 50}
+	ars := []float64{0.40, 0.50, 0.60, 0.70, 0.80}
+
+	accSum := map[pdn.Kind]float64{}
+	accMin := map[pdn.Kind]float64{}
+	accMax := map[pdn.Kind]float64{}
+	count := 0
+
+	for _, wt := range workload.Types() {
+		for _, tdp := range tdps {
+			t := report.NewTable(
+				fmt.Sprintf("Fig 4: %s - %sW (predicted vs measured ETEE)", wt, fmtTDP(tdp)),
+				"AR", "IVR pred", "IVR meas", "MBVR pred", "MBVR meas", "LDO pred", "LDO meas")
+			for _, ar := range ars {
+				s, err := workload.TDPScenario(e.Platform, tdp, wt, ar)
+				if err != nil {
+					return err
+				}
+				row := []string{report.Pct(ar)}
+				for _, k := range validatedPDNs {
+					m := e.Baselines[k]
+					pred, err := m.Evaluate(s)
+					if err != nil {
+						return err
+					}
+					cfg := refmodel.DefaultConfig()
+					cfg.Seed = int64(count) + 7
+					meas, err := refmodel.Measure(m, s, cfg)
+					if err != nil {
+						return err
+					}
+					acc := refmodel.Accuracy(pred.ETEE, meas.ETEE)
+					accSum[k] += acc
+					if accMin[k] == 0 || acc < accMin[k] {
+						accMin[k] = acc
+					}
+					if acc > accMax[k] {
+						accMax[k] = acc
+					}
+					row = append(row, report.Pct(pred.ETEE), report.Pct(meas.ETEE))
+				}
+				count++
+				t.AddRow(row...)
+			}
+			if err := t.WriteASCII(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	sum := report.NewTable("Fig 4 validation accuracy summary",
+		"PDN", "avg", "min", "max")
+	for _, k := range validatedPDNs {
+		n := float64(count)
+		sum.AddRow(k.String(), report.Pct(accSum[k]/n), report.Pct(accMin[k]), report.Pct(accMax[k]))
+	}
+	return sum.WriteASCII(w)
+}
+
+// Fig4j regenerates Fig 4(j): ETEE of the three PDNs in the battery-life
+// power states (C0MIN and package C2/C3/C6/C7/C8).
+func Fig4j(e *Env, w io.Writer) error {
+	t := report.NewTable("Fig 4(j): ETEE in battery-life power states",
+		"State", "IVR", "MBVR", "LDO")
+	states := append([]domain.CState{domain.C0MIN}, domain.IdleCStates()...)
+	for _, c := range states {
+		s := workload.CStateScenario(e.Platform, c)
+		row := []string{c.String()}
+		for _, k := range validatedPDNs {
+			r, err := e.Baselines[k].Evaluate(s)
+			if err != nil {
+				return err
+			}
+			row = append(row, report.Pct(r.ETEE))
+		}
+		t.AddRow(row...)
+	}
+	return t.WriteASCII(w)
+}

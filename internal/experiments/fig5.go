@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/pdn"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() { register("fig5", Fig5) }
+
+// Fig5 regenerates Fig 5: the breakdown of PDN power-conversion loss for
+// the three commonly-used PDNs running a CPU-intensive workload (AR = 56 %)
+// at 4, 18 and 50 W TDP, as percentages of total input power, plus the
+// normalized (to IVR) chip input current and compute load-line impedance
+// line plots.
+func Fig5(e *Env, w io.Writer) error {
+	const ar = 0.56
+	t := report.NewTable("Fig 5: PDN loss breakdown, CPU-intensive (AR=56%)",
+		"PDN", "TDP", "VR ineff", "I2R core+GFX", "I2R SA+IO", "Others", "TotalLoss", "I_norm", "RLL_norm")
+	for _, k := range validatedPDNs {
+		for _, tdp := range []float64{4, 18, 50} {
+			s, err := workload.TDPScenario(e.Platform, tdp, workload.MultiThread, ar)
+			if err != nil {
+				return err
+			}
+			r, err := e.Baselines[k].Evaluate(s)
+			if err != nil {
+				return err
+			}
+			ivrRes, err := e.Baselines[pdn.IVR].Evaluate(s)
+			if err != nil {
+				return err
+			}
+			b := r.Breakdown
+			vrLoss := b.OnChipVR + b.OffChipVR
+			others := b.Guardband + b.PowerGate
+			t.AddRow(k.String(), fmtTDP(tdp),
+				report.Pct(vrLoss/r.PIn),
+				report.Pct(b.CondCompute/r.PIn),
+				report.Pct(b.CondUncore/r.PIn),
+				report.Pct(others/r.PIn),
+				report.Pct((r.PIn-r.PNomTotal)/r.PIn),
+				fmt.Sprintf("%.2fx", r.ChipInputCurrent/ivrRes.ChipInputCurrent),
+				fmt.Sprintf("%.2fx", r.ComputeRailR/ivrRes.ComputeRailR))
+		}
+	}
+	return t.WriteASCII(w)
+}
+
+// fmtTDP renders a TDP value without trailing zeros.
+func fmtTDP(tdp float64) string { return fmt.Sprintf("%g", tdp) }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/pdn"
+	"repro/internal/perf"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() { register("fig7", Fig7) }
+
+// perfOrder is the PDN column order of Fig 7 / Fig 8(a,b).
+var perfOrder = []pdn.Kind{pdn.IVR, pdn.MBVR, pdn.LDO, pdn.IMBVR, pdn.FlexWatts}
+
+// Fig7 regenerates Fig 7: per-benchmark SPEC CPU2006 performance at 4 W TDP
+// for the five PDNs, normalized to IVR, sorted ascending by each
+// benchmark's performance scalability (the suite is already in that order).
+// The paper's headline: MBVR/LDO/FlexWatts average >22 % over IVR.
+func Fig7(e *Env, w io.Writer) error {
+	const tdp = 4.0
+	ev := perf.NewEvaluator(e.Platform, e.Baselines[pdn.IVR])
+	candidates := e.AllModels(tdp)[1:] // all but the IVR baseline
+
+	t := report.NewTable("Fig 7: SPEC CPU2006 normalized performance at 4W TDP",
+		"Benchmark", "Scal", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+	suite := workload.SPECCPU2006()
+	sums := map[pdn.Kind]float64{}
+	for _, bench := range suite.Workloads {
+		res, err := ev.Compare(tdp, bench, candidates)
+		if err != nil {
+			return err
+		}
+		row := []string{bench.Name, report.F2(bench.Scalability)}
+		for _, k := range perfOrder {
+			row = append(row, report.Pct(res[k].Relative))
+			sums[k] += res[k].Relative
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(suite.Workloads))
+	avg := []string{"Average", report.F2(suite.MeanScalability())}
+	for _, k := range perfOrder {
+		avg = append(avg, report.Pct(sums[k]/n))
+	}
+	t.AddRow(avg...)
+	return t.WriteASCII(w)
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func init() { register("noise", Noise) }
+
+// Noise regenerates the §6 voltage-noise argument for the C6-based mode
+// switch flow: the worst-case compute-rail droop if the hybrid PDN switched
+// modes live under load, versus through package C6, across TDPs. A droop
+// beyond the tolerance band is a voltage emergency.
+func Noise(e *Env, w io.Writer) error {
+	p := core.DefaultNoiseParams()
+	t := report.NewTable("§6: mode-switch voltage droop (tolerance band "+
+		units.FormatVolt(p.Tolerance)+")",
+		"TDP", "Workload", "live droop", "live emergency", "C6 droop", "C6 emergency")
+	for _, tdp := range []float64{4, 18, 50} {
+		for _, wt := range workload.Types() {
+			s, err := workload.TDPScenario(e.Platform, tdp, wt, 0.6)
+			if err != nil {
+				return err
+			}
+			live := core.ModeSwitchNoise(s, p, false)
+			parked := core.ModeSwitchNoise(s, p, true)
+			t.AddRow(fmtTDP(tdp), wt.String(),
+				units.FormatVolt(live.Excursion), boolCell(live.Emergency),
+				units.FormatVolt(parked.Excursion), boolCell(parked.Emergency))
+		}
+	}
+	return t.WriteASCII(w)
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "YES"
+	}
+	return "no"
+}

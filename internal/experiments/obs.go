@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/pdn"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("obs", Observations)
+	register("tab1", Table1)
+	register("tab2", Table2)
+}
+
+// Observations regenerates the §5 crossover analysis: for each workload
+// type and AR, the TDP at which the IVR PDN's ETEE overtakes MBVR's and
+// LDO's (Observation 1 puts it between 4 W and 50 W; Observation 2 puts the
+// graphics/LDO crossover around 21 W).
+func Observations(e *Env, w io.Writer) error {
+	t := report.NewTable("Observation 1/2: IVR ETEE crossover TDP (W)",
+		"Workload", "AR", "vs MBVR", "vs LDO")
+	for _, wt := range workload.Types() {
+		for _, ar := range []float64{0.4, 0.6, 0.8} {
+			row := []string{wt.String(), report.Pct(ar)}
+			for _, other := range []pdn.Kind{pdn.MBVR, pdn.LDO} {
+				row = append(row, crossover(e, wt, ar, other))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t.WriteASCII(w)
+}
+
+// crossover scans the TDP range for the point where IVR's ETEE first
+// exceeds the other PDN's.
+func crossover(e *Env, wt workload.Type, ar float64, other pdn.Kind) string {
+	prev := ""
+	for tdp := 4.0; tdp <= 50.0; tdp += 1.0 {
+		s, err := workload.TDPScenario(e.Platform, tdp, wt, ar)
+		if err != nil {
+			return "err"
+		}
+		ri, err := e.Baselines[pdn.IVR].Evaluate(s)
+		if err != nil {
+			return "err"
+		}
+		ro, err := e.Baselines[other].Evaluate(s)
+		if err != nil {
+			return "err"
+		}
+		if ri.ETEE >= ro.ETEE {
+			if tdp == 4.0 {
+				return "<4"
+			}
+			return fmtTDP(tdp)
+		}
+		prev = ">" + fmtTDP(tdp)
+	}
+	return prev
+}
+
+// Table1 dumps the modeled processor architecture (paper Table 1).
+func Table1(e *Env, w io.Writer) error {
+	t := report.NewTable("Table 1: processor architecture summary", "Domain", "Description")
+	t.AddRow("Core 0/1", "shared clock domain, 0.8-4.0 GHz in 100 MHz steps")
+	t.AddRow("GFX", "graphics engines, 0.1-1.2 GHz in 50 MHz steps")
+	t.AddRow("LLC", "last-level cache, clocked with cores, 0.5-4 W")
+	t.AddRow("SA", "system agent: memory/display controllers, fixed frequency")
+	t.AddRow("IO", "DDR/display IO, fixed frequency")
+	return t.WriteASCII(w)
+}
+
+// Table2 dumps the PDNspot model parameters (paper Table 2).
+func Table2(e *Env, w io.Writer) error {
+	p := e.Params
+	t := report.NewTable("Table 2: main PDNspot parameters", "Parameter", "IVR", "MBVR", "LDO")
+	t.AddRow("Load-line RLL (mOhm)",
+		report.F2(p.IVRInLL*1e3)+" (IN)",
+		report.F2(p.CoresLL*1e3)+"/"+report.F2(p.GfxLL*1e3)+"/"+report.F2(p.SALL*1e3)+"/"+report.F2(p.IOLL*1e3)+" (Cores/GFX/SA/IO)",
+		report.F2(p.LDOInLL*1e3)+" (IN) "+report.F2(p.SALL*1e3)+"/"+report.F2(p.IOLL*1e3)+" (SA/IO)")
+	t.AddRow("Tolerance band (mV)",
+		report.F2(p.TOBIVR*1e3), report.F2(p.TOBMBVR*1e3), report.F2(p.TOBLDO*1e3))
+	t.AddRow("PG impedance (mOhm)", report.F2(p.RPG*1e3), report.F2(p.RPG*1e3), report.F2(p.RPG*1e3))
+	t.AddRow("PSU voltage (V)", report.F2(p.PSU), report.F2(p.PSU), report.F2(p.PSU))
+	t.AddRow("V_IN level (V)", report.F2(p.VINLevel), "-", "max domain voltage")
+	return t.WriteASCII(w)
+}

@@ -1,0 +1,106 @@
+// Package loadline implements the voltage-guardband and load-line arithmetic
+// shared by every PDN model in PDNspot (paper §3.1, Equations 2–4 and 7–8).
+//
+// Three effects inflate a domain's nominal power on the way to the power
+// supply:
+//
+//  1. Tolerance-band guardband (Eq. 2): the supply is kept VTOB above the
+//     nominal voltage to cover controller tolerance, current-sense variation
+//     and ripple. Dynamic power scales with the square of the voltage ratio,
+//     leakage with the validated δ ≈ 2.8 power.
+//  2. Power-gate drop: conducting power gates add a series drop VPG = RPG·I
+//     that must also be compensated by raising the supply (same Eq. 2 form).
+//  3. Load-line (Eq. 3/4 and 7/8): the board/package impedance RLL drops
+//     voltage proportionally to current, and the guardband must cover the
+//     *worst-case* current — the power-virus workload (AR = 1) — so the VR
+//     output is raised by (Ppeak/V)·RLL where Ppeak = P/AR.
+package loadline
+
+import (
+	"math"
+
+	"repro/internal/domain"
+	"repro/internal/units"
+)
+
+// GuardbandScale returns the factor by which a domain's power grows when its
+// supply voltage rises from vnom to vnom+vgb (Eq. 2): the leakage fraction
+// fl scales polynomially with exponent δ = 2.8, the dynamic remainder
+// quadratically.
+func GuardbandScale(vnom, vgb units.Volt, fl float64) float64 {
+	units.CheckPositive("vnom", vnom)
+	units.CheckNonNegative("vgb", vgb)
+	units.CheckFraction("fl", fl)
+	ratio := (vnom + vgb) / vnom
+	return fl*math.Pow(ratio, domain.LeakVoltageExp) + (1-fl)*ratio*ratio
+}
+
+// ApplyGuardband returns PGB, the power after raising the supply by vgb
+// above vnom (Eq. 2).
+func ApplyGuardband(pnom units.Watt, vnom, vgb units.Volt, fl float64) units.Watt {
+	units.CheckNonNegative("pnom", pnom)
+	if pnom == 0 {
+		return 0
+	}
+	return pnom * GuardbandScale(vnom, vgb, fl)
+}
+
+// PowerGateDrop returns the voltage drop across a conducting power gate of
+// impedance rpg carrying the domain's worst-case current at supply voltage
+// v: the current guardband again assumes the power virus (p/ar at voltage v).
+func PowerGateDrop(p units.Watt, ar float64, v units.Volt, rpg units.Ohm) units.Volt {
+	if p == 0 {
+		return 0
+	}
+	units.CheckPositive("v", v)
+	units.CheckPositive("ar", ar)
+	ipeak := p / ar / v
+	return rpg * ipeak
+}
+
+// ApplyPowerGate returns PPG: the power after compensating the power-gate
+// drop, computed with the Eq. 2 form using (VPG, PGB, vgb+vnom) in place of
+// (VGB, PNOM, VNOM) as §3.1 describes.
+func ApplyPowerGate(pgb units.Watt, vSupply units.Volt, ar, fl float64, rpg units.Ohm) units.Watt {
+	if pgb == 0 {
+		return 0
+	}
+	vpg := PowerGateDrop(pgb, ar, vSupply, rpg)
+	return ApplyGuardband(pgb, vSupply, vpg, fl)
+}
+
+// Result carries the outputs of a load-line compensation step.
+type Result struct {
+	// V is the raised VR output voltage VD_LL (Eq. 3 / Eq. 7).
+	V units.Volt
+	// P is the power drawn from the VR output PD_LL (Eq. 4 / Eq. 8).
+	P units.Watt
+	// I is the average current through the load-line at the raised voltage.
+	I units.Amp
+	// Loss is the extra power paid for the compensation (P − Pin).
+	Loss units.Watt
+}
+
+// Compensate applies Equations 3/4 (identically 7/8) to a group of domains
+// that share a VR rail: given the group's power p at nominal rail voltage v,
+// the group application ratio ar (peak power is p/ar), and the rail
+// impedance rll, it returns the raised voltage, the power at the VR output,
+// and the implied average current.
+func Compensate(p units.Watt, v units.Volt, ar float64, rll units.Ohm) Result {
+	units.CheckNonNegative("p", p)
+	if p == 0 {
+		return Result{V: v}
+	}
+	units.CheckPositive("v", v)
+	units.CheckPositive("ar", ar)
+	units.CheckNonNegative("rll", rll)
+	ppeak := p / ar
+	vll := v + ppeak/v*rll // Eq. 3 / Eq. 7
+	pll := vll * p / v     // Eq. 4 / Eq. 8
+	return Result{
+		V:    vll,
+		P:    pll,
+		I:    p / v, // ID = PD/VD; the same current flows at the raised voltage
+		Loss: pll - p,
+	}
+}

@@ -1,0 +1,289 @@
+package pdn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/units"
+	"repro/internal/vr"
+)
+
+// ErrNoLoad is returned when a scenario has no active domain at all.
+var ErrNoLoad = errors.New("pdn: scenario has no active load")
+
+// Validate checks scenario invariants shared by all models.
+func Validate(s Scenario) error {
+	if s.PSU <= 0 {
+		return fmt.Errorf("pdn: PSU voltage must be positive, got %g", s.PSU)
+	}
+	active := false
+	for k, l := range s.Loads {
+		if l.PNom < 0 {
+			return fmt.Errorf("pdn: %v has negative power %g", k, l.PNom)
+		}
+		if !l.Active() {
+			continue
+		}
+		active = true
+		if l.VNom <= 0 {
+			return fmt.Errorf("pdn: %v active with non-positive voltage %g", k, l.VNom)
+		}
+		if !(l.AR > 0 && l.AR <= 1) {
+			return fmt.Errorf("pdn: %v has AR %g outside (0,1]", k, l.AR)
+		}
+		if !(l.FL >= 0 && l.FL <= 1) {
+			return fmt.Errorf("pdn: %v has FL %g outside [0,1]", k, l.FL)
+		}
+	}
+	if !active {
+		return ErrNoLoad
+	}
+	return nil
+}
+
+// Finish assembles a Result from accumulated parts, computing ETEE and the
+// total chip input current.
+func Finish(kind Kind, s Scenario, pin units.Watt, bd Breakdown, rails []RailDraw, railR units.Ohm) Result {
+	pnom := s.TotalNominal()
+	var iin units.Amp
+	for _, r := range rails {
+		iin += r.Current
+	}
+	return Result{
+		PDN:              kind,
+		PNomTotal:        pnom,
+		PIn:              pin,
+		ETEE:             pnom / pin,
+		Breakdown:        bd,
+		ChipInputCurrent: iin,
+		ComputeRailR:     railR,
+		Rails:            rails,
+	}
+}
+
+// IVRModel is the integrated-VR PDN (Fig 1(a)): one off-chip V_IN VR at
+// 1.8 V feeding six on-die IVRs, one per domain.
+type IVRModel struct {
+	params Params
+	ivr    *vr.Buck
+	vin    *vr.Buck
+}
+
+// NewIVRModel constructs the IVR PDN with the given parameters.
+func NewIVRModel(p Params) *IVRModel {
+	return &IVRModel{
+		params: p,
+		ivr:    vr.NewIVR("IVR", p.IVRIccmax),
+		vin:    vr.NewVinVR(p.VINIccmax),
+	}
+}
+
+// Kind implements Model.
+func (m *IVRModel) Kind() Kind { return IVR }
+
+// Evaluate implements Model, following Eq. 2, 6, 7, 8, 9.
+func (m *IVRModel) Evaluate(s Scenario) (Result, error) {
+	if err := Validate(s); err != nil {
+		return Result{}, err
+	}
+	p := m.params
+	all := make([]Load, 0, 6)
+	var computeP units.Watt
+	for _, k := range domain.Kinds() {
+		l := s.LoadFor(k)
+		all = append(all, l)
+		if k.IsCompute() {
+			computeP += l.PNom
+		}
+	}
+	st := IVRStage(all, m.ivr, p.TOBIVR, p.VINLevel, s.CState)
+	share := 1.0
+	if total := s.TotalNominal(); total > 0 {
+		share = computeP / total
+	}
+	rail := VinRail(m.vin, st, p.VINLevel, p.IVRInLL, s.PSU, s.CState, share)
+	bd := st.Breakdown
+	bd.Add(rail.Breakdown)
+	return Finish(IVR, s, rail.PIn, bd, []RailDraw{rail.Rail}, p.IVRInLL), nil
+}
+
+// MBVRModel is the motherboard-VR PDN (Fig 1(b)): four one-stage board VRs
+// (V_Cores for Core0/Core1, V_GFX for GFX and the LLC, V_SA, V_IO) and six
+// on-chip power gates. The LLC shares the graphics rail: for CPU workloads
+// its voltage matches the cores anyway (§7.1), while for graphics workloads
+// it runs at graphics-class voltage, so pairing it with V_GFX avoids
+// over-volting the (low-voltage) cores.
+type MBVRModel struct {
+	params Params
+	cores  *vr.Buck
+	gfx    *vr.Buck
+	sa     *vr.Buck
+	io     *vr.Buck
+}
+
+// NewMBVRModel constructs the MBVR PDN.
+func NewMBVRModel(p Params) *MBVRModel {
+	return &MBVRModel{
+		params: p,
+		cores:  vr.NewBoardVR("V_Cores", p.CoresIccmax),
+		gfx:    vr.NewBoardVR("V_GFX", p.GfxIccmax),
+		sa:     vr.NewSmallRailVR("V_SA", p.SAIccmax),
+		io:     vr.NewSmallRailVR("V_IO", p.IOIccmax),
+	}
+}
+
+// Kind implements Model.
+func (m *MBVRModel) Kind() Kind { return MBVR }
+
+// Evaluate implements Model, following Eq. 2–5 per rail.
+func (m *MBVRModel) Evaluate(s Scenario) (Result, error) {
+	if err := Validate(s); err != nil {
+		return Result{}, err
+	}
+	p := m.params
+	groups := []struct {
+		vr      *vr.Buck
+		loads   []Load
+		rll     units.Ohm
+		compute bool
+	}{
+		{m.cores, []Load{s.LoadFor(domain.Core0), s.LoadFor(domain.Core1)}, p.CoresLL, true},
+		{m.gfx, []Load{s.LoadFor(domain.GFX), s.LoadFor(domain.LLC)}, p.GfxLL, true},
+		{m.sa, []Load{s.LoadFor(domain.SA)}, p.SALL, false},
+		{m.io, []Load{s.LoadFor(domain.IO)}, p.IOLL, false},
+	}
+	var pin units.Watt
+	var bd Breakdown
+	rails := make([]RailDraw, 0, len(groups))
+	for _, g := range groups {
+		out := BoardRail(g.vr, g.loads, p.TOBMBVR, p.RPG, g.rll, s.PSU, s.CState, g.compute)
+		pin += out.PIn
+		bd.Add(out.Breakdown)
+		rails = append(rails, out.Rail)
+	}
+	return Finish(MBVR, s, pin, bd, rails, p.CoresLL), nil
+}
+
+// LDOModel is the LDO PDN (Fig 1(c), AMD Zen style): compute domains behind
+// on-chip LDOs fed from a shared V_IN VR set to the maximum compute voltage;
+// SA and IO on dedicated one-stage board VRs with power gates.
+type LDOModel struct {
+	params Params
+	ldo    *vr.LDO
+	vin    *vr.Buck
+	sa     *vr.Buck
+	io     *vr.Buck
+}
+
+// NewLDOModel constructs the LDO PDN.
+func NewLDOModel(p Params) *LDOModel {
+	return &LDOModel{
+		params: p,
+		ldo:    vr.NewPlatformLDO("LDO", p.IVRIccmax),
+		vin:    vr.NewVinVR(p.VINIccmax),
+		sa:     vr.NewSmallRailVR("V_SA", p.SAIccmax),
+		io:     vr.NewSmallRailVR("V_IO", p.IOIccmax),
+	}
+}
+
+// Kind implements Model.
+func (m *LDOModel) Kind() Kind { return LDO }
+
+// Evaluate implements Model, following Eq. 2, 10, 11, 7, 8, 12.
+func (m *LDOModel) Evaluate(s Scenario) (Result, error) {
+	if err := Validate(s); err != nil {
+		return Result{}, err
+	}
+	p := m.params
+	compute := []Load{s.LoadFor(domain.Core0), s.LoadFor(domain.Core1), s.LoadFor(domain.LLC), s.LoadFor(domain.GFX)}
+	vinLevel, st := LDOStage(compute, m.ldo, p.TOBLDO)
+
+	var pin units.Watt
+	var bd Breakdown
+	rails := make([]RailDraw, 0, 3)
+	if st.PIn > 0 {
+		rail := VinRail(m.vin, st, vinLevel, p.LDOInLL, s.PSU, s.CState, 1)
+		pin += rail.PIn
+		bd.Add(st.Breakdown)
+		bd.Add(rail.Breakdown)
+		rails = append(rails, rail.Rail)
+	}
+	saOut := BoardRail(m.sa, []Load{s.LoadFor(domain.SA)}, p.TOBLDO, p.RPG, p.SALL, s.PSU, s.CState, false)
+	ioOut := BoardRail(m.io, []Load{s.LoadFor(domain.IO)}, p.TOBLDO, p.RPG, p.IOLL, s.PSU, s.CState, false)
+	pin += saOut.PIn + ioOut.PIn
+	bd.Add(saOut.Breakdown)
+	bd.Add(ioOut.Breakdown)
+	rails = append(rails, saOut.Rail, ioOut.Rail)
+	return Finish(LDO, s, pin, bd, rails, p.LDOInLL), nil
+}
+
+// IMBVRModel is the Skylake-X style hybrid (§7): compute domains behind
+// IVRs on the 1.8 V V_IN rail (as in the IVR PDN) while SA and IO sit on
+// dedicated one-stage board VRs (as in the MBVR PDN).
+type IMBVRModel struct {
+	params Params
+	ivr    *vr.Buck
+	vin    *vr.Buck
+	sa     *vr.Buck
+	io     *vr.Buck
+}
+
+// NewIMBVRModel constructs the I+MBVR PDN.
+func NewIMBVRModel(p Params) *IMBVRModel {
+	return &IMBVRModel{
+		params: p,
+		ivr:    vr.NewIVR("IVR", p.IVRIccmax),
+		vin:    vr.NewVinVR(p.VINIccmax),
+		sa:     vr.NewSmallRailVR("V_SA", p.SAIccmax),
+		io:     vr.NewSmallRailVR("V_IO", p.IOIccmax),
+	}
+}
+
+// Kind implements Model.
+func (m *IMBVRModel) Kind() Kind { return IMBVR }
+
+// Evaluate implements Model.
+func (m *IMBVRModel) Evaluate(s Scenario) (Result, error) {
+	if err := Validate(s); err != nil {
+		return Result{}, err
+	}
+	p := m.params
+	compute := []Load{s.LoadFor(domain.Core0), s.LoadFor(domain.Core1), s.LoadFor(domain.LLC), s.LoadFor(domain.GFX)}
+	st := IVRStage(compute, m.ivr, p.TOBIVR, p.VINLevel, s.CState)
+
+	var pin units.Watt
+	var bd Breakdown
+	rails := make([]RailDraw, 0, 3)
+	if st.PIn > 0 {
+		rail := VinRail(m.vin, st, p.VINLevel, p.IVRInLL, s.PSU, s.CState, 1)
+		pin += rail.PIn
+		bd.Add(st.Breakdown)
+		bd.Add(rail.Breakdown)
+		rails = append(rails, rail.Rail)
+	}
+	saOut := BoardRail(m.sa, []Load{s.LoadFor(domain.SA)}, p.TOBMBVR, p.RPG, p.SALL, s.PSU, s.CState, false)
+	ioOut := BoardRail(m.io, []Load{s.LoadFor(domain.IO)}, p.TOBMBVR, p.RPG, p.IOLL, s.PSU, s.CState, false)
+	pin += saOut.PIn + ioOut.PIn
+	bd.Add(saOut.Breakdown)
+	bd.Add(ioOut.Breakdown)
+	rails = append(rails, saOut.Rail, ioOut.Rail)
+	return Finish(IMBVR, s, pin, bd, rails, p.IVRInLL), nil
+}
+
+// New constructs a baseline model of the given kind (not FlexWatts, which
+// lives in internal/core).
+func New(k Kind, p Params) (Model, error) {
+	switch k {
+	case IVR:
+		return NewIVRModel(p), nil
+	case MBVR:
+		return NewMBVRModel(p), nil
+	case LDO:
+		return NewLDOModel(p), nil
+	case IMBVR:
+		return NewIMBVRModel(p), nil
+	default:
+		return nil, fmt.Errorf("pdn: no baseline model for %v", k)
+	}
+}

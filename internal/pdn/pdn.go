@@ -1,0 +1,228 @@
+// Package pdn implements PDNspot's end-to-end power-conversion-efficiency
+// (ETEE) models for the three commonly-used client PDNs — MBVR, IVR and LDO
+// (paper §3.1, Fig 1) — plus the Skylake-X style I+MBVR hybrid used as an
+// additional baseline in §7.
+//
+// Every model maps a set of per-domain loads (nominal power, nominal
+// voltage, leakage fraction, application ratio) to the power drawn from the
+// battery/PSU, accounting for, in order: tolerance-band guardband (Eq. 2),
+// power-gate drops, rail-sharing voltage overhead, on-chip VR losses
+// (Eq. 6/10/11), load-line compensation (Eq. 3/4/7/8) and off-chip VR losses
+// (Eq. 5/9/12). The per-category loss breakdown reproduces Fig 5.
+package pdn
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/units"
+	"repro/internal/vr"
+)
+
+// Kind identifies a PDN architecture.
+type Kind int
+
+// The PDN architectures evaluated in the paper.
+const (
+	IVR Kind = iota
+	MBVR
+	LDO
+	IMBVR
+	FlexWatts
+)
+
+// Kinds lists the four baseline PDNs implemented by this package (FlexWatts
+// itself lives in internal/core, built from the same stages).
+func Kinds() []Kind { return []Kind{IVR, MBVR, LDO, IMBVR} }
+
+// AllKinds lists every PDN including FlexWatts, in the paper's plotting
+// order.
+func AllKinds() []Kind { return []Kind{IVR, MBVR, LDO, IMBVR, FlexWatts} }
+
+// String returns the paper's name for the PDN.
+func (k Kind) String() string {
+	switch k {
+	case IVR:
+		return "IVR"
+	case MBVR:
+		return "MBVR"
+	case LDO:
+		return "LDO"
+	case IMBVR:
+		return "I+MBVR"
+	case FlexWatts:
+		return "FlexWatts"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Load is one domain's electrical operating point for an evaluation
+// interval: the inputs PDNspot's models consume (paper Table 2 and Fig 1).
+type Load struct {
+	Kind domain.Kind
+	// PNom is the domain's nominal power (PNOM in Fig 1); zero means the
+	// domain is idle and power-gated.
+	PNom units.Watt
+	// VNom is the nominal supply voltage the domain requires.
+	VNom units.Volt
+	// FL is the leakage fraction at the operating point (Table 2: 20–45 %).
+	FL float64
+	// AR is the domain's application ratio; the worst-case (power-virus)
+	// power used for guardbands is PNom/AR (§2.4).
+	AR float64
+}
+
+// Active reports whether the domain draws power.
+func (l Load) Active() bool { return l.PNom > 0 }
+
+// Scenario is a complete evaluation point: the six domain loads plus the
+// package power state (which selects VR power states) and the power-supply
+// voltage.
+type Scenario struct {
+	Loads  map[domain.Kind]Load
+	CState domain.CState
+	PSU    units.Volt
+}
+
+// NewScenario returns a scenario with the default 7.2 V supply (the battery
+// voltage used for Fig 3) in package state C0.
+func NewScenario() Scenario {
+	return Scenario{Loads: make(map[domain.Kind]Load, 6), CState: domain.C0, PSU: 7.2}
+}
+
+// TotalNominal returns ΣPNOM across all domains, the numerator of ETEE.
+func (s Scenario) TotalNominal() units.Watt {
+	var sum units.Watt
+	for _, l := range s.Loads {
+		sum += l.PNom
+	}
+	return sum
+}
+
+// LoadFor returns the load for kind k (zero value if absent).
+func (s Scenario) LoadFor(k domain.Kind) Load {
+	l := s.Loads[k]
+	l.Kind = k
+	return l
+}
+
+// Breakdown splits the total conversion loss into the categories of Fig 5.
+type Breakdown struct {
+	// Guardband is the power paid for tolerance-band voltage margin and
+	// rail-sharing voltage overhead ("Others" in Fig 5, together with
+	// PowerGate).
+	Guardband units.Watt
+	// PowerGate is the power paid for conducting power-gate drops.
+	PowerGate units.Watt
+	// OnChipVR is the on-chip VR (IVR or LDO) conversion loss.
+	OnChipVR units.Watt
+	// OffChipVR is the motherboard VR conversion loss.
+	OffChipVR units.Watt
+	// CondCompute is the I²R load-line loss on the core/GFX/LLC path.
+	CondCompute units.Watt
+	// CondUncore is the I²R load-line loss on the SA/IO path.
+	CondUncore units.Watt
+}
+
+// Total returns the sum of all loss categories.
+func (b Breakdown) Total() units.Watt {
+	return b.Guardband + b.PowerGate + b.OnChipVR + b.OffChipVR + b.CondCompute + b.CondUncore
+}
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Guardband += o.Guardband
+	b.PowerGate += o.PowerGate
+	b.OnChipVR += o.OnChipVR
+	b.OffChipVR += o.OffChipVR
+	b.CondCompute += o.CondCompute
+	b.CondUncore += o.CondUncore
+}
+
+// RailDraw describes the electrical demand seen by one off-chip VR, used by
+// the cost model to size parts (Iccmax, §3.2).
+type RailDraw struct {
+	Name    string
+	VOut    units.Volt
+	Current units.Amp // average current at the evaluated point
+	Peak    units.Amp // worst-case (power-virus) current
+}
+
+// Result is the outcome of evaluating a PDN model on a scenario.
+type Result struct {
+	PDN Kind
+	// PNomTotal is ΣPNOM (the PDN output power).
+	PNomTotal units.Watt
+	// PIn is the power drawn from the battery/PSU (PIVR/PMBVR/PLDO).
+	PIn units.Watt
+	// ETEE = PNomTotal / PIn (§2.4).
+	ETEE float64
+	// Breakdown categorizes the conversion losses (Fig 5).
+	Breakdown Breakdown
+	// ChipInputCurrent is the total current entering the package from
+	// off-chip VRs (the line plot of Fig 5).
+	ChipInputCurrent units.Amp
+	// ComputeRailR is the effective load-line impedance of the compute
+	// power path (the second line plot of Fig 5).
+	ComputeRailR units.Ohm
+	// Rails lists per-off-chip-VR demands for the cost model.
+	Rails []RailDraw
+}
+
+// Model is a PDN architecture's ETEE model.
+type Model interface {
+	// Kind identifies the architecture.
+	Kind() Kind
+	// Evaluate computes the end-to-end power flow for a scenario.
+	Evaluate(s Scenario) (Result, error)
+}
+
+// VRStateFor maps a package power state to the VR power state the platform's
+// power-management firmware would program (§4.2 notes V_IN supports PS0, PS1,
+// PS3 and PS4): active states let the VR's light-load controller decide from
+// current, shallow package idle runs PS1, deep idle PS3/PS4.
+func VRStateFor(c domain.CState, iout units.Amp) vr.PowerState {
+	switch c {
+	case domain.C0, domain.C0MIN:
+		return vr.AutoState(iout)
+	case domain.C2, domain.C3:
+		return vr.PS1
+	case domain.C6, domain.C7:
+		return vr.PS3
+	default: // C8 and deeper
+		return vr.PS4
+	}
+}
+
+// groupAR returns the effective application ratio of a set of loads sharing
+// one rail: the ratio of their summed power to their summed worst-case
+// (virus) power, so that Ppeak_group = Σ P_i/AR_i.
+func groupAR(loads []Load) float64 {
+	var p, ppeak units.Watt
+	for _, l := range loads {
+		if !l.Active() {
+			continue
+		}
+		p += l.PNom
+		ppeak += l.PNom / l.AR
+	}
+	if ppeak == 0 {
+		return 1
+	}
+	return p / ppeak
+}
+
+// offChipInput runs an off-chip buck VR stage: given power p delivered at
+// rail voltage vout, it returns the input power drawn from the PSU and the
+// conversion loss, selecting the VR power state per the package state.
+func offChipInput(b *vr.Buck, psu, vout units.Volt, p units.Watt, c domain.CState) (pin, loss units.Watt) {
+	if p == 0 {
+		return 0, 0
+	}
+	iout := p / vout
+	state := VRStateFor(c, iout)
+	eta := b.Efficiency(vr.OperatingPoint{Vin: psu, Vout: vout, Iout: iout, State: state})
+	pin = p / eta
+	return pin, pin - p
+}

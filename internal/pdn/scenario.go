@@ -1,0 +1,110 @@
+package pdn
+
+import (
+	"repro/internal/domain"
+	"repro/internal/units"
+)
+
+// OperatingPoint describes a platform-level operating condition from which a
+// PDN evaluation scenario is derived: per-domain frequencies and application
+// ratios, the package power state, and the junction temperature.
+type OperatingPoint struct {
+	CState domain.CState
+	Tj     float64 // °C
+
+	// ActiveCores is how many CPU cores execute (0–2); single-threaded
+	// workloads power-gate the second core.
+	ActiveCores int
+	CoreFreq    units.Hertz
+	CoreAR      float64
+
+	// GfxActive powers the graphics engines.
+	GfxActive bool
+	GfxFreq   units.Hertz
+	GfxAR     float64
+
+	// LLCFreq may exceed CoreFreq for graphics workloads (§7.1: "the LLC
+	// domain operates at a higher frequency and higher voltage than the CPU
+	// domain"); zero means "track the core clock".
+	LLCFreq units.Hertz
+	LLCAR   float64
+
+	// UncoreAR is the application ratio of the SA/IO domains (their power
+	// is narrow, so the default 0.8 is used when zero).
+	UncoreAR float64
+}
+
+// BuildScenario turns an operating point into the per-domain loads the PDN
+// models consume, evaluating the platform's power model (nominal power,
+// voltage, leakage fraction) for each domain.
+func BuildScenario(plat *domain.Platform, op OperatingPoint) Scenario {
+	s := NewScenario()
+	s.CState = op.CState
+
+	uncoreAR := op.UncoreAR
+	if uncoreAR == 0 {
+		uncoreAR = 0.8
+	}
+
+	if op.CState.ComputeActive() {
+		if op.ActiveCores > 0 {
+			core := plat.Domain(domain.Core0)
+			f := core.ClampFreq(op.CoreFreq)
+			v := core.VoltageAt(f)
+			p := core.Power(f, op.CoreAR, op.Tj)
+			fl := core.LeakFraction(f, op.CoreAR, op.Tj)
+			s.Loads[domain.Core0] = Load{Kind: domain.Core0, PNom: p, VNom: v, FL: fl, AR: op.CoreAR}
+			if op.ActiveCores > 1 {
+				s.Loads[domain.Core1] = Load{Kind: domain.Core1, PNom: p, VNom: v, FL: fl, AR: op.CoreAR}
+			}
+		}
+		if op.ActiveCores > 0 || op.GfxActive {
+			llc := plat.Domain(domain.LLC)
+			lf := op.LLCFreq
+			if lf == 0 {
+				lf = op.CoreFreq
+			}
+			lar := op.LLCAR
+			if lar == 0 {
+				lar = 0.5
+			}
+			f := llc.ClampFreq(lf)
+			s.Loads[domain.LLC] = Load{
+				Kind: domain.LLC,
+				PNom: llc.Power(f, lar, op.Tj),
+				VNom: llc.VoltageAt(f),
+				FL:   llc.LeakFraction(f, lar, op.Tj),
+				AR:   lar,
+			}
+		}
+		if op.GfxActive {
+			gfx := plat.Domain(domain.GFX)
+			f := gfx.ClampFreq(op.GfxFreq)
+			s.Loads[domain.GFX] = Load{
+				Kind: domain.GFX,
+				PNom: gfx.Power(f, op.GfxAR, op.Tj),
+				VNom: gfx.VoltageAt(f),
+				FL:   gfx.LeakFraction(f, op.GfxAR, op.Tj),
+				AR:   op.GfxAR,
+			}
+		}
+	}
+
+	// SA and IO are powered in every modeled state (their per-state tables
+	// already encode how deep idle shrinks them).
+	s.Loads[domain.SA] = Load{
+		Kind: domain.SA,
+		PNom: plat.UncorePower(domain.SA, op.CState),
+		VNom: plat.UncoreVoltage(domain.SA),
+		FL:   0.22,
+		AR:   uncoreAR,
+	}
+	s.Loads[domain.IO] = Load{
+		Kind: domain.IO,
+		PNom: plat.UncorePower(domain.IO, op.CState),
+		VNom: plat.UncoreVoltage(domain.IO),
+		FL:   0.22,
+		AR:   uncoreAR,
+	}
+	return s
+}

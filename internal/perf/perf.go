@@ -1,0 +1,183 @@
+// Package perf implements PDNspot's processor performance model (§3.3).
+//
+// The model answers one question: if a PDN with higher end-to-end
+// power-conversion efficiency frees ΔP watts of the TDP budget, how much
+// faster does a workload run? Following the paper, the model is built on
+// power-frequency curves: raising the compute cluster's clock by a ratio r
+// raises each member domain's dynamic power by (V(rf)/V(f))²·r and its
+// leakage by (V(rf)/V(f))^2.8. The freed budget is spent by inverting that
+// curve (bisection), and the resulting frequency gain is scaled by the
+// workload's performance scalability (§3.3) to get the performance gain —
+// the paper's worked example (250 mW at 4 W → 28 % frequency → 28 %
+// performance for a highly-scalable workload) falls out of the same
+// machinery for small deltas.
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Sensitivity returns the additional power (watts, at domain nominal level)
+// required to raise the lead compute domain's clock by 1 % at the TDP
+// design point — the Fig 2(a) quantity (~9 mW for the CPU at 4 W, hundreds
+// of mW at 50 W).
+func Sensitivity(plat *domain.Platform, tdp units.Watt, k domain.Kind, ar float64) units.Watt {
+	t := workload.MultiThread
+	if k == domain.GFX {
+		t = workload.Graphics
+	}
+	cluster := workload.PerfCluster(plat, tdp, t)
+	lead := cluster[0] // cores or GFX; Fig 2(a) reports the lead domain only
+	// Probe downward: at the top TDP the design frequency sits at FMax where
+	// the V-f curve clamps, which would zero the voltage term.
+	return lead.PNom - clusterCost([]workload.ClusterMember{lead}, 0.99)
+}
+
+// clusterCost returns the cluster's total nominal power when every member's
+// clock is scaled by ratio r from its design point.
+func clusterCost(cluster []workload.ClusterMember, r float64) units.Watt {
+	var sum units.Watt
+	for _, m := range cluster {
+		f0 := m.F0
+		f1 := f0 * r
+		v0 := m.Curve.VoltageAt(f0)
+		v1 := m.Curve.VoltageAt(f1)
+		dyn := (1 - m.FL) * m.PNom * (v1 * v1 * f1) / (v0 * v0 * f0)
+		leak := m.FL * m.PNom * math.Pow(v1/v0, domain.LeakVoltageExp)
+		sum += dyn + leak
+	}
+	return sum
+}
+
+// FreqRatioForBudget inverts the cluster power-frequency curve: it returns
+// the clock ratio r (1 = design frequency) at which the cluster consumes
+// its design power plus deltaNom (which may be negative). The ratio is
+// bounded by the lead domain's frequency range.
+func FreqRatioForBudget(plat *domain.Platform, tdp units.Watt, t workload.Type, deltaNom units.Watt) float64 {
+	cluster := workload.PerfCluster(plat, tdp, t)
+	base := clusterCost(cluster, 1)
+	target := base + deltaNom
+	if target <= 0 {
+		return minRatio(cluster)
+	}
+	lo, hi := minRatio(cluster), maxRatio(cluster)
+	if clusterCost(cluster, lo) >= target {
+		return lo
+	}
+	if clusterCost(cluster, hi) <= target {
+		return hi
+	}
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if clusterCost(cluster, mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// minRatio and maxRatio bound the cluster clock ratio by the lead domain's
+// DVFS range.
+func minRatio(cluster []workload.ClusterMember) float64 {
+	lead := cluster[0]
+	// The platform never clocks below ~a quarter of the design point in
+	// these experiments; FMin is not in ClusterMember, so use a floor.
+	return math.Max(0.25, 0.8e9/lead.F0*0.25)
+}
+
+func maxRatio(cluster []workload.ClusterMember) float64 {
+	lead := cluster[0]
+	return lead.FMax / lead.F0
+}
+
+// Result is a workload's modeled performance under one PDN.
+type Result struct {
+	PDN pdn.Kind
+	// PIn is the platform power the PDN draws at the workload's operating
+	// point.
+	PIn units.Watt
+	// FreqGain is the fractional frequency increase afforded by the budget
+	// the PDN frees relative to the baseline (negative if it wastes more).
+	FreqGain float64
+	// PerfGain is FreqGain scaled by the workload's performance
+	// scalability.
+	PerfGain float64
+	// Relative is 1 + PerfGain: performance normalized to the baseline PDN.
+	Relative float64
+}
+
+// Evaluator computes relative performance of workloads across PDNs at a
+// TDP against a baseline PDN (the paper normalizes to IVR).
+type Evaluator struct {
+	Platform *domain.Platform
+	Baseline pdn.Model
+}
+
+// NewEvaluator returns an evaluator normalizing against baseline.
+func NewEvaluator(plat *domain.Platform, baseline pdn.Model) *Evaluator {
+	return &Evaluator{Platform: plat, Baseline: baseline}
+}
+
+// Compare evaluates the workload under every candidate PDN at the TDP and
+// returns per-PDN results normalized to the evaluator's baseline. The
+// input-side power each PDN saves relative to the baseline converts to
+// domain-level budget at the PDN's own ETEE before the power-frequency
+// inversion.
+func (e *Evaluator) Compare(tdp units.Watt, w workload.Workload, candidates []pdn.Model) (map[pdn.Kind]Result, error) {
+	s, err := workload.TDPScenario(e.Platform, tdp, w.Type, w.AR)
+	if err != nil {
+		return nil, err
+	}
+	base, err := e.Baseline.Evaluate(s)
+	if err != nil {
+		return nil, fmt.Errorf("perf: baseline %v: %w", e.Baseline.Kind(), err)
+	}
+	out := make(map[pdn.Kind]Result, len(candidates)+1)
+	out[e.Baseline.Kind()] = Result{PDN: e.Baseline.Kind(), PIn: base.PIn, Relative: 1}
+	for _, m := range candidates {
+		r, err := m.Evaluate(s)
+		if err != nil {
+			return nil, fmt.Errorf("perf: %v: %w", m.Kind(), err)
+		}
+		savedIn := base.PIn - r.PIn
+		deltaNom := savedIn * r.ETEE
+		ratio := FreqRatioForBudget(e.Platform, tdp, w.Type, deltaNom)
+		perfGain := w.Scalability * (ratio - 1)
+		out[m.Kind()] = Result{
+			PDN:      m.Kind(),
+			PIn:      r.PIn,
+			FreqGain: ratio - 1,
+			PerfGain: perfGain,
+			Relative: 1 + perfGain,
+		}
+	}
+	return out, nil
+}
+
+// SuiteAverage runs Compare for every workload in the suite and returns the
+// per-PDN mean relative performance.
+func (e *Evaluator) SuiteAverage(tdp units.Watt, suite workload.Suite, candidates []pdn.Model) (map[pdn.Kind]float64, error) {
+	sums := make(map[pdn.Kind]float64)
+	for _, w := range suite.Workloads {
+		res, err := e.Compare(tdp, w, candidates)
+		if err != nil {
+			return nil, fmt.Errorf("perf: %s: %w", w.Name, err)
+		}
+		for k, r := range res {
+			sums[k] += r.Relative
+		}
+	}
+	n := float64(len(suite.Workloads))
+	for k := range sums {
+		sums[k] /= n
+	}
+	return sums, nil
+}

@@ -1,0 +1,167 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func testPlat() *domain.Platform { return domain.NewClientPlatform() }
+
+func TestSensitivityMatchesPaper(t *testing.T) {
+	plat := testPlat()
+	// Fig 2(a): ~9mW per 1% CPU frequency at 4W TDP.
+	s4 := Sensitivity(plat, 4, domain.Core0, 0.56)
+	if s4 < units.MilliWatt(5) || s4 > units.MilliWatt(15) {
+		t.Errorf("CPU sensitivity at 4W = %s, want ~9mW", units.FormatWatt(s4))
+	}
+	// Hundreds of mW at 50W.
+	s50 := Sensitivity(plat, 50, domain.Core0, 0.56)
+	if s50 < 0.2 || s50 > 1.2 {
+		t.Errorf("CPU sensitivity at 50W = %s, want hundreds of mW", units.FormatWatt(s50))
+	}
+}
+
+func TestSensitivityMonotone(t *testing.T) {
+	plat := testPlat()
+	for _, k := range []domain.Kind{domain.Core0, domain.GFX} {
+		prev := 0.0
+		for _, tdp := range workload.StandardTDPs() {
+			s := Sensitivity(plat, tdp, k, 0.56)
+			if s <= prev {
+				t.Errorf("%v sensitivity at %gW (%g) not above %g", k, tdp, s, prev)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestFreqRatioZeroBudget(t *testing.T) {
+	plat := testPlat()
+	for _, tdp := range workload.StandardTDPs() {
+		r := FreqRatioForBudget(plat, tdp, workload.MultiThread, 0)
+		if math.Abs(r-1) > 1e-6 {
+			t.Errorf("zero budget at %gW gives ratio %g, want 1", tdp, r)
+		}
+	}
+}
+
+func TestFreqRatioInverseProperty(t *testing.T) {
+	// Property: the returned ratio's cluster power matches the requested
+	// budget (when the ratio is interior, not clamped at the DVFS bounds).
+	plat := testPlat()
+	f := func(tdpRaw, dRaw float64) bool {
+		tdp := 4 + math.Mod(math.Abs(tdpRaw), 46)
+		delta := math.Mod(dRaw, 2) // +-2W
+		cluster := workload.PerfCluster(plat, tdp, workload.MultiThread)
+		r := FreqRatioForBudget(plat, tdp, workload.MultiThread, delta)
+		if r <= minRatio(cluster)+1e-9 || r >= maxRatio(cluster)-1e-9 {
+			return true // clamped; nothing to invert
+		}
+		base := clusterCost(cluster, 1)
+		got := clusterCost(cluster, r)
+		return units.ApproxEqual(got, base+delta, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreqRatioSigns(t *testing.T) {
+	plat := testPlat()
+	up := FreqRatioForBudget(plat, 18, workload.MultiThread, 1.0)
+	down := FreqRatioForBudget(plat, 18, workload.MultiThread, -1.0)
+	if !(up > 1) || !(down < 1) {
+		t.Errorf("budget signs: +1W -> %g, -1W -> %g", up, down)
+	}
+	// A huge budget clamps at the DVFS ceiling.
+	max := FreqRatioForBudget(plat, 18, workload.MultiThread, 1e6)
+	cluster := workload.PerfCluster(plat, 18, workload.MultiThread)
+	if math.Abs(max-maxRatio(cluster)) > 1e-9 {
+		t.Errorf("huge budget should clamp to %g, got %g", maxRatio(cluster), max)
+	}
+}
+
+func testEvaluator(t *testing.T) (*Evaluator, []pdn.Model) {
+	t.Helper()
+	p := pdn.DefaultParams()
+	base := pdn.NewIVRModel(p)
+	cands := []pdn.Model{pdn.NewMBVRModel(p), pdn.NewLDOModel(p)}
+	return NewEvaluator(testPlat(), base), cands
+}
+
+func TestCompareBaselineIsUnity(t *testing.T) {
+	ev, cands := testEvaluator(t)
+	w := workload.SPECCPU2006().Workloads[0]
+	res, err := ev.Compare(4, w, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[pdn.IVR].Relative != 1 {
+		t.Errorf("baseline relative = %g", res[pdn.IVR].Relative)
+	}
+	// At 4W both MBVR and LDO must beat IVR (Fig 7).
+	for _, k := range []pdn.Kind{pdn.MBVR, pdn.LDO} {
+		if !(res[k].Relative > 1) {
+			t.Errorf("%v at 4W should beat IVR, got %.3f", k, res[k].Relative)
+		}
+	}
+}
+
+func TestPerfGainScalesWithScalability(t *testing.T) {
+	// Two workloads differing only in scalability: the more scalable one
+	// gains more (Fig 7's sort).
+	ev, cands := testEvaluator(t)
+	low := workload.Workload{Name: "low", Type: workload.SingleThread, AR: 0.6, Scalability: 0.3}
+	high := workload.Workload{Name: "high", Type: workload.SingleThread, AR: 0.6, Scalability: 0.9}
+	rl, err := ev.Compare(4, low, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := ev.Compare(4, high, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rh[pdn.LDO].PerfGain > rl[pdn.LDO].PerfGain) {
+		t.Errorf("scalability 0.9 gain %.3f should exceed 0.3 gain %.3f",
+			rh[pdn.LDO].PerfGain, rl[pdn.LDO].PerfGain)
+	}
+	// Both share the same frequency gain.
+	if math.Abs(rh[pdn.LDO].FreqGain-rl[pdn.LDO].FreqGain) > 1e-9 {
+		t.Error("frequency gain should not depend on scalability")
+	}
+}
+
+func TestSuiteAverageHeadline(t *testing.T) {
+	// The paper's headline: >22% average SPEC gain at 4W for the
+	// LDO-friendly PDNs; the reproduction lands in the 8-25% band.
+	ev, cands := testEvaluator(t)
+	avg, err := ev.SuiteAverage(4, workload.SPECCPU2006(), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := avg[pdn.LDO] - 1
+	if gain < 0.08 || gain > 0.30 {
+		t.Errorf("SPEC 4W LDO gain = %.1f%%, want 8-30%% (paper: 22%%)", gain*100)
+	}
+	if avg[pdn.IVR] != 1 {
+		t.Error("baseline average should be 1")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	ev, cands := testEvaluator(t)
+	bad := workload.Workload{Name: "bad", Type: workload.BatteryLife, AR: 0.5, Scalability: 0.5}
+	if _, err := ev.Compare(4, bad, cands); err == nil {
+		t.Error("battery-life workload accepted by Compare")
+	}
+	w := workload.SPECCPU2006().Workloads[0]
+	if _, err := ev.Compare(99, w, cands); err == nil {
+		t.Error("out-of-range TDP accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Package pmu models the power-management unit's power-budget management
+// (PBM) algorithm referenced throughout the paper (§3.4, §6): the PMU
+// allocates a fixed budget to the narrow-range SA/IO domains, reserves the
+// PDN's conversion loss, and divides the remaining compute budget between
+// the CPU cores and the graphics engines according to the running workload,
+// picking the highest sustainable DVFS points.
+//
+// The package also exposes the configurable-TDP (cTDP) mechanism the paper's
+// introduction leans on: client platforms reconfigure their TDP at runtime
+// ("cTDP up/down"), which is why one PDN must serve a wide power range —
+// and why FlexWatts' predictor takes TDP as a runtime input.
+package pmu
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Allocation is the PBM outcome for one evaluation interval.
+type Allocation struct {
+	// CoreFreq and GfxFreq are the selected DVFS points.
+	CoreFreq, GfxFreq units.Hertz
+	// CoreBudget and GfxBudget are the nominal-power budgets granted.
+	CoreBudget, GfxBudget units.Watt
+	// UncoreBudget covers SA+IO (fixed per state).
+	UncoreBudget units.Watt
+	// PDNLossBudget is the input power reserved for conversion loss at the
+	// PDN's estimated ETEE.
+	PDNLossBudget units.Watt
+	// ETEE is the PDN efficiency estimate used for the reservation.
+	ETEE float64
+	// PIn is the resulting total platform input power (≤ the TDP).
+	PIn units.Watt
+}
+
+// Manager implements the PBM loop for one platform + PDN pairing.
+type Manager struct {
+	Platform *domain.Platform
+	PDN      pdn.Model
+	// TDP is the current (configurable) thermal design power.
+	TDP units.Watt
+	// GfxShare is the fraction of the compute budget granted to graphics
+	// for graphics workloads (§7.1: "10% to 20% of the processor's
+	// power-budget is allocated to the CPU cores, while the rest is
+	// allocated to the graphics engines").
+	GfxShare float64
+}
+
+// NewManager returns a PBM manager with the paper's graphics split.
+func NewManager(plat *domain.Platform, m pdn.Model, tdp units.Watt) *Manager {
+	return &Manager{Platform: plat, PDN: m, TDP: tdp, GfxShare: 0.85}
+}
+
+// SetTDP reconfigures the TDP at runtime (cTDP). It returns an error for
+// non-positive values.
+func (mg *Manager) SetTDP(tdp units.Watt) error {
+	if tdp <= 0 {
+		return fmt.Errorf("pmu: cTDP must be positive, got %g", tdp)
+	}
+	mg.TDP = tdp
+	return nil
+}
+
+// Allocate runs one PBM evaluation: find the highest DVFS points whose
+// end-to-end platform power fits the TDP for the given workload type and
+// AR. The search walks the compute frequency down from maximum until the
+// PDN-evaluated input power fits, mirroring how real PMUs resolve budget
+// overshoot (they throttle, they don't model).
+func (mg *Manager) Allocate(t workload.Type, ar float64) (Allocation, error) {
+	if !(ar > 0 && ar <= 1) {
+		return Allocation{}, fmt.Errorf("pmu: AR %g outside (0,1]", ar)
+	}
+	tj := domain.JunctionTemp(mg.TDP, false)
+	core := mg.Platform.Domain(domain.Core0)
+	gfx := mg.Platform.Domain(domain.GFX)
+
+	try := func(cf, gf units.Hertz) (Allocation, error) {
+		op := pdn.OperatingPoint{
+			CState: domain.C0, Tj: tj,
+			CoreFreq: cf, CoreAR: ar,
+			LLCAR: 0.5,
+		}
+		switch t {
+		case workload.SingleThread:
+			op.ActiveCores = 1
+		case workload.MultiThread:
+			op.ActiveCores = 2
+		case workload.Graphics:
+			op.ActiveCores = 2
+			op.CoreAR = ar * 0.4 // cores lightly loaded during graphics
+			op.GfxActive = true
+			op.GfxFreq = gf
+			op.GfxAR = ar
+			op.LLCFreq = gf * 3 // LLC tracks graphics bandwidth demand
+		default:
+			return Allocation{}, fmt.Errorf("pmu: cannot budget %v", t)
+		}
+		s := pdn.BuildScenario(mg.Platform, op)
+		r, err := mg.PDN.Evaluate(s)
+		if err != nil {
+			return Allocation{}, err
+		}
+		return Allocation{
+			CoreFreq:      cf,
+			GfxFreq:       gf,
+			CoreBudget:    s.LoadFor(domain.Core0).PNom + s.LoadFor(domain.Core1).PNom,
+			GfxBudget:     s.LoadFor(domain.GFX).PNom,
+			UncoreBudget:  s.LoadFor(domain.SA).PNom + s.LoadFor(domain.IO).PNom,
+			PDNLossBudget: r.PIn - r.PNomTotal,
+			ETEE:          r.ETEE,
+			PIn:           r.PIn,
+		}, nil
+	}
+
+	cp, gp := core.Params(), gfx.Params()
+	cf, gf := cp.FMax, gp.FMax
+	if t == workload.Graphics {
+		// Cores idle along at low clock during graphics workloads (§5
+		// Observation 2); the compute budget goes to the engines.
+		cf = core.ClampFreq(units.GigaHertz(1.0))
+	}
+	for {
+		a, err := try(cf, gf)
+		if err != nil {
+			return Allocation{}, err
+		}
+		if a.PIn <= mg.TDP {
+			return a, nil
+		}
+		// Throttle the domain that dominates this workload first; stop at
+		// the floor.
+		switch {
+		case t == workload.Graphics && gf > gp.FMin:
+			gf = gfx.ClampFreq(gf - gp.FStep)
+		case cf > cp.FMin:
+			cf = core.ClampFreq(cf - cp.FStep)
+		case t == workload.Graphics && cf <= cp.FMin && gf <= gp.FMin:
+			return a, nil // floor: TDP unreachable, report the floor point
+		default:
+			return a, nil
+		}
+	}
+}

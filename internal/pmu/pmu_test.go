@@ -1,0 +1,108 @@
+package pmu
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func testManager(t *testing.T, tdp units.Watt) *Manager {
+	t.Helper()
+	plat := domain.NewClientPlatform()
+	m := pdn.NewLDOModel(pdn.DefaultParams())
+	return NewManager(plat, m, tdp)
+}
+
+func TestAllocateFitsTDP(t *testing.T) {
+	for _, tdp := range []units.Watt{4, 18, 50} {
+		mg := testManager(t, tdp)
+		for _, wt := range workload.Types() {
+			a, err := mg.Allocate(wt, 0.6)
+			if err != nil {
+				t.Fatalf("%v @ %gW: %v", wt, tdp, err)
+			}
+			// Floor exception: at very low TDP the minimum DVFS point may
+			// exceed the budget; otherwise the allocation must fit.
+			core := mg.Platform.Domain(domain.Core0)
+			if a.CoreFreq > core.Params().FMin && a.PIn > tdp*1.001 {
+				t.Errorf("%v @ %gW: allocation draws %.2fW", wt, tdp, a.PIn)
+			}
+			if a.ETEE <= 0 || a.ETEE >= 1 {
+				t.Errorf("%v @ %gW: ETEE %g", wt, tdp, a.ETEE)
+			}
+		}
+	}
+}
+
+func TestHigherTDPMeansHigherFrequency(t *testing.T) {
+	mg := testManager(t, 4)
+	low, err := mg.Allocate(workload.MultiThread, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.SetTDP(50); err != nil {
+		t.Fatal(err)
+	}
+	high, err := mg.Allocate(workload.MultiThread, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(high.CoreFreq > low.CoreFreq) {
+		t.Errorf("cTDP 4->50W should raise core frequency: %g -> %g", low.CoreFreq, high.CoreFreq)
+	}
+	if !(high.CoreBudget > low.CoreBudget) {
+		t.Error("higher TDP should grant more core budget")
+	}
+}
+
+func TestBetterPDNMeansHigherFrequency(t *testing.T) {
+	// The §3.3 mechanism end-to-end: a PDN with higher ETEE at 4W leaves
+	// more budget and therefore sustains a higher clock.
+	plat := domain.NewClientPlatform()
+	params := pdn.DefaultParams()
+	ivr := NewManager(plat, pdn.NewIVRModel(params), 4)
+	ldo := NewManager(plat, pdn.NewLDOModel(params), 4)
+	ai, err := ivr.Allocate(workload.MultiThread, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := ldo.Allocate(workload.MultiThread, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(al.CoreFreq >= ai.CoreFreq) {
+		t.Errorf("LDO (ETEE %.2f) should sustain >= frequency than IVR (ETEE %.2f): %g vs %g",
+			al.ETEE, ai.ETEE, al.CoreFreq, ai.CoreFreq)
+	}
+}
+
+func TestGraphicsAllocation(t *testing.T) {
+	mg := testManager(t, 18)
+	a, err := mg.Allocate(workload.Graphics, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GfxBudget <= 0 {
+		t.Error("graphics workload granted no GFX budget")
+	}
+	// §7.1: graphics gets most of the compute budget.
+	if !(a.GfxBudget > a.CoreBudget) {
+		t.Errorf("GFX budget %.2fW should exceed core budget %.2fW", a.GfxBudget, a.CoreBudget)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	mg := testManager(t, 18)
+	if _, err := mg.Allocate(workload.MultiThread, 0); err == nil {
+		t.Error("zero AR accepted")
+	}
+	if _, err := mg.Allocate(workload.BatteryLife, 0.5); err == nil {
+		t.Error("battery-life type accepted")
+	}
+	if err := mg.SetTDP(0); err == nil {
+		t.Error("zero cTDP accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package refmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/workload"
+)
+
+func testSetup(t *testing.T) (pdn.Model, pdn.Scenario) {
+	t.Helper()
+	plat := domain.NewClientPlatform()
+	m := pdn.NewIVRModel(pdn.DefaultParams())
+	s, err := workload.TDPScenario(plat, 18, workload.MultiThread, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	m, s := testSetup(t)
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	a, err := Measure(m, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(m, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ETEE != b.ETEE || a.MeanPIn != b.MeanPIn {
+		t.Error("same seed must reproduce the measurement exactly")
+	}
+	cfg.Seed = 43
+	c, _ := Measure(m, s, cfg)
+	if c.ETEE == a.ETEE {
+		t.Error("different seeds should perturb the measurement")
+	}
+}
+
+func TestMeasurePlausible(t *testing.T) {
+	m, s := testSetup(t)
+	pred, err := m.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := Measure(m, s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Steps != 2000 {
+		t.Errorf("default config should take 2000 steps, took %d", meas.Steps)
+	}
+	if !(meas.PeakPIn > meas.MeanPIn) {
+		t.Error("peak power must exceed mean under ripple")
+	}
+	// The closed-form model validates against the reference at the paper's
+	// accuracy level (§4.3: 98.6% worst case).
+	acc := Accuracy(pred.ETEE, meas.ETEE)
+	if acc < 0.975 {
+		t.Errorf("validation accuracy %.2f%%, want >= 97.5%%", acc*100)
+	}
+}
+
+func TestAccuracyAcrossCorpus(t *testing.T) {
+	// Average accuracy across workload types, TDPs, ARs and all three PDNs
+	// must land near the paper's 99%.
+	plat := domain.NewClientPlatform()
+	params := pdn.DefaultParams()
+	models := []pdn.Model{
+		pdn.NewIVRModel(params), pdn.NewMBVRModel(params), pdn.NewLDOModel(params),
+	}
+	cfg := DefaultConfig()
+	cfg.Duration = 1e-3 // shorter runs to keep the test fast
+	var sum float64
+	n := 0
+	for _, m := range models {
+		for _, wt := range workload.Types() {
+			for _, tdp := range []float64{4, 18, 50} {
+				s, err := workload.TDPScenario(plat, tdp, wt, 0.6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pred, err := m.Evaluate(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Seed = int64(n + 1)
+				meas, err := Measure(m, s, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				acc := Accuracy(pred.ETEE, meas.ETEE)
+				if acc < 0.96 {
+					t.Errorf("%v %v %gW: accuracy %.2f%% below 96%%", m.Kind(), wt, tdp, acc*100)
+				}
+				sum += acc
+				n++
+			}
+		}
+	}
+	if avg := sum / float64(n); avg < 0.98 {
+		t.Errorf("average validation accuracy %.2f%%, want >= 98%%", avg*100)
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	if got := Accuracy(0.75, 0.75); got != 1 {
+		t.Errorf("perfect prediction accuracy %g", got)
+	}
+	if got := Accuracy(0.74, 0.75); math.Abs(got-(1-0.01/0.75)) > 1e-12 {
+		t.Errorf("accuracy %g", got)
+	}
+}
+
+func TestBadConfigFallsBack(t *testing.T) {
+	m, s := testSetup(t)
+	if _, err := Measure(m, s, Config{}); err != nil {
+		t.Errorf("zero config should fall back to defaults: %v", err)
+	}
+}

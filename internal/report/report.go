@@ -1,0 +1,127 @@
+// Package report renders experiment results as aligned ASCII tables and CSV,
+// the textual equivalents of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond the column count are dropped, missing
+// cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowF appends a row of formatted values: strings pass through, float64
+// formats with %.4g, everything else with %v.
+func (t *Table) AddRowF(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// WriteASCII renders the table with aligned columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (no quoting needed for our cell
+// content, which is checked).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) error {
+		for i, cell := range cells {
+			if strings.ContainsAny(cell, ",\"\n") {
+				return fmt.Errorf("report: cell %q needs CSV quoting", cell)
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+		return nil
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct formats a fraction as a percentage cell.
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// F2 formats with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats with three decimals.
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteASCII(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-long", "2")
+	var b strings.Builder
+	if err := tab.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{"# demo", "name", "value", "alpha", "beta-long", "----"}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+	// Columns align: every line has the separator's width or more.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("1")                // short row pads
+	tab.AddRow("1", "2", "3", "4") // long row truncates
+	if len(tab.Rows[0]) != 3 || len(tab.Rows[1]) != 3 {
+		t.Error("rows not normalized to column count")
+	}
+	if tab.Rows[0][1] != "" || tab.Rows[1][2] != "3" {
+		t.Error("padding/truncation wrong")
+	}
+}
+
+func TestAddRowF(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRowF("x", 1.23456, 42)
+	if tab.Rows[0][0] != "x" || tab.Rows[0][1] != "1.235" || tab.Rows[0][2] != "42" {
+		t.Errorf("AddRowF formatting: %v", tab.Rows[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("1", "2")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", b.String())
+	}
+	bad := NewTable("t", "a")
+	bad.AddRow("has,comma")
+	if err := bad.WriteCSV(&strings.Builder{}); err == nil {
+		t.Error("comma cell accepted without quoting support")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.2512) != "25.1%" {
+		t.Errorf("Pct = %s", Pct(0.2512))
+	}
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Errorf("F2 = %s", F2(1.005))
+	}
+	if F3(2.0) != "2.000" {
+		t.Errorf("F3 = %s", F3(2.0))
+	}
+}

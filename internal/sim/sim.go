@@ -1,0 +1,154 @@
+// Package sim runs workload phase traces against a PDN, integrating energy
+// over time. It is the dynamic counterpart to PDNspot's closed-form
+// interval model: the paper's §3.4 notes that dynamic workloads are handled
+// by evaluating the model per interval, which is exactly what this
+// simulator automates. For FlexWatts it additionally drives the
+// mode-prediction controller, accounting for every mode switch's 94 µs
+// pause and C6-residency energy (§6, "FlexWatts Overhead").
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/activity"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Config describes the simulated platform.
+type Config struct {
+	Platform *domain.Platform
+	// TDP is the configured thermal design power.
+	TDP units.Watt
+	// Sensor optionally replaces ground-truth AR with the activity-sensor
+	// estimate when driving the FlexWatts predictor (nil = oracle AR).
+	Sensor *activity.Sensor
+}
+
+// Report summarizes a simulation run.
+type Report struct {
+	Trace string
+	PDN   pdn.Kind
+	// Duration is total wall time including switch overhead.
+	Duration units.Second
+	// Energy is total energy drawn from the battery (joules).
+	Energy float64
+	// AvgPower = Energy / Duration.
+	AvgPower units.Watt
+	// AvgETEE is the energy-weighted end-to-end efficiency.
+	AvgETEE float64
+	// ModeSwitches counts FlexWatts transitions (0 for static PDNs).
+	ModeSwitches int
+	// SwitchOverhead is the cumulative time parked in C6 for switching.
+	SwitchOverhead units.Second
+	// ModeTime is the residency per hybrid mode (FlexWatts only).
+	ModeTime map[core.Mode]units.Second
+}
+
+// scenarioFor maps a trace phase to an evaluation scenario.
+func (c Config) scenarioFor(ph workload.Phase) (pdn.Scenario, error) {
+	if ph.CState != domain.C0 {
+		return workload.CStateScenario(c.Platform, ph.CState), nil
+	}
+	t := ph.Type
+	if t == workload.BatteryLife {
+		t = workload.SingleThread
+	}
+	return workload.TDPScenario(c.Platform, c.TDP, t, ph.AR)
+}
+
+// RunStatic simulates a trace on a fixed-topology PDN.
+func RunStatic(cfg Config, m pdn.Model, tr workload.Trace) (Report, error) {
+	if err := tr.Validate(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Trace: tr.Name, PDN: m.Kind()}
+	var nomEnergy float64
+	for i, ph := range tr.Phases {
+		s, err := cfg.scenarioFor(ph)
+		if err != nil {
+			return Report{}, fmt.Errorf("sim: phase %d: %w", i, err)
+		}
+		r, err := m.Evaluate(s)
+		if err != nil {
+			return Report{}, fmt.Errorf("sim: phase %d: %w", i, err)
+		}
+		rep.Duration += ph.Duration
+		rep.Energy += r.PIn * ph.Duration
+		nomEnergy += r.PNomTotal * ph.Duration
+	}
+	rep.AvgPower = rep.Energy / rep.Duration
+	rep.AvgETEE = nomEnergy / rep.Energy
+	return rep, nil
+}
+
+// RunFlexWatts simulates a trace on the hybrid PDN with the mode controller
+// in the loop. Every controller interval the predictor sees the runtime
+// inputs (optionally through the noisy activity sensor); a mode change
+// parks the platform in C6 for the switch-flow latency and burns its
+// energy.
+func RunFlexWatts(cfg Config, m *core.Model, ctrl *core.Controller, tr workload.Trace) (Report, error) {
+	if err := tr.Validate(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Trace:    tr.Name,
+		PDN:      pdn.FlexWatts,
+		ModeTime: map[core.Mode]units.Second{},
+	}
+	var nomEnergy float64
+	startSwitches := ctrl.Switches()
+	for i, ph := range tr.Phases {
+		s, err := cfg.scenarioFor(ph)
+		if err != nil {
+			return Report{}, fmt.Errorf("sim: phase %d: %w", i, err)
+		}
+		in := core.InputsFromScenario(s, cfg.TDP)
+		if ph.Type != workload.BatteryLife {
+			in.Type = ph.Type
+		}
+		if cfg.Sensor != nil && ph.CState == domain.C0 {
+			in.AR = cfg.Sensor.Read(ph.AR, 0.3)
+		}
+		mode, overhead, switchEnergy := ctrl.Step(ph.Duration, in)
+		r, err := m.EvaluateMode(s, mode)
+		if err != nil {
+			return Report{}, fmt.Errorf("sim: phase %d: %w", i, err)
+		}
+		rep.Duration += ph.Duration + overhead
+		rep.SwitchOverhead += overhead
+		rep.Energy += r.PIn*ph.Duration + switchEnergy
+		nomEnergy += r.PNomTotal * ph.Duration
+		rep.ModeTime[mode] += ph.Duration
+	}
+	rep.ModeSwitches = ctrl.Switches() - startSwitches
+	rep.AvgPower = rep.Energy / rep.Duration
+	rep.AvgETEE = nomEnergy / rep.Energy
+	return rep, nil
+}
+
+// CompareOnTrace runs the same trace on every model plus FlexWatts and
+// returns reports keyed by PDN kind; the FlexWatts controller is fresh for
+// each call.
+func CompareOnTrace(cfg Config, statics []pdn.Model, fw *core.Model, pred *core.Predictor, tr workload.Trace) (map[pdn.Kind]Report, error) {
+	out := make(map[pdn.Kind]Report, len(statics)+1)
+	for _, m := range statics {
+		rep, err := RunStatic(cfg, m, tr)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Kind()] = rep
+	}
+	if fw != nil && pred != nil {
+		ctrl := core.NewController(pred, core.DefaultSwitchFlow())
+		rep, err := RunFlexWatts(cfg, fw, ctrl, tr)
+		if err != nil {
+			return nil, err
+		}
+		out[pdn.FlexWatts] = rep
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/workload"
+)
+
+func testSetup(t *testing.T) (Config, []pdn.Model, *core.Model, *core.Predictor) {
+	t.Helper()
+	plat := domain.NewClientPlatform()
+	params := pdn.DefaultParams()
+	statics := []pdn.Model{}
+	for _, k := range pdn.Kinds() {
+		m, err := pdn.New(k, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statics = append(statics, m)
+	}
+	fw := core.NewModel(params)
+	pred, err := core.NewPredictor(plat, fw, core.DefaultPredictorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Platform: plat, TDP: 18}, statics, fw, pred
+}
+
+func TestRunStaticSteady(t *testing.T) {
+	cfg, statics, _, _ := testSetup(t)
+	tr := workload.SteadyTrace("steady", workload.MultiThread, 0.6, 0.1)
+	rep, err := RunStatic(cfg, statics[0], tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duration != 0.1 {
+		t.Errorf("duration %g", rep.Duration)
+	}
+	// Energy = power * time for a steady trace.
+	if math.Abs(rep.Energy-rep.AvgPower*0.1) > 1e-9 {
+		t.Error("energy/power inconsistency")
+	}
+	if !(rep.AvgETEE > 0.5 && rep.AvgETEE < 1) {
+		t.Errorf("ETEE %g", rep.AvgETEE)
+	}
+	if rep.ModeSwitches != 0 {
+		t.Error("static PDN cannot switch modes")
+	}
+}
+
+func TestRunStaticMatchesClosedForm(t *testing.T) {
+	// A steady trace's simulated ETEE equals the closed-form evaluation.
+	cfg, statics, _, _ := testSetup(t)
+	s, err := workload.TDPScenario(cfg.Platform, cfg.TDP, workload.MultiThread, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := statics[0].Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.SteadyTrace("steady", workload.MultiThread, 0.6, 0.05)
+	rep, err := RunStatic(cfg, statics[0], tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.AvgETEE-want.ETEE) > 1e-9 {
+		t.Errorf("sim ETEE %.6f != closed form %.6f", rep.AvgETEE, want.ETEE)
+	}
+}
+
+func TestFlexBeatsWorstStaticOnMixedTrace(t *testing.T) {
+	cfg, statics, fw, pred := testSetup(t)
+	tr := workload.NewGenerator(3).Mixed("mixed", workload.MultiThread, 200, 0.3, 0.85, 0.25)
+	reports, err := CompareOnTrace(cfg, statics, fw, pred, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flex := reports[pdn.FlexWatts]
+	if flex.ModeSwitches == 0 {
+		t.Error("the mixed trace should trigger at least one mode switch")
+	}
+	// FlexWatts must land within 1.5% of the best static energy and beat
+	// the IVR baseline.
+	best := math.Inf(1)
+	for _, k := range pdn.Kinds() {
+		best = math.Min(best, reports[k].Energy)
+	}
+	if flex.Energy > best*1.015 {
+		t.Errorf("FlexWatts energy %.3fJ exceeds best static %.3fJ by > 1.5%%", flex.Energy, best)
+	}
+	if !(flex.Energy < reports[pdn.IVR].Energy) {
+		t.Errorf("FlexWatts %.3fJ should beat IVR %.3fJ on a mixed 18W trace",
+			flex.Energy, reports[pdn.IVR].Energy)
+	}
+	// Residency accounting covers the whole active time.
+	var modeTime float64
+	for _, d := range flex.ModeTime {
+		modeTime += d
+	}
+	if math.Abs(modeTime-(flex.Duration-flex.SwitchOverhead)) > 1e-9 {
+		t.Error("mode residency does not cover the trace")
+	}
+}
+
+func TestFlexWithNoisySensor(t *testing.T) {
+	cfg, _, fw, pred := testSetup(t)
+	cfg.Sensor = activity.NewSensor(activity.DefaultWeights(), 5)
+	tr := workload.NewGenerator(4).Mixed("noisy", workload.MultiThread, 100, 0.3, 0.85, 0.2)
+	ctrl := core.NewController(pred, core.DefaultSwitchFlow())
+	rep, err := RunFlexWatts(cfg, fw, ctrl, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rep.AvgETEE > 0.5 && rep.AvgETEE < 1) {
+		t.Errorf("noisy-sensor ETEE %g", rep.AvgETEE)
+	}
+}
+
+func TestBatteryTraceSim(t *testing.T) {
+	// Simulating the video-playback trace reproduces the closed-form
+	// residency-weighted average power within a few percent.
+	cfg, statics, _, _ := testSetup(t)
+	bw := workload.BatteryLifeWorkloads()[0]
+	tr := workload.BatteryTrace(bw, 30, 1.0/60)
+	rep, err := RunStatic(cfg, statics[0], tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bw.AveragePower(cfg.Platform, func(c domain.CState) float64 {
+		r, err := statics[0].Evaluate(workload.CStateScenario(cfg.Platform, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.ETEE
+	})
+	if math.Abs(rep.AvgPower-want)/want > 0.05 {
+		t.Errorf("simulated avg power %.3fW vs closed form %.3fW", rep.AvgPower, want)
+	}
+}
+
+func TestInvalidTraceRejected(t *testing.T) {
+	cfg, statics, fw, pred := testSetup(t)
+	bad := workload.Trace{Name: "bad"}
+	if _, err := RunStatic(cfg, statics[0], bad); err == nil {
+		t.Error("empty trace accepted by RunStatic")
+	}
+	ctrl := core.NewController(pred, core.DefaultSwitchFlow())
+	if _, err := RunFlexWatts(cfg, fw, ctrl, bad); err == nil {
+		t.Error("empty trace accepted by RunFlexWatts")
+	}
+}

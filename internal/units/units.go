@@ -1,0 +1,133 @@
+// Package units provides thin physical-quantity helpers used throughout the
+// PDNspot and FlexWatts models.
+//
+// All quantities are plain float64 values in SI base units (volts, amperes,
+// watts, ohms, hertz, seconds). The named types exist for documentation and
+// for formatting; arithmetic deliberately stays in float64 so the model code
+// reads like the paper's equations. Helper constructors (Milli, Micro, ...)
+// and validators (CheckPositive, ...) keep call sites honest.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Volt is an electric potential in volts.
+type Volt = float64
+
+// Amp is an electric current in amperes.
+type Amp = float64
+
+// Watt is a power in watts.
+type Watt = float64
+
+// Ohm is a resistance in ohms.
+type Ohm = float64
+
+// Hertz is a frequency in hertz.
+type Hertz = float64
+
+// Second is a duration in seconds.
+type Second = float64
+
+// Common scale factors.
+const (
+	Milli = 1e-3
+	Micro = 1e-6
+	Nano  = 1e-9
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+)
+
+// MilliVolt converts millivolts to volts.
+func MilliVolt(mv float64) Volt { return mv * Milli }
+
+// MilliOhm converts milliohms to ohms.
+func MilliOhm(mo float64) Ohm { return mo * Milli }
+
+// MilliWatt converts milliwatts to watts.
+func MilliWatt(mw float64) Watt { return mw * Milli }
+
+// MicroSecond converts microseconds to seconds.
+func MicroSecond(us float64) Second { return us * Micro }
+
+// GigaHertz converts gigahertz to hertz.
+func GigaHertz(ghz float64) Hertz { return ghz * Giga }
+
+// MegaHertz converts megahertz to hertz.
+func MegaHertz(mhz float64) Hertz { return mhz * Mega }
+
+// CheckPositive panics unless v > 0. It is used on constructor paths where a
+// non-positive value indicates a programming error, never a runtime
+// condition.
+func CheckPositive(name string, v float64) {
+	if !(v > 0) || math.IsInf(v, 1) {
+		panic(fmt.Sprintf("units: %s must be positive and finite, got %g", name, v))
+	}
+}
+
+// CheckNonNegative panics unless v >= 0 and finite.
+func CheckNonNegative(name string, v float64) {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("units: %s must be non-negative and finite, got %g", name, v))
+	}
+}
+
+// CheckFraction panics unless v is within [0, 1].
+func CheckFraction(name string, v float64) {
+	if !(v >= 0 && v <= 1) {
+		panic(fmt.Sprintf("units: %s must be in [0,1], got %g", name, v))
+	}
+}
+
+// Clamp returns v limited to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ApproxEqual reports whether a and b are equal within a relative tolerance
+// tol (with an absolute floor of tol for values near zero).
+func ApproxEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}
+
+// FormatWatt renders a power with an adaptive unit prefix, e.g. "9.0mW".
+func FormatWatt(w Watt) string {
+	aw := math.Abs(w)
+	switch {
+	case aw >= 1:
+		return fmt.Sprintf("%.3gW", w)
+	case aw >= Milli:
+		return fmt.Sprintf("%.3gmW", w/Milli)
+	case aw == 0:
+		return "0W"
+	default:
+		return fmt.Sprintf("%.3guW", w/Micro)
+	}
+}
+
+// FormatVolt renders a voltage, e.g. "1.8V" or "25mV".
+func FormatVolt(v Volt) string {
+	if math.Abs(v) >= 1 {
+		return fmt.Sprintf("%.3gV", v)
+	}
+	return fmt.Sprintf("%.3gmV", v/Milli)
+}
+
+// Percent renders a fraction as a percentage with one decimal, e.g. "75.0%".
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}

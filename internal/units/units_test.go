@@ -1,0 +1,103 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConversions(t *testing.T) {
+	cases := []struct {
+		got, want float64
+		name      string
+	}{
+		{MilliVolt(25), 0.025, "MilliVolt"},
+		{MilliOhm(2.5), 0.0025, "MilliOhm"},
+		{MilliWatt(9), 0.009, "MilliWatt"},
+		{MicroSecond(94), 94e-6, "MicroSecond"},
+		{GigaHertz(4), 4e9, "GigaHertz"},
+		{MegaHertz(100), 1e8, "MegaHertz"},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > 1e-15*math.Abs(c.want) {
+			t.Errorf("%s: got %g want %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %g", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %g", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %g", got)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(100, 100.5, 0.01) {
+		t.Error("100 vs 100.5 should be within 1%")
+	}
+	if ApproxEqual(100, 103, 0.01) {
+		t.Error("100 vs 103 should not be within 1%")
+	}
+	if !ApproxEqual(0, 0.0005, 0.001) {
+		t.Error("near-zero absolute floor failed")
+	}
+}
+
+func TestCheckPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("CheckPositive(0)", func() { CheckPositive("x", 0) })
+	mustPanic("CheckPositive(-1)", func() { CheckPositive("x", -1) })
+	mustPanic("CheckPositive(+Inf)", func() { CheckPositive("x", math.Inf(1)) })
+	mustPanic("CheckNonNegative(-1)", func() { CheckNonNegative("x", -1) })
+	mustPanic("CheckNonNegative(NaN)", func() { CheckNonNegative("x", math.NaN()) })
+	mustPanic("CheckFraction(1.5)", func() { CheckFraction("x", 1.5) })
+	mustPanic("CheckFraction(-0.1)", func() { CheckFraction("x", -0.1) })
+
+	// These must not panic.
+	CheckPositive("x", 1e-9)
+	CheckNonNegative("x", 0)
+	CheckFraction("x", 0)
+	CheckFraction("x", 1)
+}
+
+func TestFormatting(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{FormatWatt(4), "4W"},
+		{FormatWatt(0.009), "9mW"},
+		{FormatWatt(0), "0W"},
+		{FormatWatt(25e-6), "25uW"},
+		{FormatVolt(1.8), "1.8V"},
+		{FormatVolt(0.025), "25mV"},
+		{Percent(0.751), "75.1%"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}

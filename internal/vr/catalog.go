@@ -1,0 +1,133 @@
+package vr
+
+import (
+	"repro/internal/curves"
+	"repro/internal/units"
+)
+
+// This file instantiates the concrete regulators of the modeled platform
+// (paper Fig 1 and Table 2). Parameters are calibrated so the generated
+// efficiency curves land in the published ranges:
+//
+//   - off-chip VRs: 72–93 % over the evaluation's operating points (Fig 3
+//     additionally shows light-load PS0 points down to ~50 %),
+//   - IVR: 81–88 % over its typical load range,
+//   - LDO: (Vout/Vin)·99.1 %.
+//
+// Tests in catalog_test.go pin these ranges.
+
+// NewVinVR returns the first-stage motherboard VR (V_IN in Fig 1(a,c)) that
+// converts battery/PSU voltage (7.2–20 V) down to the chip input rail. In
+// the IVR PDN it produces 1.8 V; in the LDO PDN and FlexWatts' LDO-Mode it
+// produces the maximum domain voltage (0.6–1.1 V).
+func NewVinVR(iccmax units.Amp) *Buck {
+	return NewBuck("V_IN", BuckParams{
+		PControl:       0.050,
+		PControlLight:  0.010,
+		KSwitch:        0.0020,
+		LightSwitchDiv: 8,
+		KOverlap:       0.008,
+		VDeadTime:      units.MilliVolt(50),
+		KDriver:        0.002,
+		RSeries:        units.MilliOhm(21),
+		PhaseCurrent:   4,
+		MaxPhases:      2,
+		Iccmax:         iccmax,
+		EtaFloor:       0.05,
+	})
+}
+
+// NewBoardVR returns a one-stage motherboard VR that feeds a processor
+// domain directly at core voltage (V_Cores, V_GFX in the MBVR PDN of
+// Fig 1(b)). Electrically it is the same class of part as V_IN.
+func NewBoardVR(name string, iccmax units.Amp) *Buck {
+	return NewBuck(name, BuckParams{
+		PControl:       0.050,
+		PControlLight:  0.010,
+		KSwitch:        0.0020,
+		LightSwitchDiv: 8,
+		KOverlap:       0.008,
+		VDeadTime:      units.MilliVolt(50),
+		KDriver:        0.002,
+		RSeries:        units.MilliOhm(21),
+		PhaseCurrent:   4,
+		MaxPhases:      2,
+		Iccmax:         iccmax,
+		EtaFloor:       0.05,
+	})
+}
+
+// NewSmallRailVR returns a low-current motherboard VR for the SA and IO
+// domains, whose power is low and narrow across TDPs (paper §6: "it is more
+// energy-efficient to place each of them on a dedicated off-chip VR").
+// Smaller switches mean lower fixed losses, so these rails are efficient at
+// their sub-ampere typical loads.
+func NewSmallRailVR(name string, iccmax units.Amp) *Buck {
+	return NewBuck(name, BuckParams{
+		PControl:       0.015,
+		PControlLight:  0.004,
+		KSwitch:        0.0008,
+		LightSwitchDiv: 8,
+		KOverlap:       0.008,
+		VDeadTime:      units.MilliVolt(50),
+		KDriver:        0.002,
+		RSeries:        units.MilliOhm(25),
+		PhaseCurrent:   4,
+		MaxPhases:      2,
+		Iccmax:         iccmax,
+		EtaFloor:       0.05,
+	})
+}
+
+// NewIVR returns an integrated (on-die) switching VR, the second stage of
+// the IVR PDN (Fig 1(a)). Compared to board VRs it has small fixed losses
+// but pays higher conduction loss through air-core inductors and on-die
+// metal, and its switching loss coefficient is larger relative to its low
+// 1.8 V input.
+func NewIVR(name string, iccmax units.Amp) *Buck {
+	return NewBuck(name, BuckParams{
+		PControl:       0.090,
+		PControlLight:  0.008,
+		KSwitch:        0.030,
+		LightSwitchDiv: 8,
+		KOverlap:       0.030,
+		VDeadTime:      units.MilliVolt(120),
+		KDriver:        0.002,
+		RSeries:        units.MilliOhm(6),
+		PhaseCurrent:   3,
+		MaxPhases:      10,
+		Iccmax:         iccmax,
+		EtaFloor:       0.05,
+	})
+}
+
+// NewPlatformLDO returns the on-chip LDO VR used by the LDO PDN and by
+// FlexWatts' LDO-Mode, with the paper's 99.1 % current efficiency.
+func NewPlatformLDO(name string, iccmax units.Amp) *LDO {
+	return NewLDO(name, LDOParams{
+		CurrentEfficiency: 0.991,
+		BypassEfficiency:  0.999,
+		DropoutVoltage:    units.MilliVolt(20),
+		Iccmax:            iccmax,
+	})
+}
+
+// AutoState returns the power state a real VR's light-load controller would
+// select for the given load current: heavy loads run PS0, light loads PS1.
+// The threshold is where the PS0 and PS1 curves cross (around 1 A for the
+// modeled parts, consistent with Fig 3).
+func AutoState(iout units.Amp) PowerState {
+	if iout < 1.0 {
+		return PS1
+	}
+	return PS0
+}
+
+// EfficiencyCurve samples a regulator's efficiency over a log-spaced load
+// current range at fixed voltages and power state, producing the curves of
+// Fig 3. The returned table maps Iout → η.
+func EfficiencyCurve(r Regulator, vin, vout units.Volt, ps PowerState, iMin, iMax units.Amp, n int) *curves.Table1D {
+	return curves.FromFuncLog(iMin, iMax, n, func(i float64) float64 {
+		return r.Efficiency(OperatingPoint{Vin: vin, Vout: vout, Iout: i, State: ps})
+	})
+}

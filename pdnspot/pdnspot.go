@@ -1,0 +1,199 @@
+// Package pdnspot is the public API of the PDNspot framework: a validated
+// architectural model of client-processor power delivery networks (PDNs)
+// that evaluates end-to-end power-conversion efficiency (ETEE), loss
+// breakdowns, performance impact, bill of materials and board area for the
+// commonly-used PDN architectures (MBVR, IVR, LDO, I+MBVR).
+//
+// Quick start:
+//
+//	ps, _ := pdnspot.New()
+//	res, _ := ps.Evaluate(pdnspot.IVR, pdnspot.Point{
+//		TDP: 4, Workload: pdnspot.MultiThread, AR: 0.6,
+//	})
+//	fmt.Println(res.ETEE)
+//
+// See the examples/ directory and the FlexWatts companion package
+// (repro/flexwatts) for the adaptive hybrid PDN the paper proposes.
+package pdnspot
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/perf"
+	"repro/internal/refmodel"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// PDN architecture identifiers, re-exported from the internal model.
+const (
+	IVR   = pdn.IVR
+	MBVR  = pdn.MBVR
+	LDO   = pdn.LDO
+	IMBVR = pdn.IMBVR
+)
+
+// Workload type identifiers.
+const (
+	SingleThread = workload.SingleThread
+	MultiThread  = workload.MultiThread
+	Graphics     = workload.Graphics
+)
+
+// CState identifiers for battery-life evaluation points.
+const (
+	C0MIN = domain.C0MIN
+	C2    = domain.C2
+	C3    = domain.C3
+	C6    = domain.C6
+	C7    = domain.C7
+	C8    = domain.C8
+)
+
+// Kind aliases the internal PDN kind type.
+type Kind = pdn.Kind
+
+// Result aliases the internal evaluation result (ETEE, PIn, breakdown).
+type Result = pdn.Result
+
+// Point is a PDN evaluation point: a TDP, a workload class and its
+// application ratio — the axes of the paper's Fig 4.
+type Point struct {
+	// TDP is the thermal design power in watts (4–50).
+	TDP units.Watt
+	// Workload selects the workload class.
+	Workload workload.Type
+	// AR is the application ratio in (0, 1].
+	AR float64
+}
+
+// PDNspot is the top-level framework handle. It is safe for concurrent use
+// once constructed.
+type PDNspot struct {
+	platform *domain.Platform
+	params   pdn.Params
+	models   map[pdn.Kind]pdn.Model
+}
+
+// New constructs the framework with the paper's Table 2 calibration.
+func New() (*PDNspot, error) {
+	return NewWithParams(pdn.DefaultParams())
+}
+
+// NewWithParams constructs the framework with custom model parameters,
+// enabling the multi-dimensional architecture-space exploration the paper
+// describes (load-lines, tolerance bands, VR sizes).
+func NewWithParams(p pdn.Params) (*PDNspot, error) {
+	models := make(map[pdn.Kind]pdn.Model, 4)
+	for _, k := range pdn.Kinds() {
+		m, err := pdn.New(k, p)
+		if err != nil {
+			return nil, err
+		}
+		models[k] = m
+	}
+	return &PDNspot{
+		platform: domain.NewClientPlatform(),
+		params:   p,
+		models:   models,
+	}, nil
+}
+
+// Platform exposes the modeled client SoC.
+func (ps *PDNspot) Platform() *domain.Platform { return ps.platform }
+
+// Params returns the model parameters in use.
+func (ps *PDNspot) Params() pdn.Params { return ps.params }
+
+// Model returns the internal model for a PDN kind.
+func (ps *PDNspot) Model(k Kind) (pdn.Model, error) {
+	m, ok := ps.models[k]
+	if !ok {
+		return nil, fmt.Errorf("pdnspot: no model for %v (FlexWatts lives in package flexwatts)", k)
+	}
+	return m, nil
+}
+
+// Scenario builds the evaluation scenario for a point, exposing the raw
+// per-domain loads for callers that want to tweak them.
+func (ps *PDNspot) Scenario(pt Point) (pdn.Scenario, error) {
+	return workload.TDPScenario(ps.platform, pt.TDP, pt.Workload, pt.AR)
+}
+
+// Evaluate computes the end-to-end power flow of a PDN at a point.
+func (ps *PDNspot) Evaluate(k Kind, pt Point) (Result, error) {
+	m, err := ps.Model(k)
+	if err != nil {
+		return Result{}, err
+	}
+	s, err := ps.Scenario(pt)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Evaluate(s)
+}
+
+// EvaluateCState computes the power flow in a battery-life package power
+// state (Fig 4(j)).
+func (ps *PDNspot) EvaluateCState(k Kind, c domain.CState) (Result, error) {
+	m, err := ps.Model(k)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Evaluate(workload.CStateScenario(ps.platform, c))
+}
+
+// ValidateAgainstReference runs the time-stepped reference simulator on the
+// same point and returns (predicted ETEE, measured ETEE, accuracy) — the
+// §4.3 validation.
+func (ps *PDNspot) ValidateAgainstReference(k Kind, pt Point, seed int64) (predicted, measured, accuracy float64, err error) {
+	m, err := ps.Model(k)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s, err := ps.Scenario(pt)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	r, err := m.Evaluate(s)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cfg := refmodel.DefaultConfig()
+	cfg.Seed = seed
+	meas, err := refmodel.Measure(m, s, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return r.ETEE, meas.ETEE, refmodel.Accuracy(r.ETEE, meas.ETEE), nil
+}
+
+// RelativePerformance returns the performance of each candidate PDN on a
+// workload, normalized to the IVR baseline (the Fig 7/8 presentation).
+func (ps *PDNspot) RelativePerformance(tdp units.Watt, w workload.Workload, kinds []Kind) (map[Kind]perf.Result, error) {
+	base, err := ps.Model(IVR)
+	if err != nil {
+		return nil, err
+	}
+	candidates := make([]pdn.Model, 0, len(kinds))
+	for _, k := range kinds {
+		if k == IVR {
+			continue
+		}
+		m, err := ps.Model(k)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, m)
+	}
+	return perf.NewEvaluator(ps.platform, base).Compare(tdp, w, candidates)
+}
+
+// CostAndArea returns BOM and board area of every PDN at a TDP, normalized
+// to IVR (Fig 8(d,e)).
+func (ps *PDNspot) CostAndArea(tdp units.Watt) (bom, area map[Kind]float64, err error) {
+	return cost.Normalized(ps.platform, tdp)
+}

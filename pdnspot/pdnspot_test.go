@@ -1,0 +1,100 @@
+package pdnspot_test
+
+import (
+	"testing"
+
+	"repro/internal/pdn"
+	"repro/internal/workload"
+	"repro/pdnspot"
+)
+
+func TestEvaluateAllKinds(t *testing.T) {
+	ps, err := pdnspot.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pdnspot.Point{TDP: 18, Workload: pdnspot.MultiThread, AR: 0.6}
+	for _, k := range []pdnspot.Kind{pdnspot.IVR, pdnspot.MBVR, pdnspot.LDO, pdnspot.IMBVR} {
+		r, err := ps.Evaluate(k, pt)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if !(r.ETEE > 0.5 && r.ETEE < 0.95) {
+			t.Errorf("%v: implausible ETEE %g", k, r.ETEE)
+		}
+	}
+	if _, err := ps.Model(pdn.FlexWatts); err == nil {
+		t.Error("FlexWatts model should not be served by pdnspot")
+	}
+}
+
+func TestEvaluateCState(t *testing.T) {
+	ps, _ := pdnspot.New()
+	r, err := ps.EvaluateCState(pdnspot.LDO, pdnspot.C8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.PNomTotal > 0.1 && r.PNomTotal < 0.2) {
+		t.Errorf("C8 nominal %g, want ~0.13W", r.PNomTotal)
+	}
+}
+
+func TestValidateAgainstReference(t *testing.T) {
+	ps, _ := pdnspot.New()
+	pred, meas, acc, err := ps.ValidateAgainstReference(pdnspot.MBVR,
+		pdnspot.Point{TDP: 18, Workload: pdnspot.SingleThread, AR: 0.5}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred <= 0 || meas <= 0 || acc < 0.97 {
+		t.Errorf("validation pred=%g meas=%g acc=%g", pred, meas, acc)
+	}
+}
+
+func TestRelativePerformance(t *testing.T) {
+	ps, _ := pdnspot.New()
+	w := workload.SPECCPU2006().Workloads[28] // 416.gamess, fully scalable
+	res, err := ps.RelativePerformance(4, w, []pdnspot.Kind{pdnspot.MBVR, pdnspot.LDO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[pdnspot.IVR].Relative != 1 {
+		t.Error("baseline should be 1")
+	}
+	if !(res[pdnspot.LDO].Relative > 1.08) {
+		t.Errorf("gamess at 4W should gain > 8%% on LDO, got %.3f", res[pdnspot.LDO].Relative)
+	}
+}
+
+func TestCostAndArea(t *testing.T) {
+	ps, _ := pdnspot.New()
+	bom, area, err := ps.CostAndArea(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bom[pdnspot.IVR] != 1 || area[pdnspot.IVR] != 1 {
+		t.Error("IVR not normalized")
+	}
+	if !(bom[pdnspot.MBVR] > bom[pdnspot.LDO]) {
+		t.Error("MBVR should cost more than LDO")
+	}
+}
+
+func TestCustomParams(t *testing.T) {
+	p := pdn.DefaultParams()
+	p.CoresLL *= 4
+	ps, err := pdnspot.NewWithParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := pdnspot.New()
+	pt := pdnspot.Point{TDP: 50, Workload: pdnspot.MultiThread, AR: 0.6}
+	r1, _ := ps.Evaluate(pdnspot.MBVR, pt)
+	r0, _ := base.Evaluate(pdnspot.MBVR, pt)
+	if !(r1.ETEE < r0.ETEE) {
+		t.Error("quadrupled load-line should reduce MBVR ETEE")
+	}
+	if ps.Params().CoresLL != p.CoresLL {
+		t.Error("Params accessor mismatch")
+	}
+}
