@@ -1,0 +1,31 @@
+# Local dev and CI run the same targets (ci.yml calls make).
+GO ?= go
+
+.PHONY: all build test race bench lint fmt ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke run: every benchmark once, so CI catches bit-rot without
+# paying for full measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint race bench

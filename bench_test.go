@@ -18,6 +18,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/refmodel"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -65,6 +66,63 @@ func BenchmarkFig8e(b *testing.B) { benchExperiment(b, "fig8e") }
 func BenchmarkTab1(b *testing.B)  { benchExperiment(b, "tab1") }
 func BenchmarkTab2(b *testing.B)  { benchExperiment(b, "tab2") }
 func BenchmarkObs(b *testing.B)   { benchExperiment(b, "obs") }
+
+// benchSuite regenerates the entire registry through the sweep engine with
+// the given worker count. Each iteration gets a fresh evaluation cache so
+// the benchmark measures real full-suite work (including the first-pass
+// dedupe), not memoized replays of the previous iteration.
+func benchSuite(b *testing.B, workers int) {
+	base := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := *base
+		e.Workers = workers
+		e.Cache = sweep.NewCache()
+		if err := experiments.RunAll(&e, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSerial regenerates the full evaluation one sweep point at a
+// time — the baseline for the parallel speedup.
+func BenchmarkSuiteSerial(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel regenerates the full evaluation on the sweep
+// engine's default GOMAXPROCS worker pool. Compare ns/op against
+// BenchmarkSuiteSerial for the full-suite speedup; with 4+ cores the
+// reference-simulator-bound Fig 4 grid alone sustains >2x.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
+
+// BenchmarkCompareOnTraces measures the batch trace-comparison throughput:
+// 8 independent mixed traces across the four static PDNs plus FlexWatts,
+// serial versus the GOMAXPROCS pool.
+func BenchmarkCompareOnTraces(b *testing.B) {
+	e := benchEnv(b)
+	traces := make([]workload.Trace, 8)
+	for i := range traces {
+		traces[i] = workload.NewGenerator(int64(i+1)).Mixed(
+			"bench", workload.MultiThread, 100, 0.3, 0.85, 0.25)
+	}
+	statics := make([]pdn.Model, 0, 4)
+	for _, k := range pdn.Kinds() {
+		statics = append(statics, e.Baselines[k])
+	}
+	cfg := sim.Config{Platform: e.Platform, TDP: 18}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.CompareOnTraces(cfg, statics, e.Flex, e.Predictor, traces, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkEvaluateETEE measures the cost of one closed-form PDN
 // evaluation, the framework's innermost primitive.

@@ -2,53 +2,81 @@
 //
 // Usage:
 //
-//	flexwatts -exp fig7          # one experiment
-//	flexwatts -exp all           # every registered experiment
-//	flexwatts -list              # list experiment ids
+//	flexwatts -exp fig7                # one experiment
+//	flexwatts -exp all                 # every registered experiment
+//	flexwatts -exp all -parallel 8     # ... on an 8-worker sweep pool
+//	flexwatts -list                    # list experiment ids
 //
 // Experiment ids follow the paper's figure/table numbering (fig2a ... fig8e,
-// tab1, tab2, obs); see DESIGN.md for the per-experiment index.
+// tab1, tab2, obs); see DESIGN.md for the per-experiment index. The sweep
+// engine collects results by grid index, so -parallel never changes the
+// output bytes — only how fast they arrive.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
-func main() {
-	exp := flag.String("exp", "", "experiment id to run, or 'all'")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	flag.Parse()
+// run is the testable entry point: it parses args, executes, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flexwatts", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment id to run, or 'all'")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	parallel := fs.Int("parallel", runtime.NumCPU(),
+		"sweep engine worker count (1 = serial; output is identical either way)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: flexwatts -exp <id>|all   (or -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: flexwatts -exp <id>|all [-parallel N]   (or -list)")
+		return 2
+	}
+	if *exp != "all" && !experiments.Known(*exp) {
+		fmt.Fprintf(stderr, "flexwatts: unknown experiment %q; valid ids: all %s\n",
+			*exp, strings.Join(experiments.IDs(), " "))
+		return 2
 	}
 
 	env, err := experiments.NewEnv()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "flexwatts:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "flexwatts:", err)
+		return 1
 	}
+	env.Workers = *parallel
 
-	ids := []string{*exp}
 	if *exp == "all" {
-		ids = experiments.IDs()
-	}
-	for _, id := range ids {
-		if err := experiments.Run(id, env, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "flexwatts: %s: %v\n", id, err)
-			os.Exit(1)
+		if err := experiments.RunAll(env, stdout); err != nil {
+			fmt.Fprintln(stderr, "flexwatts:", err)
+			return 1
 		}
-		fmt.Println()
+		return 0
 	}
+	if err := experiments.Run(*exp, env, stdout); err != nil {
+		fmt.Fprintln(stderr, "flexwatts:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout)
+	return 0
 }
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

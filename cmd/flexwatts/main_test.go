@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentExitsNonZero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "fig99"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("unknown -exp returned exit code 0")
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, "fig99") {
+		t.Errorf("stderr %q does not name the bad id", msg)
+	}
+	// The message must carry the valid id list so the user can recover.
+	for _, id := range []string{"fig2a", "fig7", "tab1", "obs", "all"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("stderr does not list valid id %q: %s", id, msg)
+		}
+	}
+	if out.Len() != 0 {
+		t.Errorf("unknown -exp wrote to stdout: %q", out.String())
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h returned %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-exp") {
+		t.Errorf("help text %q does not describe -exp", errOut.String())
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args returned %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("stderr %q lacks usage line", errOut.String())
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list returned %d, stderr: %s", code, errOut.String())
+	}
+	for _, id := range []string{"fig2a", "fig8e", "tab2", "noise"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "tab1", "-parallel", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("-exp tab1 returned %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Errorf("tab1 output missing table title: %q", out.String())
+	}
+}
+
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	// The CLI contract: -parallel only changes speed, never bytes.
+	var serial, parallel, errOut strings.Builder
+	if code := run([]string{"-exp", "fig4j", "-parallel", "1"}, &serial, &errOut); code != 0 {
+		t.Fatalf("serial run failed: %s", errOut.String())
+	}
+	if code := run([]string{"-exp", "fig4j", "-parallel", "8"}, &parallel, &errOut); code != 0 {
+		t.Fatalf("parallel run failed: %s", errOut.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Error("-parallel 8 output differs from -parallel 1")
+	}
+}

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/domain"
 	"repro/internal/pdn"
@@ -68,7 +69,10 @@ type Model struct {
 	vin    *vr.Buck
 	sa     *vr.Buck
 	io     *vr.Buck
-	mode   Mode
+	// mode is atomic because sweep workers share one Model: AutoModel
+	// records the mode it evaluates, and concurrent evaluations must not
+	// race on the field (each evaluation passes its mode explicitly).
+	mode atomic.Int32
 }
 
 // NewModel constructs a FlexWatts PDN with the given PDNspot parameters.
@@ -87,15 +91,15 @@ func NewModel(p pdn.Params) *Model {
 func (m *Model) Kind() pdn.Kind { return pdn.FlexWatts }
 
 // Mode returns the currently configured hybrid mode.
-func (m *Model) Mode() Mode { return m.mode }
+func (m *Model) Mode() Mode { return Mode(m.mode.Load()) }
 
 // SetMode configures the hybrid mode. The electrical transition itself is
 // modeled by SwitchFlow; SetMode only changes which mode Evaluate uses.
-func (m *Model) SetMode(mode Mode) { m.mode = mode }
+func (m *Model) SetMode(mode Mode) { m.mode.Store(int32(mode)) }
 
 // Evaluate implements pdn.Model using the current mode.
 func (m *Model) Evaluate(s pdn.Scenario) (pdn.Result, error) {
-	return m.EvaluateMode(s, m.mode)
+	return m.EvaluateMode(s, m.Mode())
 }
 
 // EvaluateMode computes the end-to-end power flow with the hybrid VRs in

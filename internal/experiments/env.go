@@ -5,24 +5,36 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/pdn"
+	"repro/internal/sweep"
 )
 
 // Env bundles the objects every experiment needs: the platform model, the
 // PDNspot parameters, the four baseline PDNs, and FlexWatts with its
-// predictor.
+// predictor, plus the sweep engine settings the figure drivers execute on.
 type Env struct {
 	Platform  *domain.Platform
 	Params    pdn.Params
 	Baselines map[pdn.Kind]pdn.Model
 	Flex      *core.Model
 	Predictor *core.Predictor
+	// Workers bounds how many sweep points the drivers evaluate
+	// concurrently: 1 is fully serial, 0 (the default) sizes the pool by
+	// GOMAXPROCS. Output is byte-identical either way — results are
+	// collected by grid index before rendering.
+	Workers int
+	// Cache memoizes baseline PDN evaluations, so scenario cells shared
+	// between figures (the same TDP grids recur everywhere) evaluate once
+	// per Env.
+	Cache *sweep.Cache
 }
 
 // NewEnv constructs the default evaluation environment.
@@ -48,17 +60,31 @@ func NewEnv() (*Env, error) {
 		Baselines: baselines,
 		Flex:      flex,
 		Predictor: pred,
+		Cache:     sweep.NewCache(),
 	}, nil
 }
 
+// Eval evaluates baseline k on s through the env's memoizing cache.
+func (e *Env) Eval(k pdn.Kind, s pdn.Scenario) (pdn.Result, error) {
+	return e.Cache.Evaluate(e.Baselines[k], s)
+}
+
+// Model returns baseline k wrapped in the env's memoizing cache, for
+// callers that consume a pdn.Model (perf.Evaluator, battery-life drivers).
+func (e *Env) Model(k pdn.Kind) pdn.Model {
+	return sweep.Cached(e.Baselines[k], e.Cache)
+}
+
 // AllModels returns the five PDNs in plotting order, with FlexWatts wrapped
-// in its Algorithm 1 auto-mode adapter for the given TDP.
+// in its Algorithm 1 auto-mode adapter for the given TDP. The baselines are
+// cache-wrapped; the auto-model is not (its result depends on the TDP, not
+// just the scenario).
 func (e *Env) AllModels(tdp float64) []pdn.Model {
 	return []pdn.Model{
-		e.Baselines[pdn.IVR],
-		e.Baselines[pdn.MBVR],
-		e.Baselines[pdn.LDO],
-		e.Baselines[pdn.IMBVR],
+		e.Model(pdn.IVR),
+		e.Model(pdn.MBVR),
+		e.Model(pdn.LDO),
+		e.Model(pdn.IMBVR),
 		core.NewAutoModel(e.Flex, e.Predictor, tdp),
 	}
 }
@@ -81,6 +107,12 @@ func Run(id string, e *Env, w io.Writer) error {
 	return r(e, w)
 }
 
+// Known reports whether id names a registered experiment.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
+}
+
 // IDs lists the registered experiment ids in sorted order.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
@@ -89,4 +121,43 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// RunAll executes every registered experiment through the sweep engine.
+// Each experiment renders into its own buffer; the buffers are written to w
+// in id order, each followed by a blank line, so the output is byte-for-byte
+// the same whether the registry ran serially or concurrently.
+//
+// The env's worker budget is split between the two sweep levels — a few
+// experiments in flight, each granted its share of the pool for its own
+// grid — so nested sweeps never multiply into workers² goroutines.
+func RunAll(e *Env, w io.Writer) error {
+	ids := IDs()
+	budget := e.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	outer := budget
+	if outer > 4 {
+		outer = 4
+	}
+	inner := *e
+	inner.Workers = (budget + outer - 1) / outer
+	outs, err := sweep.Map(outer, len(ids), func(i int) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := Run(ids[i], &inner, &buf); err != nil {
+			return nil, fmt.Errorf("%s: %w", ids[i], err)
+		}
+		buf.WriteByte('\n')
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, out := range outs {
+		if _, err := w.Write(out); err != nil {
+			return err
+		}
+	}
+	return nil
 }

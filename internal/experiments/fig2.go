@@ -7,6 +7,7 @@ import (
 	"repro/internal/pdn"
 	"repro/internal/perf"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -21,12 +22,21 @@ func init() {
 // TDP (~tens of mW), hundreds of mW at 50 W, which is why PDN efficiency
 // matters most for low-TDP parts.
 func Fig2a(e *Env, w io.Writer) error {
+	tdps := workload.StandardTDPs()
+	type cell struct{ cpu, gfx units.Watt }
+	cells, err := sweep.Map(e.Workers, len(tdps), func(i int) (cell, error) {
+		return cell{
+			cpu: perf.Sensitivity(e.Platform, tdps[i], domain.Core0, 0.56),
+			gfx: perf.Sensitivity(e.Platform, tdps[i], domain.GFX, 0.56),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Fig 2(a): power-budget increase for 1% frequency increase (mW)",
 		"TDP", "CPU", "GFX")
-	for _, tdp := range workload.StandardTDPs() {
-		cpu := perf.Sensitivity(e.Platform, tdp, domain.Core0, 0.56)
-		gfx := perf.Sensitivity(e.Platform, tdp, domain.GFX, 0.56)
-		t.AddRowF(fmtTDP(tdp), cpu/units.Milli, gfx/units.Milli)
+	for i, tdp := range tdps {
+		t.AddRowF(fmtTDP(tdp), cells[i].cpu/units.Milli, cells[i].gfx/units.Milli)
 	}
 	return t.WriteASCII(w)
 }
@@ -36,33 +46,45 @@ func Fig2a(e *Env, w io.Writer) error {
 // using at each TDP the commonly-used PDN with the highest loss (IVR at low
 // TDP, MBVR at high TDP), as the paper does.
 func Fig2b(e *Env, w io.Writer) error {
+	const ar = 0.56
+	tdps := workload.StandardTDPs()
+	type cell struct {
+		worstKind        pdn.Kind
+		worst            pdn.Result
+		cores, llc, saio units.Watt
+	}
+	cells, err := sweep.Map(e.Workers, len(tdps), func(i int) (cell, error) {
+		s, err := workload.TDPScenario(e.Platform, tdps[i], workload.MultiThread, ar)
+		if err != nil {
+			return cell{}, err
+		}
+		var c cell
+		// Find the worst of the three commonly-used PDNs.
+		for _, k := range []pdn.Kind{pdn.IVR, pdn.MBVR, pdn.LDO} {
+			r, err := e.Eval(k, s)
+			if err != nil {
+				return cell{}, err
+			}
+			if c.worst.PIn == 0 || r.PIn > c.worst.PIn {
+				c.worst, c.worstKind = r, k
+			}
+		}
+		c.cores = s.LoadFor(domain.Core0).PNom + s.LoadFor(domain.Core1).PNom
+		c.llc = s.LoadFor(domain.LLC).PNom
+		c.saio = s.LoadFor(domain.SA).PNom + s.LoadFor(domain.IO).PNom
+		return c, nil
+	})
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Fig 2(b): power-budget breakdown, CPU-intensive workload, worst PDN per TDP",
 		"TDP", "WorstPDN", "SA+IO", "CPU", "LLC", "PDNLoss")
-	const ar = 0.56
-	for _, tdp := range workload.StandardTDPs() {
-		s, err := workload.TDPScenario(e.Platform, tdp, workload.MultiThread, ar)
-		if err != nil {
-			return err
-		}
-		// Find the worst of the three commonly-used PDNs.
-		var worst pdn.Result
-		var worstKind pdn.Kind
-		for _, k := range []pdn.Kind{pdn.IVR, pdn.MBVR, pdn.LDO} {
-			r, err := e.Baselines[k].Evaluate(s)
-			if err != nil {
-				return err
-			}
-			if worst.PIn == 0 || r.PIn > worst.PIn {
-				worst, worstKind = r, k
-			}
-		}
-		cores := s.LoadFor(domain.Core0).PNom + s.LoadFor(domain.Core1).PNom
-		llc := s.LoadFor(domain.LLC).PNom
-		saio := s.LoadFor(domain.SA).PNom + s.LoadFor(domain.IO).PNom
-		loss := worst.PIn - worst.PNomTotal
-		t.AddRow(fmtTDP(tdp), worstKind.String(),
-			report.Pct(saio/worst.PIn), report.Pct(cores/worst.PIn),
-			report.Pct(llc/worst.PIn), report.Pct(loss/worst.PIn))
+	for i, tdp := range tdps {
+		c := cells[i]
+		loss := c.worst.PIn - c.worst.PNomTotal
+		t.AddRow(fmtTDP(tdp), c.worstKind.String(),
+			report.Pct(c.saio/c.worst.PIn), report.Pct(c.cores/c.worst.PIn),
+			report.Pct(c.llc/c.worst.PIn), report.Pct(loss/c.worst.PIn))
 	}
 	return t.WriteASCII(w)
 }

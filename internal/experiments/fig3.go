@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/vr"
 )
 
@@ -12,7 +13,8 @@ func init() { register("fig3", Fig3) }
 
 // Fig3 regenerates Fig 3: off-chip VR efficiency as a function of output
 // current (0.1–10 A, log-spaced), output voltage (0.6/0.7/1.0/1.8 V), and
-// VR power state (PS0/PS1), at 7.2 V input.
+// VR power state (PS0/PS1), at 7.2 V input. Each current point is one sweep
+// cell producing a full table row.
 func Fig3(e *Env, w io.Writer) error {
 	b := vr.NewVinVR(e.Params.VINIccmax)
 	vouts := []float64{0.6, 0.7, 1.0, 1.8}
@@ -24,18 +26,25 @@ func Fig3(e *Env, w io.Writer) error {
 			cols = append(cols, fmt.Sprintf("%s/Vout=%.1f", ps, vo))
 		}
 	}
-	t := report.NewTable("Fig 3: off-chip VR efficiency curves (Vin=7.2V)", cols...)
 
 	const n = 13
 	curve := vr.EfficiencyCurve(b, 7.2, 1.0, vr.PS0, 0.1, 10, n)
-	for _, pt := range curve.Points() {
-		row := []string{fmt.Sprintf("%.3g", pt.X)}
+	pts := curve.Points()
+	rows, err := sweep.Map(e.Workers, len(pts), func(i int) ([]string, error) {
+		row := []string{fmt.Sprintf("%.3g", pts[i].X)}
 		for _, ps := range states {
 			for _, vo := range vouts {
-				eta := b.Efficiency(vr.OperatingPoint{Vin: 7.2, Vout: vo, Iout: pt.X, State: ps})
+				eta := b.Efficiency(vr.OperatingPoint{Vin: 7.2, Vout: vo, Iout: pts[i].X, State: ps})
 				row = append(row, report.Pct(eta))
 			}
 		}
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Fig 3: off-chip VR efficiency curves (Vin=7.2V)", cols...)
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t.WriteASCII(w)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/pdn"
 	"repro/internal/refmodel"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -23,39 +24,66 @@ var validatedPDNs = []pdn.Kind{pdn.IVR, pdn.MBVR, pdn.LDO}
 // ETEE for single-threaded, multi-threaded and graphics workloads at 4, 18
 // and 50 W TDP across the 40–80 % AR range, plus the per-model validation
 // accuracy summary (§4.3 reports 99.1/99.4/99.2 % average accuracy).
+//
+// The (workload, TDP, AR) grid runs on the sweep engine — the reference
+// simulator dominates the cost and every cell is independent (each derives
+// its RNG seed from its grid index). Accuracy statistics accumulate
+// serially over the collected cells in grid order, so the summary is
+// identical to the serial path.
 func Fig4(e *Env, w io.Writer) error {
+	wts := workload.Types()
 	tdps := []float64{4, 18, 50}
 	ars := []float64{0.40, 0.50, 0.60, 0.70, 0.80}
+
+	type cell struct {
+		row  []string
+		accs [3]float64 // per validated PDN, this cell's validation accuracy
+	}
+	n := len(wts) * len(tdps) * len(ars)
+	cells, err := sweep.Map(e.Workers, n, func(i int) (cell, error) {
+		wt := wts[i/(len(tdps)*len(ars))]
+		tdp := tdps[(i/len(ars))%len(tdps)]
+		ar := ars[i%len(ars)]
+		s, err := workload.TDPScenario(e.Platform, tdp, wt, ar)
+		if err != nil {
+			return cell{}, err
+		}
+		c := cell{row: []string{report.Pct(ar)}}
+		for ki, k := range validatedPDNs {
+			pred, err := e.Eval(k, s)
+			if err != nil {
+				return cell{}, err
+			}
+			cfg := refmodel.DefaultConfig()
+			cfg.Seed = int64(i) + 7
+			// Measure perturbs the scenario every step; give it the raw
+			// model so one-off snapshots stay out of the cache.
+			meas, err := refmodel.Measure(e.Baselines[k], s, cfg)
+			if err != nil {
+				return cell{}, err
+			}
+			c.accs[ki] = refmodel.Accuracy(pred.ETEE, meas.ETEE)
+			c.row = append(c.row, report.Pct(pred.ETEE), report.Pct(meas.ETEE))
+		}
+		return c, nil
+	})
+	if err != nil {
+		return err
+	}
 
 	accSum := map[pdn.Kind]float64{}
 	accMin := map[pdn.Kind]float64{}
 	accMax := map[pdn.Kind]float64{}
-	count := 0
-
-	for _, wt := range workload.Types() {
+	i := 0
+	for _, wt := range wts {
 		for _, tdp := range tdps {
 			t := report.NewTable(
 				fmt.Sprintf("Fig 4: %s - %sW (predicted vs measured ETEE)", wt, fmtTDP(tdp)),
 				"AR", "IVR pred", "IVR meas", "MBVR pred", "MBVR meas", "LDO pred", "LDO meas")
-			for _, ar := range ars {
-				s, err := workload.TDPScenario(e.Platform, tdp, wt, ar)
-				if err != nil {
-					return err
-				}
-				row := []string{report.Pct(ar)}
-				for _, k := range validatedPDNs {
-					m := e.Baselines[k]
-					pred, err := m.Evaluate(s)
-					if err != nil {
-						return err
-					}
-					cfg := refmodel.DefaultConfig()
-					cfg.Seed = int64(count) + 7
-					meas, err := refmodel.Measure(m, s, cfg)
-					if err != nil {
-						return err
-					}
-					acc := refmodel.Accuracy(pred.ETEE, meas.ETEE)
+			for range ars {
+				c := cells[i]
+				for ki, k := range validatedPDNs {
+					acc := c.accs[ki]
 					accSum[k] += acc
 					if accMin[k] == 0 || acc < accMin[k] {
 						accMin[k] = acc
@@ -63,10 +91,9 @@ func Fig4(e *Env, w io.Writer) error {
 					if acc > accMax[k] {
 						accMax[k] = acc
 					}
-					row = append(row, report.Pct(pred.ETEE), report.Pct(meas.ETEE))
 				}
-				count++
-				t.AddRow(row...)
+				t.AddRow(c.row...)
+				i++
 			}
 			if err := t.WriteASCII(w); err != nil {
 				return err
@@ -78,8 +105,7 @@ func Fig4(e *Env, w io.Writer) error {
 	sum := report.NewTable("Fig 4 validation accuracy summary",
 		"PDN", "avg", "min", "max")
 	for _, k := range validatedPDNs {
-		n := float64(count)
-		sum.AddRow(k.String(), report.Pct(accSum[k]/n), report.Pct(accMin[k]), report.Pct(accMax[k]))
+		sum.AddRow(k.String(), report.Pct(accSum[k]/float64(n)), report.Pct(accMin[k]), report.Pct(accMax[k]))
 	}
 	return sum.WriteASCII(w)
 }
@@ -87,19 +113,26 @@ func Fig4(e *Env, w io.Writer) error {
 // Fig4j regenerates Fig 4(j): ETEE of the three PDNs in the battery-life
 // power states (C0MIN and package C2/C3/C6/C7/C8).
 func Fig4j(e *Env, w io.Writer) error {
-	t := report.NewTable("Fig 4(j): ETEE in battery-life power states",
-		"State", "IVR", "MBVR", "LDO")
 	states := append([]domain.CState{domain.C0MIN}, domain.IdleCStates()...)
-	for _, c := range states {
+	rows, err := sweep.Map(e.Workers, len(states), func(i int) ([]string, error) {
+		c := states[i]
 		s := workload.CStateScenario(e.Platform, c)
 		row := []string{c.String()}
 		for _, k := range validatedPDNs {
-			r, err := e.Baselines[k].Evaluate(s)
+			r, err := e.Eval(k, s)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			row = append(row, report.Pct(r.ETEE))
 		}
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Fig 4(j): ETEE in battery-life power states",
+		"State", "IVR", "MBVR", "LDO")
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t.WriteASCII(w)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/pdn"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -15,37 +16,45 @@ func init() { register("fig5", Fig5) }
 // the three commonly-used PDNs running a CPU-intensive workload (AR = 56 %)
 // at 4, 18 and 50 W TDP, as percentages of total input power, plus the
 // normalized (to IVR) chip input current and compute load-line impedance
-// line plots.
+// line plots. The (PDN, TDP) grid runs on the sweep engine; the shared IVR
+// reference evaluations dedupe through the env cache.
 func Fig5(e *Env, w io.Writer) error {
 	const ar = 0.56
+	tdps := []float64{4, 18, 50}
+	rows, err := sweep.Map(e.Workers, len(validatedPDNs)*len(tdps), func(i int) ([]string, error) {
+		k := validatedPDNs[i/len(tdps)]
+		tdp := tdps[i%len(tdps)]
+		s, err := workload.TDPScenario(e.Platform, tdp, workload.MultiThread, ar)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.Eval(k, s)
+		if err != nil {
+			return nil, err
+		}
+		ivrRes, err := e.Eval(pdn.IVR, s)
+		if err != nil {
+			return nil, err
+		}
+		b := r.Breakdown
+		vrLoss := b.OnChipVR + b.OffChipVR
+		others := b.Guardband + b.PowerGate
+		return []string{k.String(), fmtTDP(tdp),
+			report.Pct(vrLoss / r.PIn),
+			report.Pct(b.CondCompute / r.PIn),
+			report.Pct(b.CondUncore / r.PIn),
+			report.Pct(others / r.PIn),
+			report.Pct((r.PIn - r.PNomTotal) / r.PIn),
+			fmt.Sprintf("%.2fx", r.ChipInputCurrent/ivrRes.ChipInputCurrent),
+			fmt.Sprintf("%.2fx", r.ComputeRailR/ivrRes.ComputeRailR)}, nil
+	})
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Fig 5: PDN loss breakdown, CPU-intensive (AR=56%)",
 		"PDN", "TDP", "VR ineff", "I2R core+GFX", "I2R SA+IO", "Others", "TotalLoss", "I_norm", "RLL_norm")
-	for _, k := range validatedPDNs {
-		for _, tdp := range []float64{4, 18, 50} {
-			s, err := workload.TDPScenario(e.Platform, tdp, workload.MultiThread, ar)
-			if err != nil {
-				return err
-			}
-			r, err := e.Baselines[k].Evaluate(s)
-			if err != nil {
-				return err
-			}
-			ivrRes, err := e.Baselines[pdn.IVR].Evaluate(s)
-			if err != nil {
-				return err
-			}
-			b := r.Breakdown
-			vrLoss := b.OnChipVR + b.OffChipVR
-			others := b.Guardband + b.PowerGate
-			t.AddRow(k.String(), fmtTDP(tdp),
-				report.Pct(vrLoss/r.PIn),
-				report.Pct(b.CondCompute/r.PIn),
-				report.Pct(b.CondUncore/r.PIn),
-				report.Pct(others/r.PIn),
-				report.Pct((r.PIn-r.PNomTotal)/r.PIn),
-				fmt.Sprintf("%.2fx", r.ChipInputCurrent/ivrRes.ChipInputCurrent),
-				fmt.Sprintf("%.2fx", r.ComputeRailR/ivrRes.ComputeRailR))
-		}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t.WriteASCII(w)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/pdn"
 	"repro/internal/perf"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -17,27 +18,44 @@ var perfOrder = []pdn.Kind{pdn.IVR, pdn.MBVR, pdn.LDO, pdn.IMBVR, pdn.FlexWatts}
 // Fig7 regenerates Fig 7: per-benchmark SPEC CPU2006 performance at 4 W TDP
 // for the five PDNs, normalized to IVR, sorted ascending by each
 // benchmark's performance scalability (the suite is already in that order).
-// The paper's headline: MBVR/LDO/FlexWatts average >22 % over IVR.
+// Each benchmark is one sweep cell; the Average row accumulates over the
+// collected cells in suite order. The paper's headline: MBVR/LDO/FlexWatts
+// average >22 % over IVR.
 func Fig7(e *Env, w io.Writer) error {
 	const tdp = 4.0
-	ev := perf.NewEvaluator(e.Platform, e.Baselines[pdn.IVR])
+	ev := perf.NewEvaluator(e.Platform, e.Model(pdn.IVR))
 	candidates := e.AllModels(tdp)[1:] // all but the IVR baseline
+	suite := workload.SPECCPU2006()
+
+	type cell struct {
+		row []string
+		rel [5]float64 // Relative per PDN, in perfOrder
+	}
+	cells, err := sweep.Map(e.Workers, len(suite.Workloads), func(i int) (cell, error) {
+		bench := suite.Workloads[i]
+		res, err := ev.Compare(tdp, bench, candidates)
+		if err != nil {
+			return cell{}, err
+		}
+		c := cell{row: []string{bench.Name, report.F2(bench.Scalability)}}
+		for ki, k := range perfOrder {
+			c.row = append(c.row, report.Pct(res[k].Relative))
+			c.rel[ki] = res[k].Relative
+		}
+		return c, nil
+	})
+	if err != nil {
+		return err
+	}
 
 	t := report.NewTable("Fig 7: SPEC CPU2006 normalized performance at 4W TDP",
 		"Benchmark", "Scal", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
-	suite := workload.SPECCPU2006()
 	sums := map[pdn.Kind]float64{}
-	for _, bench := range suite.Workloads {
-		res, err := ev.Compare(tdp, bench, candidates)
-		if err != nil {
-			return err
+	for _, c := range cells {
+		for ki, k := range perfOrder {
+			sums[k] += c.rel[ki]
 		}
-		row := []string{bench.Name, report.F2(bench.Scalability)}
-		for _, k := range perfOrder {
-			row = append(row, report.Pct(res[k].Relative))
-			sums[k] += res[k].Relative
-		}
-		t.AddRow(row...)
+		t.AddRow(c.row...)
 	}
 	n := float64(len(suite.Workloads))
 	avg := []string{"Average", report.F2(suite.MeanScalability())}

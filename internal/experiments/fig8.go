@@ -8,6 +8,7 @@ import (
 	"repro/internal/pdn"
 	"repro/internal/perf"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -20,20 +21,28 @@ func init() {
 }
 
 // suiteVsTDP renders average suite performance (normalized to IVR) against
-// TDP for the five PDNs.
+// TDP for the five PDNs, one sweep cell per TDP design point.
 func suiteVsTDP(e *Env, w io.Writer, title string, suite workload.Suite) error {
-	t := report.NewTable(title, "TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
-	ev := perf.NewEvaluator(e.Platform, e.Baselines[pdn.IVR])
-	for _, tdp := range workload.StandardTDPs() {
+	ev := perf.NewEvaluator(e.Platform, e.Model(pdn.IVR))
+	tdps := workload.StandardTDPs()
+	rows, err := sweep.Map(e.Workers, len(tdps), func(i int) ([]string, error) {
+		tdp := tdps[i]
 		candidates := e.AllModels(tdp)[1:]
 		avg, err := ev.SuiteAverage(tdp, suite, candidates)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		row := []string{fmtTDP(tdp)}
 		for _, k := range perfOrder {
 			row = append(row, report.Pct(avg[k]))
 		}
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(title, "TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t.WriteASCII(w)
@@ -54,11 +63,13 @@ func Fig8b(e *Env, w io.Writer) error {
 // Fig8c regenerates Fig 8(c): battery-life workload average power for the
 // five PDNs, normalized to IVR (lower is better). The §5 formula weights
 // each package state's power by residency and ETEE; FlexWatts runs
-// LDO-Mode in these states (predicted by Algorithm 1).
+// LDO-Mode in these states (predicted by Algorithm 1). Each workload is one
+// sweep cell; the C-state scenarios they share dedupe through the env
+// cache.
 func Fig8c(e *Env, w io.Writer) error {
-	t := report.NewTable("Fig 8(c): battery-life average power (normalized to IVR, lower is better)",
-		"Workload", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
-	for _, bw := range workload.BatteryLifeWorkloads() {
+	bws := workload.BatteryLifeWorkloads()
+	rows, err := sweep.Map(e.Workers, len(bws), func(i int) ([]string, error) {
+		bw := bws[i]
 		etee := func(m pdn.Model) func(domain.CState) float64 {
 			return func(c domain.CState) float64 {
 				s := workload.CStateScenario(e.Platform, c)
@@ -69,7 +80,7 @@ func Fig8c(e *Env, w io.Writer) error {
 				return r.ETEE
 			}
 		}
-		base := bw.AveragePower(e.Platform, etee(e.Baselines[pdn.IVR]))
+		base := bw.AveragePower(e.Platform, etee(e.Model(pdn.IVR)))
 		row := []string{bw.Name}
 		for _, k := range perfOrder {
 			var m pdn.Model
@@ -78,11 +89,45 @@ func Fig8c(e *Env, w io.Writer) error {
 				// the auto-model — the predictor keys on power state here.
 				m = e.AllModels(4)[4]
 			} else {
-				m = e.Baselines[k]
+				m = e.Model(k)
 			}
 			p := bw.AveragePower(e.Platform, etee(m))
 			row = append(row, report.Pct(p/base))
 		}
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Fig 8(c): battery-life average power (normalized to IVR, lower is better)",
+		"Workload", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t.WriteASCII(w)
+}
+
+// costVsTDP renders the sized BOM cost or board area versus TDP normalized
+// to IVR, one sweep cell per TDP design point.
+func costVsTDP(e *Env, w io.Writer, title string, pick func(bom, area map[pdn.Kind]float64) map[pdn.Kind]float64) error {
+	tdps := workload.StandardTDPs()
+	rows, err := sweep.Map(e.Workers, len(tdps), func(i int) ([]string, error) {
+		bom, area, err := cost.Normalized(e.Platform, tdps[i])
+		if err != nil {
+			return nil, err
+		}
+		vals := pick(bom, area)
+		row := []string{fmtTDP(tdps[i])}
+		for _, k := range perfOrder {
+			row = append(row, report.F2(vals[k]))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(title, "TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t.WriteASCII(w)
@@ -90,36 +135,12 @@ func Fig8c(e *Env, w io.Writer) error {
 
 // Fig8d regenerates Fig 8(d): BOM cost vs TDP normalized to IVR.
 func Fig8d(e *Env, w io.Writer) error {
-	t := report.NewTable("Fig 8(d): BOM cost (normalized to IVR)",
-		"TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
-	for _, tdp := range workload.StandardTDPs() {
-		bom, _, err := cost.Normalized(e.Platform, tdp)
-		if err != nil {
-			return err
-		}
-		row := []string{fmtTDP(tdp)}
-		for _, k := range perfOrder {
-			row = append(row, report.F2(bom[k]))
-		}
-		t.AddRow(row...)
-	}
-	return t.WriteASCII(w)
+	return costVsTDP(e, w, "Fig 8(d): BOM cost (normalized to IVR)",
+		func(bom, area map[pdn.Kind]float64) map[pdn.Kind]float64 { return bom })
 }
 
 // Fig8e regenerates Fig 8(e): board area vs TDP normalized to IVR.
 func Fig8e(e *Env, w io.Writer) error {
-	t := report.NewTable("Fig 8(e): board area (normalized to IVR)",
-		"TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
-	for _, tdp := range workload.StandardTDPs() {
-		_, area, err := cost.Normalized(e.Platform, tdp)
-		if err != nil {
-			return err
-		}
-		row := []string{fmtTDP(tdp)}
-		for _, k := range perfOrder {
-			row = append(row, report.F2(area[k]))
-		}
-		t.AddRow(row...)
-	}
-	return t.WriteASCII(w)
+	return costVsTDP(e, w, "Fig 8(e): board area (normalized to IVR)",
+		func(bom, area map[pdn.Kind]float64) map[pdn.Kind]float64 { return area })
 }

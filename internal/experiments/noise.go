@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -14,24 +15,33 @@ func init() { register("noise", Noise) }
 // Noise regenerates the §6 voltage-noise argument for the C6-based mode
 // switch flow: the worst-case compute-rail droop if the hybrid PDN switched
 // modes live under load, versus through package C6, across TDPs. A droop
-// beyond the tolerance band is a voltage emergency.
+// beyond the tolerance band is a voltage emergency. The (TDP, workload)
+// grid runs on the sweep engine.
 func Noise(e *Env, w io.Writer) error {
 	p := core.DefaultNoiseParams()
+	tdps := []float64{4, 18, 50}
+	wts := workload.Types()
+	rows, err := sweep.Map(e.Workers, len(tdps)*len(wts), func(i int) ([]string, error) {
+		tdp := tdps[i/len(wts)]
+		wt := wts[i%len(wts)]
+		s, err := workload.TDPScenario(e.Platform, tdp, wt, 0.6)
+		if err != nil {
+			return nil, err
+		}
+		live := core.ModeSwitchNoise(s, p, false)
+		parked := core.ModeSwitchNoise(s, p, true)
+		return []string{fmtTDP(tdp), wt.String(),
+			units.FormatVolt(live.Excursion), boolCell(live.Emergency),
+			units.FormatVolt(parked.Excursion), boolCell(parked.Emergency)}, nil
+	})
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("§6: mode-switch voltage droop (tolerance band "+
 		units.FormatVolt(p.Tolerance)+")",
 		"TDP", "Workload", "live droop", "live emergency", "C6 droop", "C6 emergency")
-	for _, tdp := range []float64{4, 18, 50} {
-		for _, wt := range workload.Types() {
-			s, err := workload.TDPScenario(e.Platform, tdp, wt, 0.6)
-			if err != nil {
-				return err
-			}
-			live := core.ModeSwitchNoise(s, p, false)
-			parked := core.ModeSwitchNoise(s, p, true)
-			t.AddRow(fmtTDP(tdp), wt.String(),
-				units.FormatVolt(live.Excursion), boolCell(live.Emergency),
-				units.FormatVolt(parked.Excursion), boolCell(parked.Emergency))
-		}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t.WriteASCII(w)
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/pdn"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -17,18 +18,28 @@ func init() {
 // Observations regenerates the §5 crossover analysis: for each workload
 // type and AR, the TDP at which the IVR PDN's ETEE overtakes MBVR's and
 // LDO's (Observation 1 puts it between 4 W and 50 W; Observation 2 puts the
-// graphics/LDO crossover around 21 W).
+// graphics/LDO crossover around 21 W). Each (workload, AR) pair is one
+// sweep cell scanning the TDP range; the IVR evaluations shared between the
+// two comparisons dedupe through the env cache.
 func Observations(e *Env, w io.Writer) error {
+	wts := workload.Types()
+	ars := []float64{0.4, 0.6, 0.8}
+	rows, err := sweep.Map(e.Workers, len(wts)*len(ars), func(i int) ([]string, error) {
+		wt := wts[i/len(ars)]
+		ar := ars[i%len(ars)]
+		row := []string{wt.String(), report.Pct(ar)}
+		for _, other := range []pdn.Kind{pdn.MBVR, pdn.LDO} {
+			row = append(row, crossover(e, wt, ar, other))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Observation 1/2: IVR ETEE crossover TDP (W)",
 		"Workload", "AR", "vs MBVR", "vs LDO")
-	for _, wt := range workload.Types() {
-		for _, ar := range []float64{0.4, 0.6, 0.8} {
-			row := []string{wt.String(), report.Pct(ar)}
-			for _, other := range []pdn.Kind{pdn.MBVR, pdn.LDO} {
-				row = append(row, crossover(e, wt, ar, other))
-			}
-			t.AddRow(row...)
-		}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t.WriteASCII(w)
 }
@@ -42,11 +53,11 @@ func crossover(e *Env, wt workload.Type, ar float64, other pdn.Kind) string {
 		if err != nil {
 			return "err"
 		}
-		ri, err := e.Baselines[pdn.IVR].Evaluate(s)
+		ri, err := e.Eval(pdn.IVR, s)
 		if err != nil {
 			return "err"
 		}
-		ro, err := e.Baselines[other].Evaluate(s)
+		ro, err := e.Eval(other, s)
 		if err != nil {
 			return "err"
 		}

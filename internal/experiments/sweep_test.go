@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// envWith returns a copy of the shared env with its own sweep settings and
+// a fresh cache, so determinism tests exercise concurrent cache fills.
+func envWith(t *testing.T, workers int) *Env {
+	t.Helper()
+	e := *env(t)
+	e.Workers = workers
+	e.Cache = sweep.NewCache()
+	return &e
+}
+
+// TestParallelOutputMatchesSerial is the engine's core guarantee: every
+// registered experiment renders byte-identical output whether its grid runs
+// on one worker or many. Run with -race to double as the engine's data-race
+// gate over the whole evaluation.
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	serial := envWith(t, 1)
+	parallel := envWith(t, 8)
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var a, b bytes.Buffer
+			if err := Run(id, serial, &a); err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			if err := Run(id, parallel, &b); err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("parallel output differs from serial for %s:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, a.String(), b.String())
+			}
+		})
+	}
+}
+
+// TestRunAllMatchesSerialRuns checks the whole-registry path the CLI's
+// `-exp all` uses: the engine's concatenated output must equal running the
+// ids one by one.
+func TestRunAllMatchesSerialRuns(t *testing.T) {
+	var want bytes.Buffer
+	serial := envWith(t, 1)
+	for _, id := range IDs() {
+		if err := Run(id, serial, &want); err != nil {
+			t.Fatal(err)
+		}
+		want.WriteByte('\n')
+	}
+	var got bytes.Buffer
+	if err := RunAll(envWith(t, 8), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("RunAll output differs from serial per-id runs")
+	}
+}
+
+// TestCacheDedupes verifies the memoizing cache actually absorbs repeated
+// evaluations: regenerating the registry twice on one env must hit the
+// cache heavily on the second pass and add no new keys.
+func TestCacheDedupes(t *testing.T) {
+	e := envWith(t, 0)
+	var buf bytes.Buffer
+	if err := RunAll(e, &buf); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := e.Cache.Stats()
+	if misses1 == 0 {
+		t.Fatal("first pass recorded no cache misses; cache is not in the evaluation path")
+	}
+	if hits1 == 0 {
+		t.Error("first pass recorded no cache hits; figures share no scenarios?")
+	}
+	keys := e.Cache.Len()
+
+	buf.Reset()
+	if err := RunAll(e, &buf); err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2 := e.Cache.Stats()
+	if misses2 != misses1 {
+		t.Errorf("second pass added %d misses; every evaluation should hit", misses2-misses1)
+	}
+	if hits2 <= hits1 {
+		t.Error("second pass recorded no additional hits")
+	}
+	if e.Cache.Len() != keys {
+		t.Errorf("second pass grew the cache from %d to %d keys", keys, e.Cache.Len())
+	}
+}
+
+// TestRunUnknownID covers the error contract the CLI relies on: an unknown
+// id must fail and the error must carry the valid id list.
+func TestRunUnknownID(t *testing.T) {
+	err := Run("fig99", envWith(t, 1), &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	if !strings.Contains(err.Error(), "fig7") {
+		t.Errorf("error %q does not list valid ids", err)
+	}
+	if Known("fig99") {
+		t.Error("Known(fig99) = true")
+	}
+	if !Known("fig7") {
+		t.Error("Known(fig7) = false")
+	}
+}

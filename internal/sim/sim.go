@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/pdn"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -128,6 +129,27 @@ func RunFlexWatts(cfg Config, m *core.Model, ctrl *core.Controller, tr workload.
 	rep.AvgPower = rep.Energy / rep.Duration
 	rep.AvgETEE = nomEnergy / rep.Energy
 	return rep, nil
+}
+
+// CompareOnTraces runs CompareOnTrace for every trace, independent traces
+// concurrently on the sweep engine (workers <= 0 sizes the pool by
+// GOMAXPROCS, 1 is serial); reports are returned in trace order, so the
+// batch is deterministic regardless of scheduling. Each trace gets a fresh
+// FlexWatts controller via CompareOnTrace, keeping mode state isolated. A
+// configured activity sensor carries RNG state from read to read, so a
+// non-nil cfg.Sensor forces the batch serial to keep its read stream — and
+// thus the reports — identical to looping CompareOnTrace by hand.
+func CompareOnTraces(cfg Config, statics []pdn.Model, fw *core.Model, pred *core.Predictor, traces []workload.Trace, workers int) ([]map[pdn.Kind]Report, error) {
+	if cfg.Sensor != nil {
+		workers = 1
+	}
+	return sweep.Map(workers, len(traces), func(i int) (map[pdn.Kind]Report, error) {
+		out, err := CompareOnTrace(cfg, statics, fw, pred, traces[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: trace %q: %w", traces[i].Name, err)
+		}
+		return out, nil
+	})
 }
 
 // CompareOnTrace runs the same trace on every model plus FlexWatts and

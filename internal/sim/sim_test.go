@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/activity"
@@ -153,5 +155,80 @@ func TestInvalidTraceRejected(t *testing.T) {
 	ctrl := core.NewController(pred, core.DefaultSwitchFlow())
 	if _, err := RunFlexWatts(cfg, fw, ctrl, bad); err == nil {
 		t.Error("empty trace accepted by RunFlexWatts")
+	}
+}
+
+func testTraces(n int) []workload.Trace {
+	traces := make([]workload.Trace, n)
+	for i := range traces {
+		traces[i] = workload.NewGenerator(int64(i+1)).Mixed(
+			fmt.Sprintf("trace-%d", i), workload.MultiThread, 60, 0.3, 0.85, 0.25)
+	}
+	return traces
+}
+
+func TestCompareOnTracesMatchesSerial(t *testing.T) {
+	// The concurrent batch must produce, in trace order, exactly the
+	// reports a serial CompareOnTrace loop produces.
+	cfg, statics, fw, pred := testSetup(t)
+	traces := testTraces(4)
+
+	want := make([]map[pdn.Kind]Report, len(traces))
+	for i, tr := range traces {
+		rep, err := CompareOnTrace(cfg, statics, fw, pred, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+
+	got, err := CompareOnTraces(cfg, statics, fw, pred, traces, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d reports, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("trace %d: batch report differs from serial:\ngot  %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompareOnTracesSensorStaysDeterministic(t *testing.T) {
+	// A shared activity sensor carries RNG state, so the batch must fall
+	// back to serial execution and reproduce the serial loop's reports
+	// even when callers ask for a worker pool.
+	cfg, statics, fw, pred := testSetup(t)
+	traces := testTraces(3)
+
+	cfg.Sensor = activity.NewSensor(activity.DefaultWeights(), 42)
+	want := make([]map[pdn.Kind]Report, len(traces))
+	for i, tr := range traces {
+		rep, err := CompareOnTrace(cfg, statics, fw, pred, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+
+	cfg.Sensor = activity.NewSensor(activity.DefaultWeights(), 42)
+	got, err := CompareOnTraces(cfg, statics, fw, pred, traces, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("trace %d: sensor batch report differs from serial loop", i)
+		}
+	}
+}
+
+func TestCompareOnTracesEmpty(t *testing.T) {
+	cfg, statics, fw, pred := testSetup(t)
+	got, err := CompareOnTraces(cfg, statics, fw, pred, nil, 4)
+	if err != nil || got != nil {
+		t.Errorf("empty batch = (%v, %v), want (nil, nil)", got, err)
 	}
 }

@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+)
+
+// cacheKey canonicalizes a (PDN kind, scenario) pair. Loads are read in
+// fixed domain order through Scenario.LoadFor, so a map entry holding an
+// idle zero load and an absent entry produce the same key — the PDN models
+// cannot tell them apart either.
+type cacheKey struct {
+	kind   pdn.Kind
+	cstate domain.CState
+	psu    units.Volt
+	loads  [6]pdn.Load
+}
+
+func keyFor(kind pdn.Kind, s pdn.Scenario) cacheKey {
+	k := cacheKey{kind: kind, cstate: s.CState, psu: s.PSU}
+	for i, d := range domain.Kinds() {
+		k.loads[i] = s.LoadFor(d)
+	}
+	return k
+}
+
+// Cache memoizes pdn.Model evaluations keyed by (kind, scenario), deduping
+// the many repeated Evaluate calls the figures share (the same TDP
+// scenarios recur across fig2b, fig4, fig5, fig8 and the observations).
+//
+// It is safe for concurrent use; when several workers request the same key
+// the model evaluates once and the rest share the outcome, error included.
+// Because one Kind maps to one model per cache, keep one Cache per
+// parameter set (an experiments.Env owns exactly one). Cached results are
+// shared, so callers must treat pdn.Result — notably its Rails slice — as
+// read-only.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  pdn.Result
+	err  error
+}
+
+// NewCache returns an empty evaluation cache.
+func NewCache() *Cache { return &Cache{entries: make(map[cacheKey]*cacheEntry)} }
+
+// Evaluate returns m.Evaluate(s) memoized by (m.Kind(), s). A nil cache
+// evaluates directly.
+func (c *Cache) Evaluate(m pdn.Model, s pdn.Scenario) (pdn.Result, error) {
+	if c == nil {
+		return m.Evaluate(s)
+	}
+	key := keyFor(m.Kind(), s)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.res, e.err = m.Evaluate(s) })
+	return e.res, e.err
+}
+
+// Stats reports how many Evaluate calls hit and missed the cache.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of distinct (kind, scenario) keys stored.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cachedModel routes Evaluate through a Cache.
+type cachedModel struct {
+	inner pdn.Model
+	cache *Cache
+}
+
+// Cached wraps m so every Evaluate is memoized by c; Kind is forwarded.
+// A nil cache returns m unchanged. Do not hand a cached model to callers
+// that evaluate perturbed one-off scenarios (refmodel.Measure) — each
+// perturbation would occupy a cache entry for no reuse.
+func Cached(m pdn.Model, c *Cache) pdn.Model {
+	if c == nil {
+		return m
+	}
+	return cachedModel{inner: m, cache: c}
+}
+
+func (cm cachedModel) Kind() pdn.Kind { return cm.inner.Kind() }
+
+func (cm cachedModel) Evaluate(s pdn.Scenario) (pdn.Result, error) {
+	return cm.cache.Evaluate(cm.inner, s)
+}

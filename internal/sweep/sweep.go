@@ -1,0 +1,97 @@
+// Package sweep is the deterministic concurrent execution engine the
+// evaluation pipeline runs on. The paper's evaluation is a large grid of
+// independent PDN evaluations — PDN topology × workload type × activity
+// ratio × TDP × trace — and every cell is a pure function of its sweep
+// point, so the grid parallelizes cleanly.
+//
+// Determinism is the design constraint, not an afterthought: Map collects
+// results by grid index and reports the lowest-index error, so a sweep's
+// rendered output is byte-identical no matter how many workers execute it
+// (workers == 1 degenerates to the plain serial loop). Cache memoizes
+// (PDN kind, scenario) evaluations so cells shared between figures are
+// computed once per run.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(0) … fn(n-1) on a pool of workers and returns the results in
+// index order. workers <= 0 sizes the pool by runtime.GOMAXPROCS(0);
+// workers == 1 runs inline with no goroutines. fn must be safe for
+// concurrent calls when more than one worker runs.
+//
+// Error handling is deterministic: if any points fail, Map returns the
+// error of the lowest failing index — the same error the serial loop would
+// stop on — and points beyond the first observed failure may be skipped.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var firstErr atomic.Int64 // lowest failing index seen so far
+	firstErr.Store(int64(n))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if int64(i) > firstErr.Load() {
+					continue // a lower index already failed; this result is moot
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := firstErr.Load()
+						if int64(i) >= cur || firstErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if i := firstErr.Load(); i < int64(n) {
+		return nil, errs[i]
+	}
+	return out, nil
+}
+
+// Each is Map for functions that produce no value: it runs fn over the
+// index grid and returns the lowest-index error, if any.
+func Each(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
