@@ -1,7 +1,13 @@
 # Local dev and CI run the same targets (ci.yml calls make).
 GO ?= go
 
-.PHONY: all build test race bench lint fmt ci
+# Root benchmarks recorded in the BENCH_<pr>.json perf trajectory.
+BENCHES ?= BenchmarkEvaluateETEE|BenchmarkReferenceSim|BenchmarkPredictor$$|BenchmarkSuiteSerial|BenchmarkSuiteParallel|BenchmarkTraceSim|BenchmarkCompareOnTraces
+BENCHTIME ?= 1s
+BENCH_LABEL ?= current
+BENCH_JSON ?= BENCH_2.json
+
+.PHONY: all build test race bench bench-json lint fmt ci
 
 all: build test
 
@@ -18,6 +24,18 @@ race:
 # paying for full measurement.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Record the perf trajectory: run the root benchmarks and merge the numbers
+# (ns/op, B/op, allocs/op per benchmark) into $(BENCH_JSON) under
+# $(BENCH_LABEL). Committed baselines under other labels are preserved, so
+# `make bench-json` after an optimization updates "current" while keeping
+# the pre-PR "baseline" for comparison.
+# Two steps (not a pipe) so a benchmark failure fails the target instead of
+# being masked by benchjson's exit status.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=$(BENCHTIME) . > $(BENCH_JSON).tmp
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_JSON) < $(BENCH_JSON).tmp
+	@rm -f $(BENCH_JSON).tmp
 
 lint:
 	$(GO) vet ./...

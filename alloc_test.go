@@ -1,0 +1,127 @@
+// Allocation-regression tests for the evaluation hot path. PR 2 made the
+// whole closed-form pipeline zero-alloc (array-backed scenarios, value-array
+// rail storage, in-place reference stepping); these tests pin that property
+// with testing.AllocsPerRun so a future change cannot silently reintroduce
+// per-evaluation garbage — the full-suite run issues millions of Evaluate
+// calls, and even one small heap object per call costs double-digit
+// percentages of wall time in GC.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// allocScenarios returns representative evaluation points: an active
+// multi-threaded point, a graphics point (exercises the LDO/overvolt rail
+// paths), and a deep-idle point (exercises the power-state selection).
+func allocScenarios(tb testing.TB) map[string]pdn.Scenario {
+	tb.Helper()
+	e := benchEnv(tb)
+	mt, err := workload.TDPScenario(e.Platform, 18, workload.MultiThread, 0.6)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gfx, err := workload.TDPScenario(e.Platform, 25, workload.Graphics, 0.5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return map[string]pdn.Scenario{
+		"multithread-18W": mt,
+		"graphics-25W":    gfx,
+		"idle-C6":         workload.CStateScenario(e.Platform, domain.C6),
+	}
+}
+
+// TestEvaluateAllocFree pins Evaluate at 0 allocs/op for all five PDN kinds
+// (the four static baselines plus FlexWatts in both hybrid modes).
+func TestEvaluateAllocFree(t *testing.T) {
+	e := benchEnv(t)
+	for name, s := range allocScenarios(t) {
+		for _, k := range pdn.Kinds() {
+			m := e.Baselines[k]
+			if avg := testing.AllocsPerRun(200, func() {
+				if _, err := m.Evaluate(s); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("%v.Evaluate(%s): %.1f allocs/op, want 0", k, name, avg)
+			}
+		}
+		for _, mode := range core.Modes() {
+			if avg := testing.AllocsPerRun(200, func() {
+				if _, err := e.Flex.EvaluateMode(s, mode); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("FlexWatts %v(%s): %.1f allocs/op, want 0", mode, name, avg)
+			}
+		}
+	}
+}
+
+// TestPredictAllocFree pins Algorithm 1's table lookup at 0 allocs/op: the
+// PMU performs it every 10 ms interval and the trace simulator every phase.
+func TestPredictAllocFree(t *testing.T) {
+	e := benchEnv(t)
+	inputs := []core.Inputs{
+		{TDP: 18, AR: 0.6, Type: workload.MultiThread, CState: domain.C0},
+		{TDP: 4, AR: 0.4, Type: workload.Graphics, CState: domain.C0},
+		{TDP: 18, AR: 0.6, Type: workload.SingleThread, CState: domain.C6},
+	}
+	for _, in := range inputs {
+		in := in
+		if avg := testing.AllocsPerRun(200, func() { e.Predictor.Predict(in) }); avg != 0 {
+			t.Errorf("Predict(%+v): %.1f allocs/op, want 0", in, avg)
+		}
+	}
+}
+
+// TestControllerStepAllocFree pins the per-interval controller decision
+// (predict + hysteresis + switch accounting) at 0 allocs/op.
+func TestControllerStepAllocFree(t *testing.T) {
+	e := benchEnv(t)
+	ctrl := core.NewController(e.Predictor, core.DefaultSwitchFlow())
+	high := core.Inputs{TDP: 50, AR: 0.8, Type: workload.MultiThread, CState: domain.C0}
+	low := core.Inputs{TDP: 4, AR: 0.3, Type: workload.SingleThread, CState: domain.C0}
+	i := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		// Alternate inputs so both the switching and the steady branch run.
+		in := high
+		if i%2 == 0 {
+			in = low
+		}
+		i++
+		ctrl.Step(10e-3, in)
+	}); avg != 0 {
+		t.Errorf("Controller.Step: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestCacheHitAllocFree pins the memoized evaluation path: once a key is
+// cached, concurrent-safe hits must not allocate (the sharded cache reads
+// under an RLock and hands back the Result value array by copy).
+func TestCacheHitAllocFree(t *testing.T) {
+	e := benchEnv(t)
+	s := allocScenarios(t)["multithread-18W"]
+	c := sweep.NewCache()
+	m := e.Baselines[pdn.IVR]
+	if _, err := c.Evaluate(m, s); err != nil { // warm the key
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := c.Evaluate(m, s); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("cache hit: %.1f allocs/op, want 0", avg)
+	}
+	if hits, misses := c.Stats(); hits < 200 || misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want >=200 hits and exactly 1 miss", hits, misses)
+	}
+}

@@ -29,11 +29,11 @@ var (
 	envErr  error
 )
 
-func benchEnv(b *testing.B) *experiments.Env {
-	b.Helper()
+func benchEnv(tb testing.TB) *experiments.Env {
+	tb.Helper()
 	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
 	if envErr != nil {
-		b.Fatal(envErr)
+		tb.Fatal(envErr)
 	}
 	return envVal
 }

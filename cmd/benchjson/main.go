@@ -1,0 +1,199 @@
+// Command benchjson converts `go test -bench` output read from stdin into a
+// machine-readable JSON perf record, so the repository can track its
+// benchmark trajectory across PRs (BENCH_<pr>.json) and CI can upload the
+// numbers as an artifact.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -label current -out BENCH_2.json
+//
+// With -out, the file is read first (if it exists) and the labeled run is
+// merged into its "runs" map — recording a new measurement never discards a
+// committed baseline under a different label. Without -out, the document is
+// written to stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units (e.g. "J", "switches").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one recorded benchmark session.
+type Run struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Document is the on-disk perf record: labeled runs (e.g. "baseline" from
+// before an optimization PR and "current" after it).
+type Document struct {
+	Schema int            `json:"schema"`
+	Runs   map[string]Run `json:"runs"`
+}
+
+// parse reads `go test -bench` output and collects header fields and
+// benchmark lines; non-benchmark output (PASS, ok, test logs) is skipped.
+func parse(r io.Reader) (Run, error) {
+	var run Run
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			run.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			run.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			run.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			run.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if ok {
+			run.Benchmarks = append(run.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Run{}, err
+	}
+	if len(run.Benchmarks) == 0 {
+		return Run{}, errors.New("benchjson: no benchmark lines found on stdin")
+	}
+	return run, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   1303594   907.3 ns/op   48 B/op   1 allocs/op   3.2 J
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix go test appends to the name.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// merge loads the existing document at path (if any) and sets runs[label].
+func merge(path, label string, run Run) (Document, error) {
+	doc := Document{Schema: 1, Runs: map[string]Run{}}
+	if path != "" {
+		data, err := os.ReadFile(path)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(data, &doc); err != nil {
+				return Document{}, fmt.Errorf("benchjson: %s: %w", path, err)
+			}
+			if doc.Runs == nil {
+				doc.Runs = map[string]Run{}
+			}
+		case !errors.Is(err, os.ErrNotExist):
+			return Document{}, err
+		}
+	}
+	doc.Schema = 1
+	doc.Runs[label] = run
+	return doc, nil
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "current", "run label to record under (e.g. baseline, current)")
+	out := fs.String("out", "", "JSON file to merge the run into (stdout if empty)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	r, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	doc, err := merge(*out, *label, r)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(run(os.Stdin, os.Stdout, os.Stderr, os.Args[1:])) }

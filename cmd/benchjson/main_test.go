@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEvaluateETEE-8   	 1303594	       907.3 ns/op	      48 B/op	       1 allocs/op
+BenchmarkReferenceSim   	     420	   2876468 ns/op	 1029544 B/op	    6007 allocs/op
+BenchmarkAblationOracle/oracle-4         	     100	   123456 ns/op	        3.21 J
+PASS
+ok  	repro	12.860s
+`
+
+func TestParse(t *testing.T) {
+	r, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Goos != "linux" || r.Goarch != "amd64" || r.Pkg != "repro" {
+		t.Errorf("header = %+v", r)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(r.Benchmarks))
+	}
+	b := r.Benchmarks[0]
+	if b.Name != "BenchmarkEvaluateETEE" || b.Iterations != 1303594 ||
+		b.NsPerOp != 907.3 || b.BytesPerOp != 48 || b.AllocsPerOp != 1 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if r.Benchmarks[1].Name != "BenchmarkReferenceSim" {
+		t.Errorf("GOMAXPROCS-less name mangled: %+v", r.Benchmarks[1])
+	}
+	if got := r.Benchmarks[2]; got.Name != "BenchmarkAblationOracle/oracle" || got.Metrics["J"] != 3.21 {
+		t.Errorf("custom metric = %+v", got)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("no benchmark lines should be an error")
+	}
+}
+
+func TestMergeKeepsOtherLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+
+	var out, errOut strings.Builder
+	if code := run(strings.NewReader(sample), &out, &errOut, []string{"-label", "baseline", "-out", path}); code != 0 {
+		t.Fatalf("first run exited %d: %s", code, errOut.String())
+	}
+	if code := run(strings.NewReader(sample), &out, &errOut, []string{"-label", "current", "-out", path}); code != 0 {
+		t.Fatalf("second run exited %d: %s", code, errOut.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != 1 {
+		t.Errorf("schema = %d", doc.Schema)
+	}
+	for _, label := range []string{"baseline", "current"} {
+		if _, ok := doc.Runs[label]; !ok {
+			t.Errorf("run %q missing after merge: have %v", label, len(doc.Runs))
+		}
+	}
+}
+
+func TestStdoutMode(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(strings.NewReader(sample), &out, &errOut, nil); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var doc Document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if len(doc.Runs["current"].Benchmarks) != 3 {
+		t.Errorf("stdout doc = %+v", doc)
+	}
+}

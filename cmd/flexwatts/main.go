@@ -6,6 +6,12 @@
 //	flexwatts -exp all                 # every registered experiment
 //	flexwatts -exp all -parallel 8     # ... on an 8-worker sweep pool
 //	flexwatts -list                    # list experiment ids
+//	flexwatts -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The profiling flags cover the whole run (environment construction,
+// predictor characterization, every sweep) so a full-suite profile needs no
+// throwaway test harness: `go tool pprof cpu.pprof` on the output works
+// directly.
 //
 // Experiment ids follow the paper's figure/table numbering (fig2a ... fig8e,
 // tab1, tab2, obs); see DESIGN.md for the per-experiment index. The sweep
@@ -20,6 +26,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -34,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	parallel := fs.Int("parallel", runtime.NumCPU(),
 		"sweep engine worker count (1 = serial; output is identical either way)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to `file`")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to `file`")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -55,6 +64,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "flexwatts: unknown experiment %q; valid ids: all %s\n",
 			*exp, strings.Join(experiments.IDs(), " "))
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "flexwatts:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "flexwatts:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "flexwatts: closing cpu profile:", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "flexwatts:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "flexwatts: writing heap profile:", err)
+			}
+		}()
 	}
 
 	env, err := experiments.NewEnv()

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -79,5 +81,28 @@ func TestParallelOutputMatchesSerial(t *testing.T) {
 	}
 	if serial.String() != parallel.String() {
 		t.Error("-parallel 8 output differs from -parallel 1")
+	}
+}
+
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "fig4j", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if out.Len() == 0 {
+		t.Error("experiment output missing")
 	}
 }

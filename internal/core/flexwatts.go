@@ -107,13 +107,13 @@ func (m *Model) Evaluate(s pdn.Scenario) (pdn.Result, error) {
 // board VRs; the compute domains go through the shared V_IN rail whose
 // load-line is the corresponding static PDN's times the sharing penalty.
 func (m *Model) EvaluateMode(s pdn.Scenario, mode Mode) (pdn.Result, error) {
-	if err := pdn.Validate(s); err != nil {
+	if err := pdn.Validate(&s); err != nil {
 		return pdn.Result{}, err
 	}
 	p := m.params
 	compute := []pdn.Load{
-		s.LoadFor(domain.Core0), s.LoadFor(domain.Core1),
-		s.LoadFor(domain.LLC), s.LoadFor(domain.GFX),
+		s.Loads[domain.Core0], s.Loads[domain.Core1],
+		s.Loads[domain.LLC], s.Loads[domain.GFX],
 	}
 
 	var st pdn.StageOut
@@ -133,22 +133,23 @@ func (m *Model) EvaluateMode(s pdn.Scenario, mode Mode) (pdn.Result, error) {
 
 	var pin units.Watt
 	var bd pdn.Breakdown
-	rails := make([]pdn.RailDraw, 0, 3)
+	var rails pdn.RailSet
 	if st.PIn > 0 {
 		rail := pdn.VinRail(m.vin, st, vinLevel, rll, s.PSU, s.CState, 1)
 		pin += rail.PIn
 		bd.Add(st.Breakdown)
 		bd.Add(rail.Breakdown)
-		rails = append(rails, rail.Rail)
+		rails.Append(rail.Rail)
 	}
-	saOut := pdn.BoardRail(m.sa, []pdn.Load{s.LoadFor(domain.SA)}, p.TOBLDO, p.RPG, p.SALL, s.PSU, s.CState, false)
-	ioOut := pdn.BoardRail(m.io, []pdn.Load{s.LoadFor(domain.IO)}, p.TOBLDO, p.RPG, p.IOLL, s.PSU, s.CState, false)
+	saOut := pdn.BoardRail(m.sa, []pdn.Load{s.Loads[domain.SA]}, p.TOBLDO, p.RPG, p.SALL, s.PSU, s.CState, false)
+	ioOut := pdn.BoardRail(m.io, []pdn.Load{s.Loads[domain.IO]}, p.TOBLDO, p.RPG, p.IOLL, s.PSU, s.CState, false)
 	pin += saOut.PIn + ioOut.PIn
 	bd.Add(saOut.Breakdown)
 	bd.Add(ioOut.Breakdown)
-	rails = append(rails, saOut.Rail, ioOut.Rail)
+	rails.Append(saOut.Rail)
+	rails.Append(ioOut.Rail)
 
-	return pdn.Finish(pdn.FlexWatts, s, pin, bd, rails, rll), nil
+	return pdn.Finish(pdn.FlexWatts, s.TotalNominal(), pin, bd, rails, rll), nil
 }
 
 // BestMode evaluates both modes on the scenario and returns the one with

@@ -26,7 +26,9 @@ import (
 // Kind identifies a processor domain.
 type Kind int
 
-// The six processor domains of Table 1 / Fig 1.
+// The six processor domains of Table 1 / Fig 1. Kind values are dense in
+// [0, NumKinds), so [NumKinds]T arrays indexed by Kind are the canonical
+// per-domain storage (pdn.Scenario.Loads, refmodel's tone banks).
 const (
 	Core0 Kind = iota
 	Core1
@@ -34,7 +36,8 @@ const (
 	GFX
 	SA
 	IO
-	numKinds
+	// NumKinds counts the domains; it is not itself a valid Kind.
+	NumKinds
 )
 
 // Kinds lists all domains in canonical order.

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenOutputs pins every experiment's rendered bytes to the golden
+// files under testdata. The evaluation pipeline is required to be bit-exact
+// across refactors — sweep collects results by grid index, the scenario and
+// cache representations are value types, and the refmodel RNG stream is
+// seeded per grid cell — so any representation change that leaks into a
+// rendered artifact is a bug this test catches. Regenerate intentionally
+// with:
+//
+//	go run ./cmd/flexwatts -exp <id> > internal/experiments/testdata/<id>.golden
+func TestGoldenOutputs(t *testing.T) {
+	e := env(t)
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden for %s (add it per the comment above): %v", id, err)
+			}
+			var buf bytes.Buffer
+			if err := Run(id, e, &buf); err != nil {
+				t.Fatal(err)
+			}
+			// cmd/flexwatts terminates each experiment with one newline; the
+			// goldens were captured through it.
+			buf.WriteByte('\n')
+			if got := buf.Bytes(); !bytes.Equal(got, want) {
+				t.Errorf("%s output differs from golden:\n%s", id, firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// TestGoldenFilesMatchRegistry fails when a golden file is orphaned or an
+// experiment lacks one, so the testdata directory can't drift.
+func TestGoldenFilesMatchRegistry(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registered := map[string]bool{}
+	for _, id := range IDs() {
+		registered[id] = true
+	}
+	seen := map[string]bool{}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".golden") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".golden")
+		seen[id] = true
+		if !registered[id] {
+			t.Errorf("testdata/%s has no registered experiment", name)
+		}
+	}
+	for id := range registered {
+		if !seen[id] {
+			t.Errorf("experiment %s has no golden file", id)
+		}
+	}
+}
+
+// firstDiff renders the first line where got and want disagree.
+func firstDiff(got, want []byte) string {
+	gl := strings.Split(string(got), "\n")
+	wl := strings.Split(string(want), "\n")
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if gl[i] != wl[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d, want %d", len(gl), len(wl))
+}

@@ -18,21 +18,88 @@ package loadline
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/domain"
 	"repro/internal/units"
 )
 
-// GuardbandScale returns the factor by which a domain's power grows when its
-// supply voltage rises from vnom to vnom+vgb (Eq. 2): the leakage fraction
-// fl scales polynomially with exponent δ = 2.8, the dynamic remainder
-// quadratically.
-func GuardbandScale(vnom, vgb units.Volt, fl float64) float64 {
+// gbEntry memoizes one guardband-scale evaluation point. The scale factor
+// depends only on (vnom, vgb, fl) — not on the power flowing through — and
+// evaluation workloads revisit the same handful of operating voltages
+// millions of times (the reference simulator perturbs only PNom), so the
+// math.Pow in Eq. 2 is worth memoizing.
+type gbEntry struct {
+	vnom, vgb units.Volt
+	fl        float64
+	scale     float64
+}
+
+// gbCache is a 4-way set-associative, lock-free memo for GuardbandScale.
+// Each slot is an atomic pointer to an immutable entry: a hit is one cheap
+// hand hash, a pointer load and three float compares — far cheaper than
+// either math.Pow or a runtime map lookup. A miss fills the first empty way
+// of its set and only evicts (way 0, last writer wins) when the whole set
+// is full, so colliding hot keys coexist instead of thrashing allocations.
+// GuardbandScale is a pure function, so a cached hit returns the exact
+// float bits the direct computation produced regardless of which goroutine
+// filled the slot.
+const (
+	gbWays  = 4
+	gbSets  = 1 << 12
+	gbSlots = gbSets * gbWays
+)
+
+var gbCache [gbSlots]atomic.Pointer[gbEntry]
+
+// gbSet mixes the three operand bit patterns into a set index
+// (splitmix64-style multiply-xorshift).
+func gbSet(vnom, vgb units.Volt, fl float64) uint64 {
+	h := math.Float64bits(vnom)
+	h = (h ^ math.Float64bits(vgb)*0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+	h = (h ^ math.Float64bits(fl)*0x94d049bb133111eb) * 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return (h % gbSets) * gbWays
+}
+
+// rawGuardbandScale is the uncached Eq. 2 computation shared by the memoized
+// and the memo-bypassing call paths; both therefore produce identical bits.
+func rawGuardbandScale(vnom, vgb units.Volt, fl float64) float64 {
 	units.CheckPositive("vnom", vnom)
 	units.CheckNonNegative("vgb", vgb)
 	units.CheckFraction("fl", fl)
 	ratio := (vnom + vgb) / vnom
 	return fl*math.Pow(ratio, domain.LeakVoltageExp) + (1-fl)*ratio*ratio
+}
+
+// GuardbandScale returns the factor by which a domain's power grows when its
+// supply voltage rises from vnom to vnom+vgb (Eq. 2): the leakage fraction
+// fl scales polynomially with exponent δ = 2.8, the dynamic remainder
+// quadratically. Callers pass a platform tolerance band or rail-sharing
+// delta as vgb — a small, heavily repeated operand set — which is what makes
+// the memo effective; a guardband that varies per call (the power-gate drop)
+// must use rawGuardbandScale instead so it doesn't churn the cache.
+func GuardbandScale(vnom, vgb units.Volt, fl float64) float64 {
+	set := gbSet(vnom, vgb, fl)
+	insert := &gbCache[set]
+	haveEmpty := false
+	for w := uint64(0); w < gbWays; w++ {
+		slot := &gbCache[set+w]
+		e := slot.Load()
+		if e == nil {
+			if !haveEmpty {
+				haveEmpty = true
+				insert = slot
+			}
+			continue
+		}
+		if e.vnom == vnom && e.vgb == vgb && e.fl == fl {
+			return e.scale
+		}
+	}
+	v := rawGuardbandScale(vnom, vgb, fl)
+	insert.Store(&gbEntry{vnom: vnom, vgb: vgb, fl: fl, scale: v})
+	return v
 }
 
 // ApplyGuardband returns PGB, the power after raising the supply by vgb
@@ -66,7 +133,11 @@ func ApplyPowerGate(pgb units.Watt, vSupply units.Volt, ar, fl float64, rpg unit
 		return 0
 	}
 	vpg := PowerGateDrop(pgb, ar, vSupply, rpg)
-	return ApplyGuardband(pgb, vSupply, vpg, fl)
+	// vpg tracks the instantaneous current, so (vSupply, vpg, fl) is a fresh
+	// evaluation point nearly every call — computing directly beats churning
+	// GuardbandScale's memo with single-use keys.
+	units.CheckNonNegative("pgb", pgb)
+	return pgb * rawGuardbandScale(vSupply, vpg, fl)
 }
 
 // Result carries the outputs of a load-line compensation step.

@@ -12,28 +12,31 @@ import (
 // ErrNoLoad is returned when a scenario has no active domain at all.
 var ErrNoLoad = errors.New("pdn: scenario has no active load")
 
-// Validate checks scenario invariants shared by all models.
-func Validate(s Scenario) error {
+// Validate checks scenario invariants shared by all models. It takes a
+// pointer because it sits on the per-evaluation hot path and Scenario is a
+// ~200-byte value; the scenario is not modified.
+func Validate(s *Scenario) error {
 	if s.PSU <= 0 {
 		return fmt.Errorf("pdn: PSU voltage must be positive, got %g", s.PSU)
 	}
 	active := false
-	for k, l := range s.Loads {
+	for k := range s.Loads {
+		l := s.Loads[k]
 		if l.PNom < 0 {
-			return fmt.Errorf("pdn: %v has negative power %g", k, l.PNom)
+			return fmt.Errorf("pdn: %v has negative power %g", domain.Kind(k), l.PNom)
 		}
 		if !l.Active() {
 			continue
 		}
 		active = true
 		if l.VNom <= 0 {
-			return fmt.Errorf("pdn: %v active with non-positive voltage %g", k, l.VNom)
+			return fmt.Errorf("pdn: %v active with non-positive voltage %g", domain.Kind(k), l.VNom)
 		}
 		if !(l.AR > 0 && l.AR <= 1) {
-			return fmt.Errorf("pdn: %v has AR %g outside (0,1]", k, l.AR)
+			return fmt.Errorf("pdn: %v has AR %g outside (0,1]", domain.Kind(k), l.AR)
 		}
 		if !(l.FL >= 0 && l.FL <= 1) {
-			return fmt.Errorf("pdn: %v has FL %g outside [0,1]", k, l.FL)
+			return fmt.Errorf("pdn: %v has FL %g outside [0,1]", domain.Kind(k), l.FL)
 		}
 	}
 	if !active {
@@ -43,12 +46,12 @@ func Validate(s Scenario) error {
 }
 
 // Finish assembles a Result from accumulated parts, computing ETEE and the
-// total chip input current.
-func Finish(kind Kind, s Scenario, pin units.Watt, bd Breakdown, rails []RailDraw, railR units.Ohm) Result {
-	pnom := s.TotalNominal()
+// total chip input current. pnom is the scenario's total nominal power
+// (Scenario.TotalNominal), which every model already has in hand.
+func Finish(kind Kind, pnom units.Watt, pin units.Watt, bd Breakdown, rails RailSet, railR units.Ohm) Result {
 	var iin units.Amp
-	for _, r := range rails {
-		iin += r.Current
+	for i := 0; i < rails.n; i++ {
+		iin += rails.rails[i].Current
 	}
 	return Result{
 		PDN:              kind,
@@ -84,28 +87,28 @@ func (m *IVRModel) Kind() Kind { return IVR }
 
 // Evaluate implements Model, following Eq. 2, 6, 7, 8, 9.
 func (m *IVRModel) Evaluate(s Scenario) (Result, error) {
-	if err := Validate(s); err != nil {
+	if err := Validate(&s); err != nil {
 		return Result{}, err
 	}
 	p := m.params
-	all := make([]Load, 0, 6)
-	var computeP units.Watt
-	for _, k := range domain.Kinds() {
-		l := s.LoadFor(k)
-		all = append(all, l)
-		if k.IsCompute() {
-			computeP += l.PNom
+	var computeP, total units.Watt
+	for k := range s.Loads {
+		total += s.Loads[k].PNom
+		if domain.Kind(k).IsCompute() {
+			computeP += s.Loads[k].PNom
 		}
 	}
-	st := IVRStage(all, m.ivr, p.TOBIVR, p.VINLevel, s.CState)
+	st := IVRStage(s.Loads[:], m.ivr, p.TOBIVR, p.VINLevel, s.CState)
 	share := 1.0
-	if total := s.TotalNominal(); total > 0 {
+	if total > 0 {
 		share = computeP / total
 	}
 	rail := VinRail(m.vin, st, p.VINLevel, p.IVRInLL, s.PSU, s.CState, share)
 	bd := st.Breakdown
 	bd.Add(rail.Breakdown)
-	return Finish(IVR, s, rail.PIn, bd, []RailDraw{rail.Rail}, p.IVRInLL), nil
+	var rails RailSet
+	rails.Append(rail.Rail)
+	return Finish(IVR, total, rail.PIn, bd, rails, p.IVRInLL), nil
 }
 
 // MBVRModel is the motherboard-VR PDN (Fig 1(b)): four one-stage board VRs
@@ -138,31 +141,23 @@ func (m *MBVRModel) Kind() Kind { return MBVR }
 
 // Evaluate implements Model, following Eq. 2–5 per rail.
 func (m *MBVRModel) Evaluate(s Scenario) (Result, error) {
-	if err := Validate(s); err != nil {
+	if err := Validate(&s); err != nil {
 		return Result{}, err
 	}
 	p := m.params
-	groups := []struct {
-		vr      *vr.Buck
-		loads   []Load
-		rll     units.Ohm
-		compute bool
-	}{
-		{m.cores, []Load{s.LoadFor(domain.Core0), s.LoadFor(domain.Core1)}, p.CoresLL, true},
-		{m.gfx, []Load{s.LoadFor(domain.GFX), s.LoadFor(domain.LLC)}, p.GfxLL, true},
-		{m.sa, []Load{s.LoadFor(domain.SA)}, p.SALL, false},
-		{m.io, []Load{s.LoadFor(domain.IO)}, p.IOLL, false},
-	}
 	var pin units.Watt
 	var bd Breakdown
-	rails := make([]RailDraw, 0, len(groups))
-	for _, g := range groups {
-		out := BoardRail(g.vr, g.loads, p.TOBMBVR, p.RPG, g.rll, s.PSU, s.CState, g.compute)
+	var rails RailSet
+	coresOut := BoardRail(m.cores, []Load{s.Loads[domain.Core0], s.Loads[domain.Core1]}, p.TOBMBVR, p.RPG, p.CoresLL, s.PSU, s.CState, true)
+	gfxOut := BoardRail(m.gfx, []Load{s.Loads[domain.GFX], s.Loads[domain.LLC]}, p.TOBMBVR, p.RPG, p.GfxLL, s.PSU, s.CState, true)
+	saOut := BoardRail(m.sa, []Load{s.Loads[domain.SA]}, p.TOBMBVR, p.RPG, p.SALL, s.PSU, s.CState, false)
+	ioOut := BoardRail(m.io, []Load{s.Loads[domain.IO]}, p.TOBMBVR, p.RPG, p.IOLL, s.PSU, s.CState, false)
+	for _, out := range []RailOut{coresOut, gfxOut, saOut, ioOut} {
 		pin += out.PIn
 		bd.Add(out.Breakdown)
-		rails = append(rails, out.Rail)
+		rails.Append(out.Rail)
 	}
-	return Finish(MBVR, s, pin, bd, rails, p.CoresLL), nil
+	return Finish(MBVR, s.TotalNominal(), pin, bd, rails, p.CoresLL), nil
 }
 
 // LDOModel is the LDO PDN (Fig 1(c), AMD Zen style): compute domains behind
@@ -192,30 +187,31 @@ func (m *LDOModel) Kind() Kind { return LDO }
 
 // Evaluate implements Model, following Eq. 2, 10, 11, 7, 8, 12.
 func (m *LDOModel) Evaluate(s Scenario) (Result, error) {
-	if err := Validate(s); err != nil {
+	if err := Validate(&s); err != nil {
 		return Result{}, err
 	}
 	p := m.params
-	compute := []Load{s.LoadFor(domain.Core0), s.LoadFor(domain.Core1), s.LoadFor(domain.LLC), s.LoadFor(domain.GFX)}
+	compute := []Load{s.Loads[domain.Core0], s.Loads[domain.Core1], s.Loads[domain.LLC], s.Loads[domain.GFX]}
 	vinLevel, st := LDOStage(compute, m.ldo, p.TOBLDO)
 
 	var pin units.Watt
 	var bd Breakdown
-	rails := make([]RailDraw, 0, 3)
+	var rails RailSet
 	if st.PIn > 0 {
 		rail := VinRail(m.vin, st, vinLevel, p.LDOInLL, s.PSU, s.CState, 1)
 		pin += rail.PIn
 		bd.Add(st.Breakdown)
 		bd.Add(rail.Breakdown)
-		rails = append(rails, rail.Rail)
+		rails.Append(rail.Rail)
 	}
-	saOut := BoardRail(m.sa, []Load{s.LoadFor(domain.SA)}, p.TOBLDO, p.RPG, p.SALL, s.PSU, s.CState, false)
-	ioOut := BoardRail(m.io, []Load{s.LoadFor(domain.IO)}, p.TOBLDO, p.RPG, p.IOLL, s.PSU, s.CState, false)
+	saOut := BoardRail(m.sa, []Load{s.Loads[domain.SA]}, p.TOBLDO, p.RPG, p.SALL, s.PSU, s.CState, false)
+	ioOut := BoardRail(m.io, []Load{s.Loads[domain.IO]}, p.TOBLDO, p.RPG, p.IOLL, s.PSU, s.CState, false)
 	pin += saOut.PIn + ioOut.PIn
 	bd.Add(saOut.Breakdown)
 	bd.Add(ioOut.Breakdown)
-	rails = append(rails, saOut.Rail, ioOut.Rail)
-	return Finish(LDO, s, pin, bd, rails, p.LDOInLL), nil
+	rails.Append(saOut.Rail)
+	rails.Append(ioOut.Rail)
+	return Finish(LDO, s.TotalNominal(), pin, bd, rails, p.LDOInLL), nil
 }
 
 // IMBVRModel is the Skylake-X style hybrid (§7): compute domains behind
@@ -245,30 +241,31 @@ func (m *IMBVRModel) Kind() Kind { return IMBVR }
 
 // Evaluate implements Model.
 func (m *IMBVRModel) Evaluate(s Scenario) (Result, error) {
-	if err := Validate(s); err != nil {
+	if err := Validate(&s); err != nil {
 		return Result{}, err
 	}
 	p := m.params
-	compute := []Load{s.LoadFor(domain.Core0), s.LoadFor(domain.Core1), s.LoadFor(domain.LLC), s.LoadFor(domain.GFX)}
+	compute := []Load{s.Loads[domain.Core0], s.Loads[domain.Core1], s.Loads[domain.LLC], s.Loads[domain.GFX]}
 	st := IVRStage(compute, m.ivr, p.TOBIVR, p.VINLevel, s.CState)
 
 	var pin units.Watt
 	var bd Breakdown
-	rails := make([]RailDraw, 0, 3)
+	var rails RailSet
 	if st.PIn > 0 {
 		rail := VinRail(m.vin, st, p.VINLevel, p.IVRInLL, s.PSU, s.CState, 1)
 		pin += rail.PIn
 		bd.Add(st.Breakdown)
 		bd.Add(rail.Breakdown)
-		rails = append(rails, rail.Rail)
+		rails.Append(rail.Rail)
 	}
-	saOut := BoardRail(m.sa, []Load{s.LoadFor(domain.SA)}, p.TOBMBVR, p.RPG, p.SALL, s.PSU, s.CState, false)
-	ioOut := BoardRail(m.io, []Load{s.LoadFor(domain.IO)}, p.TOBMBVR, p.RPG, p.IOLL, s.PSU, s.CState, false)
+	saOut := BoardRail(m.sa, []Load{s.Loads[domain.SA]}, p.TOBMBVR, p.RPG, p.SALL, s.PSU, s.CState, false)
+	ioOut := BoardRail(m.io, []Load{s.Loads[domain.IO]}, p.TOBMBVR, p.RPG, p.IOLL, s.PSU, s.CState, false)
 	pin += saOut.PIn + ioOut.PIn
 	bd.Add(saOut.Breakdown)
 	bd.Add(ioOut.Breakdown)
-	rails = append(rails, saOut.Rail, ioOut.Rail)
-	return Finish(IMBVR, s, pin, bd, rails, p.IVRInLL), nil
+	rails.Append(saOut.Rail)
+	rails.Append(ioOut.Rail)
+	return Finish(IMBVR, s.TotalNominal(), pin, bd, rails, p.IVRInLL), nil
 }
 
 // New constructs a baseline model of the given kind (not FlexWatts, which

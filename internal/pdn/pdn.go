@@ -59,8 +59,9 @@ func (k Kind) String() string {
 
 // Load is one domain's electrical operating point for an evaluation
 // interval: the inputs PDNspot's models consume (paper Table 2 and Fig 1).
+// The domain a load belongs to is not stored here — it is the load's index
+// in Scenario.Loads.
 type Load struct {
-	Kind domain.Kind
 	// PNom is the domain's nominal power (PNOM in Fig 1); zero means the
 	// domain is idle and power-gated.
 	PNom units.Watt
@@ -79,8 +80,16 @@ func (l Load) Active() bool { return l.PNom > 0 }
 // Scenario is a complete evaluation point: the six domain loads plus the
 // package power state (which selects VR power states) and the power-supply
 // voltage.
+//
+// Loads is a fixed-size value array indexed by domain.Kind — the zero Load
+// is an idle (power-gated) domain, so "absent" and "idle" are the same
+// state by construction. The representation is canonical: two scenarios
+// describe the same evaluation point if and only if they compare equal with
+// ==, which is what makes Scenario usable directly as a lock-free cache key
+// (internal/sweep) and copyable with plain assignment on the refmodel hot
+// path, with no per-evaluation heap allocation anywhere.
 type Scenario struct {
-	Loads  map[domain.Kind]Load
+	Loads  [domain.NumKinds]Load
 	CState domain.CState
 	PSU    units.Volt
 }
@@ -88,24 +97,20 @@ type Scenario struct {
 // NewScenario returns a scenario with the default 7.2 V supply (the battery
 // voltage used for Fig 3) in package state C0.
 func NewScenario() Scenario {
-	return Scenario{Loads: make(map[domain.Kind]Load, 6), CState: domain.C0, PSU: 7.2}
+	return Scenario{CState: domain.C0, PSU: 7.2}
 }
 
 // TotalNominal returns ΣPNOM across all domains, the numerator of ETEE.
 func (s Scenario) TotalNominal() units.Watt {
 	var sum units.Watt
-	for _, l := range s.Loads {
-		sum += l.PNom
+	for k := range s.Loads {
+		sum += s.Loads[k].PNom
 	}
 	return sum
 }
 
-// LoadFor returns the load for kind k (zero value if absent).
-func (s Scenario) LoadFor(k domain.Kind) Load {
-	l := s.Loads[k]
-	l.Kind = k
-	return l
-}
+// LoadFor returns the load for kind k.
+func (s Scenario) LoadFor(k domain.Kind) Load { return s.Loads[k] }
 
 // Breakdown splits the total conversion loss into the categories of Fig 5.
 type Breakdown struct {
@@ -149,6 +154,38 @@ type RailDraw struct {
 	Peak    units.Amp // worst-case (power-virus) current
 }
 
+// MaxRails is the most off-chip rails any modeled PDN drives (MBVR's four:
+// V_Cores, V_GFX, V_SA, V_IO).
+const MaxRails = 4
+
+// RailSet is a fixed-capacity collection of rail demands with value
+// semantics: copying a Result copies its rails, so a memoized Result handed
+// out by the evaluation cache cannot alias mutable state between callers —
+// the read-only contract is enforced by the type, and building one costs no
+// heap allocation.
+type RailSet struct {
+	n     int
+	rails [MaxRails]RailDraw
+}
+
+// Append adds a rail demand; it panics if the set is full (no modeled PDN
+// exceeds MaxRails).
+func (rs *RailSet) Append(r RailDraw) {
+	rs.rails[rs.n] = r
+	rs.n++
+}
+
+// Len returns the number of rails in the set.
+func (rs RailSet) Len() int { return rs.n }
+
+// At returns the i-th rail demand.
+func (rs RailSet) At(i int) RailDraw {
+	if i < 0 || i >= rs.n {
+		panic(fmt.Sprintf("pdn: rail index %d out of range [0,%d)", i, rs.n))
+	}
+	return rs.rails[i]
+}
+
 // Result is the outcome of evaluating a PDN model on a scenario.
 type Result struct {
 	PDN Kind
@@ -167,7 +204,7 @@ type Result struct {
 	// power path (the second line plot of Fig 5).
 	ComputeRailR units.Ohm
 	// Rails lists per-off-chip-VR demands for the cost model.
-	Rails []RailDraw
+	Rails RailSet
 }
 
 // Model is a PDN architecture's ETEE model.

@@ -29,7 +29,7 @@ func testModels(t *testing.T) (map[Kind]Model, *domain.Platform) {
 func activeScenario(coreP units.Watt, coreV units.Volt, ar float64) Scenario {
 	s := NewScenario()
 	mk := func(k domain.Kind, p units.Watt, v units.Volt, fl float64) {
-		s.Loads[k] = Load{Kind: k, PNom: p, VNom: v, FL: fl, AR: ar}
+		s.Loads[k] = Load{PNom: p, VNom: v, FL: fl, AR: ar}
 	}
 	mk(domain.Core0, coreP/2, coreV, 0.22)
 	mk(domain.Core1, coreP/2, coreV, 0.22)
@@ -57,7 +57,7 @@ func TestEvaluateBasics(t *testing.T) {
 		if r.PDN != k {
 			t.Errorf("%v: result tagged %v", k, r.PDN)
 		}
-		if len(r.Rails) == 0 {
+		if r.Rails.Len() == 0 {
 			t.Errorf("%v: no rails reported", k)
 		}
 		// The breakdown must account for the whole loss.
@@ -186,8 +186,8 @@ func TestIdleCStateScenarios(t *testing.T) {
 	for _, c := range domain.IdleCStates() {
 		s := NewScenario()
 		s.CState = c
-		s.Loads[domain.SA] = Load{Kind: domain.SA, PNom: 0.3, VNom: 0.85, FL: 0.22, AR: 0.8}
-		s.Loads[domain.IO] = Load{Kind: domain.IO, PNom: 0.2, VNom: 1.05, FL: 0.22, AR: 0.8}
+		s.Loads[domain.SA] = Load{PNom: 0.3, VNom: 0.85, FL: 0.22, AR: 0.8}
+		s.Loads[domain.IO] = Load{PNom: 0.2, VNom: 1.05, FL: 0.22, AR: 0.8}
 		ri, err := models[IVR].Evaluate(s)
 		if err != nil {
 			t.Fatalf("%v: %v", c, err)
@@ -209,7 +209,7 @@ func TestEvaluateProperty(t *testing.T) {
 		ar := 0.15 + math.Mod(math.Abs(arRaw), 0.85)
 		s := activeScenario(p, v, ar)
 		if !idleGfx {
-			s.Loads[domain.GFX] = Load{Kind: domain.GFX, PNom: p / 3, VNom: v, FL: 0.45, AR: ar}
+			s.Loads[domain.GFX] = Load{PNom: p / 3, VNom: v, FL: 0.45, AR: ar}
 		}
 		for _, m := range models {
 			r, err := m.Evaluate(s)

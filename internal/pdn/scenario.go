@@ -53,9 +53,9 @@ func BuildScenario(plat *domain.Platform, op OperatingPoint) Scenario {
 			v := core.VoltageAt(f)
 			p := core.Power(f, op.CoreAR, op.Tj)
 			fl := core.LeakFraction(f, op.CoreAR, op.Tj)
-			s.Loads[domain.Core0] = Load{Kind: domain.Core0, PNom: p, VNom: v, FL: fl, AR: op.CoreAR}
+			s.Loads[domain.Core0] = Load{PNom: p, VNom: v, FL: fl, AR: op.CoreAR}
 			if op.ActiveCores > 1 {
-				s.Loads[domain.Core1] = Load{Kind: domain.Core1, PNom: p, VNom: v, FL: fl, AR: op.CoreAR}
+				s.Loads[domain.Core1] = Load{PNom: p, VNom: v, FL: fl, AR: op.CoreAR}
 			}
 		}
 		if op.ActiveCores > 0 || op.GfxActive {
@@ -70,7 +70,6 @@ func BuildScenario(plat *domain.Platform, op OperatingPoint) Scenario {
 			}
 			f := llc.ClampFreq(lf)
 			s.Loads[domain.LLC] = Load{
-				Kind: domain.LLC,
 				PNom: llc.Power(f, lar, op.Tj),
 				VNom: llc.VoltageAt(f),
 				FL:   llc.LeakFraction(f, lar, op.Tj),
@@ -81,7 +80,6 @@ func BuildScenario(plat *domain.Platform, op OperatingPoint) Scenario {
 			gfx := plat.Domain(domain.GFX)
 			f := gfx.ClampFreq(op.GfxFreq)
 			s.Loads[domain.GFX] = Load{
-				Kind: domain.GFX,
 				PNom: gfx.Power(f, op.GfxAR, op.Tj),
 				VNom: gfx.VoltageAt(f),
 				FL:   gfx.LeakFraction(f, op.GfxAR, op.Tj),
@@ -93,14 +91,12 @@ func BuildScenario(plat *domain.Platform, op OperatingPoint) Scenario {
 	// SA and IO are powered in every modeled state (their per-state tables
 	// already encode how deep idle shrinks them).
 	s.Loads[domain.SA] = Load{
-		Kind: domain.SA,
 		PNom: plat.UncorePower(domain.SA, op.CState),
 		VNom: plat.UncoreVoltage(domain.SA),
 		FL:   0.22,
 		AR:   uncoreAR,
 	}
 	s.Loads[domain.IO] = Load{
-		Kind: domain.IO,
 		PNom: plat.UncorePower(domain.IO, op.CState),
 		VNom: plat.UncoreVoltage(domain.IO),
 		FL:   0.22,

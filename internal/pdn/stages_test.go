@@ -11,10 +11,10 @@ import (
 
 func computeLoads(p units.Watt, v units.Volt, ar float64) []Load {
 	return []Load{
-		{Kind: domain.Core0, PNom: p / 2, VNom: v, FL: 0.22, AR: ar},
-		{Kind: domain.Core1, PNom: p / 2, VNom: v, FL: 0.22, AR: ar},
-		{Kind: domain.LLC, PNom: p / 6, VNom: v, FL: 0.22, AR: ar},
-		{Kind: domain.GFX}, // idle
+		{PNom: p / 2, VNom: v, FL: 0.22, AR: ar},
+		{PNom: p / 2, VNom: v, FL: 0.22, AR: ar},
+		{PNom: p / 6, VNom: v, FL: 0.22, AR: ar},
+		{}, // idle
 	}
 }
 
@@ -37,7 +37,7 @@ func TestIVRStage(t *testing.T) {
 		t.Errorf("group AR %g, want 0.6", out.AR)
 	}
 	// No active loads: zero stage.
-	empty := IVRStage([]Load{{Kind: domain.GFX}}, ivr, units.MilliVolt(20), 1.8, domain.C0)
+	empty := IVRStage([]Load{{}}, ivr, units.MilliVolt(20), 1.8, domain.C0)
 	if empty.PIn != 0 || empty.AR != 1 {
 		t.Errorf("empty stage: %+v", empty)
 	}
@@ -66,8 +66,8 @@ func TestLDOStageRegulation(t *testing.T) {
 	// Cores at 0.55V under a 1.0V GFX rail: the cores pay ~45% conversion
 	// loss through their LDO (§5 Observation 2's mechanism).
 	loads := []Load{
-		{Kind: domain.Core0, PNom: 2, VNom: 0.55, FL: 0.22, AR: 0.6},
-		{Kind: domain.GFX, PNom: 5, VNom: 1.0, FL: 0.45, AR: 0.6},
+		{PNom: 2, VNom: 0.55, FL: 0.22, AR: 0.6},
+		{PNom: 5, VNom: 1.0, FL: 0.45, AR: 0.6},
 	}
 	vin, out := LDOStage(loads, ldo, units.MilliVolt(17))
 	if vin < 1.0 {
@@ -78,7 +78,7 @@ func TestLDOStageRegulation(t *testing.T) {
 		t.Errorf("voltage-split LDO loss %g too small", out.Breakdown.OnChipVR)
 	}
 	// Empty stage.
-	vin, empty := LDOStage([]Load{{Kind: domain.GFX}}, ldo, units.MilliVolt(17))
+	vin, empty := LDOStage([]Load{{}}, ldo, units.MilliVolt(17))
 	if vin != 0 || empty.PIn != 0 {
 		t.Error("empty LDO stage should be zero")
 	}
@@ -116,16 +116,16 @@ func TestBoardRailSharingOvervolt(t *testing.T) {
 	rll := units.MilliOhm(2.5)
 	// A lone 0.9V load...
 	alone := BoardRail(b, []Load{
-		{Kind: domain.GFX, PNom: 5, VNom: 0.9, FL: 0.45, AR: 0.6},
+		{PNom: 5, VNom: 0.9, FL: 0.45, AR: 0.6},
 	}, tob, rpg, rll, 7.2, domain.C0, true)
 	// ...versus sharing the rail with a 1.1V domain: the 0.9V load gets
 	// over-volted and the rail draws strictly more than the sum of parts.
 	shared := BoardRail(b, []Load{
-		{Kind: domain.GFX, PNom: 5, VNom: 0.9, FL: 0.45, AR: 0.6},
-		{Kind: domain.LLC, PNom: 1, VNom: 1.1, FL: 0.22, AR: 0.6},
+		{PNom: 5, VNom: 0.9, FL: 0.45, AR: 0.6},
+		{PNom: 1, VNom: 1.1, FL: 0.22, AR: 0.6},
 	}, tob, rpg, rll, 7.2, domain.C0, true)
 	llcAlone := BoardRail(b, []Load{
-		{Kind: domain.LLC, PNom: 1, VNom: 1.1, FL: 0.22, AR: 0.6},
+		{PNom: 1, VNom: 1.1, FL: 0.22, AR: 0.6},
 	}, tob, rpg, rll, 7.2, domain.C0, true)
 	if !(shared.PIn > alone.PIn+llcAlone.PIn-0.3) { // fixed losses amortize; overvolt dominates
 		t.Errorf("sharing with a higher-voltage domain should cost: %.2f vs %.2f+%.2f",
@@ -135,7 +135,7 @@ func TestBoardRailSharingOvervolt(t *testing.T) {
 		t.Errorf("shared rail voltage %.3f should sit above the max domain voltage", shared.Rail.VOut)
 	}
 	// Empty rail.
-	empty := BoardRail(b, []Load{{Kind: domain.SA}}, tob, rpg, rll, 7.2, domain.C0, false)
+	empty := BoardRail(b, []Load{{}}, tob, rpg, rll, 7.2, domain.C0, false)
 	if empty.PIn != 0 {
 		t.Error("empty rail should draw nothing")
 	}

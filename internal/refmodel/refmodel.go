@@ -66,7 +66,7 @@ type Measurement struct {
 
 // tone describes one domain's load fluctuation.
 type tone struct {
-	freq  float64 // Hz
+	w     float64 // angular frequency 2π·freq, rad/s
 	phase float64
 	noise float64 // AR(1)-filtered noise state
 }
@@ -81,20 +81,20 @@ func Measure(m pdn.Model, s pdn.Scenario, cfg Config) (Measurement, error) {
 		cfg = DefaultConfig()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	// Iterate domains in canonical order so the RNG stream (and thus the
-	// measurement) is reproducible for a given seed.
-	kinds := make([]domain.Kind, 0, len(s.Loads))
-	for _, k := range domain.Kinds() {
-		if _, ok := s.Loads[k]; ok {
-			kinds = append(kinds, k)
+	// Tones are assigned in canonical domain order so the RNG stream (and
+	// thus the measurement) is reproducible for a given seed; idle domains
+	// draw no power and consume no randomness.
+	var tones [domain.NumKinds]tone
+	var fluctuates [domain.NumKinds]bool
+	for k := range s.Loads {
+		if !s.Loads[k].Active() {
+			continue
 		}
-	}
-	tones := make(map[domain.Kind]*tone, len(kinds))
-	for _, k := range kinds {
-		tones[k] = &tone{
+		fluctuates[k] = true
+		tones[k] = tone{
 			// Workload phase frequencies in the tens-of-kHz range, distinct
 			// per domain so the fleet doesn't beat in lockstep.
-			freq:  20e3 + 60e3*rng.Float64(),
+			w:     2 * math.Pi * (20e3 + 60e3*rng.Float64()),
 			phase: 2 * math.Pi * rng.Float64(),
 		}
 	}
@@ -105,19 +105,23 @@ func Measure(m pdn.Model, s pdn.Scenario, cfg Config) (Measurement, error) {
 	var sumPIn, sumPNom, peak units.Watt
 	steps := 0
 	n := int(cfg.Duration/cfg.Step + 0.5)
+	// One instantaneous scenario is mutated in place every step (Scenario is
+	// a value type); only the perturbed PNom fields change, so no per-step
+	// allocation happens anywhere in the loop.
+	inst := s
 	for step := 0; step < n; step++ {
 		t := float64(step) * cfg.Step
-		inst := pdn.Scenario{Loads: make(map[domain.Kind]pdn.Load, len(s.Loads)), CState: s.CState, PSU: s.PSU}
-		for _, k := range kinds {
-			l := s.Loads[k]
-			tn := tones[k]
+		for k := range s.Loads {
+			if !fluctuates[k] {
+				continue
+			}
+			tn := &tones[k]
 			tn.noise = alpha*tn.noise + sigma*rng.NormFloat64()
-			scale := 1 + cfg.Ripple*math.Sin(2*math.Pi*tn.freq*t+tn.phase) + tn.noise
+			scale := 1 + cfg.Ripple*math.Sin(tn.w*t+tn.phase) + tn.noise
 			if scale < 0.05 {
 				scale = 0.05
 			}
-			l.PNom *= scale
-			inst.Loads[k] = l
+			inst.Loads[k].PNom = s.Loads[k].PNom * scale
 		}
 		r, err := m.Evaluate(inst)
 		if err != nil {

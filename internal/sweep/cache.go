@@ -1,31 +1,35 @@
 package sweep
 
 import (
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/domain"
 	"repro/internal/pdn"
-	"repro/internal/units"
 )
 
-// cacheKey canonicalizes a (PDN kind, scenario) pair. Loads are read in
-// fixed domain order through Scenario.LoadFor, so a map entry holding an
-// idle zero load and an absent entry produce the same key — the PDN models
-// cannot tell them apart either.
+// cacheKey identifies a (PDN kind, scenario) pair. pdn.Scenario is an
+// array-backed value type whose representation is canonical (an absent and
+// an idle domain are the same zero Load), so the scenario itself is the key
+// — no normalization pass is needed and two keys are equal iff the PDN
+// models cannot tell the scenarios apart.
 type cacheKey struct {
-	kind   pdn.Kind
-	cstate domain.CState
-	psu    units.Volt
-	loads  [6]pdn.Load
+	kind pdn.Kind
+	s    pdn.Scenario
 }
 
-func keyFor(kind pdn.Kind, s pdn.Scenario) cacheKey {
-	k := cacheKey{kind: kind, cstate: s.CState, psu: s.PSU}
-	for i, d := range domain.Kinds() {
-		k.loads[i] = s.LoadFor(d)
-	}
-	return k
+// cacheShards spreads the key space over independently locked maps so
+// concurrent readers don't serialize on one lock; 64 shards keeps the
+// per-shard collision probability negligible for GOMAXPROCS-sized pools.
+const cacheShards = 64
+
+// cacheShard is one lock-striped slice of the key space. Reads take only
+// the shard's RLock, so cache hits — the overwhelming majority of accesses
+// once the figure grids warm up — proceed in parallel; writers touch one
+// shard and never block readers of the other 63.
+type cacheShard struct {
+	mu      sync.RWMutex
+	entries map[cacheKey]*cacheEntry
 }
 
 // Cache memoizes pdn.Model evaluations keyed by (kind, scenario), deduping
@@ -36,13 +40,14 @@ func keyFor(kind pdn.Kind, s pdn.Scenario) cacheKey {
 // the model evaluates once and the rest share the outcome, error included.
 // Because one Kind maps to one model per cache, keep one Cache per
 // parameter set (an experiments.Env owns exactly one). Cached results are
-// shared, so callers must treat pdn.Result — notably its Rails slice — as
-// read-only.
+// plain values — pdn.Result stores its rails in a value array — so a hit
+// returns an independent copy and callers may do with it as they please.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
-	hits    atomic.Int64
-	misses  atomic.Int64
+	seed   maphash.Seed
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+	size   atomic.Int64
 }
 
 type cacheEntry struct {
@@ -52,7 +57,19 @@ type cacheEntry struct {
 }
 
 // NewCache returns an empty evaluation cache.
-func NewCache() *Cache { return &Cache{entries: make(map[cacheKey]*cacheEntry)} }
+func NewCache() *Cache {
+	c := &Cache{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]*cacheEntry)
+	}
+	return c
+}
+
+// shardFor picks the shard holding key. cacheKey contains no pointers, so
+// maphash.Comparable hashes it without allocating.
+func (c *Cache) shardFor(key cacheKey) *cacheShard {
+	return &c.shards[maphash.Comparable(c.seed, key)%cacheShards]
+}
 
 // Evaluate returns m.Evaluate(s) memoized by (m.Kind(), s). A nil cache
 // evaluates directly.
@@ -60,14 +77,21 @@ func (c *Cache) Evaluate(m pdn.Model, s pdn.Scenario) (pdn.Result, error) {
 	if c == nil {
 		return m.Evaluate(s)
 	}
-	key := keyFor(m.Kind(), s)
-	c.mu.Lock()
-	e, ok := c.entries[key]
+	key := cacheKey{kind: m.Kind(), s: s}
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	sh.mu.RUnlock()
 	if !ok {
-		e = &cacheEntry{}
-		c.entries[key] = e
+		sh.mu.Lock()
+		e, ok = sh.entries[key]
+		if !ok {
+			e = &cacheEntry{}
+			sh.entries[key] = e
+			c.size.Add(1)
+		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -90,9 +114,7 @@ func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	return int(c.size.Load())
 }
 
 // cachedModel routes Evaluate through a Cache.

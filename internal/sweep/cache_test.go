@@ -29,9 +29,9 @@ func (m *countingModel) Evaluate(s pdn.Scenario) (pdn.Result, error) {
 
 func testScenario(coreP float64) pdn.Scenario {
 	s := pdn.NewScenario()
-	s.Loads[domain.Core0] = pdn.Load{Kind: domain.Core0, PNom: coreP, VNom: 0.8, FL: 0.3, AR: 0.6}
-	s.Loads[domain.SA] = pdn.Load{Kind: domain.SA, PNom: 0.5, VNom: 1.0, FL: 0.22, AR: 0.8}
-	s.Loads[domain.IO] = pdn.Load{Kind: domain.IO, PNom: 0.3, VNom: 1.0, FL: 0.22, AR: 0.8}
+	s.Loads[domain.Core0] = pdn.Load{PNom: coreP, VNom: 0.8, FL: 0.3, AR: 0.6}
+	s.Loads[domain.SA] = pdn.Load{PNom: 0.5, VNom: 1.0, FL: 0.22, AR: 0.8}
+	s.Loads[domain.IO] = pdn.Load{PNom: 0.3, VNom: 1.0, FL: 0.22, AR: 0.8}
 	return s
 }
 
@@ -91,7 +91,7 @@ func TestCacheCanonicalizesAbsentLoads(t *testing.T) {
 	m := &countingModel{kind: pdn.LDO}
 	withAbsent := testScenario(4)
 	withIdle := testScenario(4)
-	withIdle.Loads[domain.GFX] = pdn.Load{Kind: domain.GFX}
+	withIdle.Loads[domain.GFX] = pdn.Load{}
 
 	if _, err := c.Evaluate(m, withAbsent); err != nil {
 		t.Fatal(err)

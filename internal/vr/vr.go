@@ -192,7 +192,11 @@ func (b *Buck) phases(iout units.Amp, ps PowerState) int {
 }
 
 // Loss returns the total conversion loss in watts at the operating point.
-func (b *Buck) Loss(op OperatingPoint) units.Watt {
+func (b *Buck) Loss(op OperatingPoint) units.Watt { return b.loss(&op) }
+
+// loss is the pointer-argument form Efficiency uses on the hot path (one
+// OperatingPoint copy per call adds up across millions of evaluations).
+func (b *Buck) loss(op *OperatingPoint) units.Watt {
 	p := b.params
 	var fixed, sw units.Watt
 	if op.State >= PS1 {
@@ -242,7 +246,7 @@ func (b *Buck) Efficiency(op OperatingPoint) float64 {
 		return b.params.EtaFloor
 	}
 	pout := op.Vout * op.Iout
-	eta := pout / (pout + b.Loss(op))
+	eta := pout / (pout + b.loss(&op))
 	if eta < b.params.EtaFloor {
 		eta = b.params.EtaFloor
 	}

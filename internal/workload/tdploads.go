@@ -80,28 +80,28 @@ func TDPScenario(plat *domain.Platform, tdp units.Watt, t Type, ar float64) (pdn
 		if t == SingleThread {
 			// One core powered; it captures a bit over half of the
 			// two-core budget (shared LLC/ring activity remains).
-			s.Loads[domain.Core0] = pdn.Load{Kind: domain.Core0, PNom: 0.55 * cores, VNom: coreV, FL: flCompute, AR: ar}
+			s.Loads[domain.Core0] = pdn.Load{PNom: 0.55 * cores, VNom: coreV, FL: flCompute, AR: ar}
 		} else {
-			s.Loads[domain.Core0] = pdn.Load{Kind: domain.Core0, PNom: cores / 2, VNom: coreV, FL: flCompute, AR: ar}
-			s.Loads[domain.Core1] = pdn.Load{Kind: domain.Core1, PNom: cores / 2, VNom: coreV, FL: flCompute, AR: ar}
+			s.Loads[domain.Core0] = pdn.Load{PNom: cores / 2, VNom: coreV, FL: flCompute, AR: ar}
+			s.Loads[domain.Core1] = pdn.Load{PNom: cores / 2, VNom: coreV, FL: flCompute, AR: ar}
 		}
 		// LLC voltage matches the core domain for CPU workloads (§7.1).
-		s.Loads[domain.LLC] = pdn.Load{Kind: domain.LLC, PNom: cpuLLCNom.At(tdp), VNom: coreV, FL: flCompute, AR: ar}
+		s.Loads[domain.LLC] = pdn.Load{PNom: cpuLLCNom.At(tdp), VNom: coreV, FL: flCompute, AR: ar}
 	case Graphics:
 		gfxV := plat.Domain(domain.GFX).VoltageAt(units.GigaHertz(gfxFreqGHz.At(tdp)))
 		llcV := plat.Domain(domain.LLC).VoltageAt(units.GigaHertz(gfxLLCFreqGHz.At(tdp)))
 		// Cores run at low frequency/voltage during graphics (§5 Obs 2).
 		lowCoreV := plat.Domain(domain.Core0).VoltageAt(units.GigaHertz(1.0))
-		s.Loads[domain.Core0] = pdn.Load{Kind: domain.Core0, PNom: gfxCoresNom.At(tdp) / 2, VNom: lowCoreV, FL: flCompute, AR: ar}
-		s.Loads[domain.Core1] = pdn.Load{Kind: domain.Core1, PNom: gfxCoresNom.At(tdp) / 2, VNom: lowCoreV, FL: flCompute, AR: ar}
-		s.Loads[domain.GFX] = pdn.Load{Kind: domain.GFX, PNom: gfxEngineNom.At(tdp), VNom: gfxV, FL: flGFX, AR: ar}
-		s.Loads[domain.LLC] = pdn.Load{Kind: domain.LLC, PNom: gfxLLCNom.At(tdp), VNom: llcV, FL: flCompute, AR: ar}
+		s.Loads[domain.Core0] = pdn.Load{PNom: gfxCoresNom.At(tdp) / 2, VNom: lowCoreV, FL: flCompute, AR: ar}
+		s.Loads[domain.Core1] = pdn.Load{PNom: gfxCoresNom.At(tdp) / 2, VNom: lowCoreV, FL: flCompute, AR: ar}
+		s.Loads[domain.GFX] = pdn.Load{PNom: gfxEngineNom.At(tdp), VNom: gfxV, FL: flGFX, AR: ar}
+		s.Loads[domain.LLC] = pdn.Load{PNom: gfxLLCNom.At(tdp), VNom: llcV, FL: flCompute, AR: ar}
 	default:
 		return pdn.Scenario{}, fmt.Errorf("workload: TDPScenario does not model %v", t)
 	}
 
-	s.Loads[domain.SA] = pdn.Load{Kind: domain.SA, PNom: plat.UncorePower(domain.SA, domain.C0), VNom: plat.UncoreVoltage(domain.SA), FL: flCompute, AR: 0.8}
-	s.Loads[domain.IO] = pdn.Load{Kind: domain.IO, PNom: plat.UncorePower(domain.IO, domain.C0), VNom: plat.UncoreVoltage(domain.IO), FL: flCompute, AR: 0.8}
+	s.Loads[domain.SA] = pdn.Load{PNom: plat.UncorePower(domain.SA, domain.C0), VNom: plat.UncoreVoltage(domain.SA), FL: flCompute, AR: 0.8}
+	s.Loads[domain.IO] = pdn.Load{PNom: plat.UncorePower(domain.IO, domain.C0), VNom: plat.UncoreVoltage(domain.IO), FL: flCompute, AR: 0.8}
 	return s, nil
 }
 
@@ -120,13 +120,13 @@ func CStateScenario(plat *domain.Platform, c domain.CState) pdn.Scenario {
 		fMinGfx := gfx.Params().FMin
 		const arLight = 0.18
 		cv := core.VoltageAt(fMinCore)
-		s.Loads[domain.Core0] = pdn.Load{Kind: domain.Core0, PNom: core.Power(fMinCore, arLight, tj), VNom: cv, FL: core.LeakFraction(fMinCore, arLight, tj), AR: arLight}
-		s.Loads[domain.Core1] = pdn.Load{Kind: domain.Core1, PNom: core.Power(fMinCore, arLight, tj), VNom: cv, FL: core.LeakFraction(fMinCore, arLight, tj), AR: arLight}
-		s.Loads[domain.LLC] = pdn.Load{Kind: domain.LLC, PNom: llc.Power(fMinCore, arLight, tj), VNom: llc.VoltageAt(fMinCore), FL: llc.LeakFraction(fMinCore, arLight, tj), AR: arLight}
-		s.Loads[domain.GFX] = pdn.Load{Kind: domain.GFX, PNom: gfx.Power(fMinGfx, arLight, tj), VNom: gfx.VoltageAt(fMinGfx), FL: gfx.LeakFraction(fMinGfx, arLight, tj), AR: arLight}
+		s.Loads[domain.Core0] = pdn.Load{PNom: core.Power(fMinCore, arLight, tj), VNom: cv, FL: core.LeakFraction(fMinCore, arLight, tj), AR: arLight}
+		s.Loads[domain.Core1] = pdn.Load{PNom: core.Power(fMinCore, arLight, tj), VNom: cv, FL: core.LeakFraction(fMinCore, arLight, tj), AR: arLight}
+		s.Loads[domain.LLC] = pdn.Load{PNom: llc.Power(fMinCore, arLight, tj), VNom: llc.VoltageAt(fMinCore), FL: llc.LeakFraction(fMinCore, arLight, tj), AR: arLight}
+		s.Loads[domain.GFX] = pdn.Load{PNom: gfx.Power(fMinGfx, arLight, tj), VNom: gfx.VoltageAt(fMinGfx), FL: gfx.LeakFraction(fMinGfx, arLight, tj), AR: arLight}
 	}
-	s.Loads[domain.SA] = pdn.Load{Kind: domain.SA, PNom: plat.UncorePower(domain.SA, c), VNom: plat.UncoreVoltage(domain.SA), FL: flCompute, AR: 0.8}
-	s.Loads[domain.IO] = pdn.Load{Kind: domain.IO, PNom: plat.UncorePower(domain.IO, c), VNom: plat.UncoreVoltage(domain.IO), FL: flCompute, AR: 0.8}
+	s.Loads[domain.SA] = pdn.Load{PNom: plat.UncorePower(domain.SA, c), VNom: plat.UncoreVoltage(domain.SA), FL: flCompute, AR: 0.8}
+	s.Loads[domain.IO] = pdn.Load{PNom: plat.UncorePower(domain.IO, c), VNom: plat.UncoreVoltage(domain.IO), FL: flCompute, AR: 0.8}
 	return s
 }
 
