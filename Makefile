@@ -7,7 +7,7 @@ BENCHTIME ?= 1s
 BENCH_LABEL ?= current
 BENCH_JSON ?= BENCH_2.json
 
-.PHONY: all build test race bench bench-json lint fmt ci
+.PHONY: all build test race bench bench-json lint fmt ci smoke
 
 all: build test
 
@@ -36,6 +36,11 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=$(BENCHTIME) . > $(BENCH_JSON).tmp
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_JSON) < $(BENCH_JSON).tmp
 	@rm -f $(BENCH_JSON).tmp
+
+# Boot the flexwattsd daemon (built with -race), hit every endpoint class,
+# and diff the served ASCII bodies against the committed goldens.
+smoke:
+	bash scripts/smoke_flexwattsd.sh
 
 lint:
 	$(GO) vet ./...

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/internal/experiments"
 	"repro/internal/pdn"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -100,6 +101,36 @@ func TestControllerStepAllocFree(t *testing.T) {
 		ctrl.Step(10e-3, in)
 	}); avg != 0 {
 		t.Errorf("Controller.Step: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestDatasetAllocBudget pins the typed-dataset driver path on a warm
+// cache: every PDN evaluation hits the memoized cache (0 allocs, pinned
+// above), so what remains is the dataset structure itself — tables, rows,
+// one rendered text string per cell, the metadata map. The budgets have
+// ~50 % headroom over the measured counts; a per-cell string-churn
+// regression (re-formatting cells, rendering mid-sweep, per-cell interface
+// boxing) multiplies the count well past them.
+func TestDatasetAllocBudget(t *testing.T) {
+	e := benchEnv(t)
+	serial := *e
+	serial.Workers = 1 // keep goroutine machinery out of the measurement
+	budgets := map[string]float64{
+		"fig4j": 110, // 6 rows × 4 cells (measured: 70)
+		"fig5":  260, // 9 rows × 9 cells (measured: 173)
+	}
+	for id, budget := range budgets {
+		if _, err := experiments.Dataset(id, &serial); err != nil { // warm the cache
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			if _, err := experiments.Dataset(id, &serial); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg > budget {
+			t.Errorf("%s warm Dataset: %.1f allocs/op, budget %.0f", id, avg, budget)
+		}
 	}
 }
 

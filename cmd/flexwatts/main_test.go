@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 func TestUnknownExperimentExitsNonZero(t *testing.T) {
@@ -81,6 +84,88 @@ func TestParallelOutputMatchesSerial(t *testing.T) {
 	}
 	if serial.String() != parallel.String() {
 		t.Error("-parallel 8 output differs from -parallel 1")
+	}
+}
+
+func TestFormatJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "tab2", "-format", "json"}, &out, &errOut); code != 0 {
+		t.Fatalf("-format json returned %d, stderr: %s", code, errOut.String())
+	}
+	var d report.Dataset
+	if err := json.Unmarshal([]byte(out.String()), &d); err != nil {
+		t.Fatalf("output is not a JSON dataset: %v", err)
+	}
+	if d.ID != "tab2" || len(d.Tables) == 0 {
+		t.Errorf("dataset = id %q with %d tables", d.ID, len(d.Tables))
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "tab1", "-format", "csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("-format csv returned %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "# Table 1") {
+		t.Errorf("CSV output missing title comment: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "Domain,Description\n") {
+		t.Errorf("CSV output missing header record: %q", out.String())
+	}
+}
+
+func TestFormatUnknownRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "tab1", "-format", "xml"}, &out, &errOut); code != 2 {
+		t.Errorf("-format xml returned %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "xml") {
+		t.Errorf("stderr %q does not name the bad format", errOut.String())
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tab1.txt")
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "tab1", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("-o returned %d, stderr: %s", code, errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-o still wrote to stdout: %q", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct strings.Builder
+	if code := run([]string{"-exp", "tab1"}, &direct, &errOut); code != 0 {
+		t.Fatal("direct run failed")
+	}
+	if string(data) != direct.String() {
+		t.Error("-o file content differs from stdout content")
+	}
+}
+
+// TestParallelDefaultMatchesEngine pins the satellite contract: the flag's
+// default is 0, which sweep.Map documents as "size by GOMAXPROCS(0)" — the
+// CLI no longer hardcodes runtime.NumCPU() and so cannot drift from the
+// engine's semantics. The default-worker output must match the serial run.
+func TestParallelDefaultMatchesEngine(t *testing.T) {
+	var def, serial, errOut strings.Builder
+	if code := run([]string{"-exp", "fig4j"}, &def, &errOut); code != 0 {
+		t.Fatalf("default run failed: %s", errOut.String())
+	}
+	if code := run([]string{"-exp", "fig4j", "-parallel", "1"}, &serial, &errOut); code != 0 {
+		t.Fatalf("serial run failed: %s", errOut.String())
+	}
+	if def.String() != serial.String() {
+		t.Error("default -parallel output differs from -parallel 1")
+	}
+	// The default value itself is part of the contract (0 = engine default).
+	var help strings.Builder
+	run([]string{"-h"}, &strings.Builder{}, &help)
+	if !strings.Contains(help.String(), "GOMAXPROCS") {
+		t.Error("-parallel help text does not document the GOMAXPROCS default")
 	}
 }
 

@@ -1,0 +1,108 @@
+// Command flexwattsd serves the paper's evaluations over HTTP/JSON as a
+// long-lived service: all requests share one evaluation environment and its
+// sharded memoizing cache, so concurrent clients hit warm cells instead of
+// recomputing the grids.
+//
+// Usage:
+//
+//	flexwattsd                        # listen on :8080
+//	flexwattsd -addr 127.0.0.1:9090   # explicit listen address
+//	flexwattsd -parallel 4            # bound each request's sweep pool
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness + cache statistics
+//	GET  /v1/experiments              experiment ids
+//	GET  /v1/experiments/{id}         one experiment; ?format=ascii|json|csv
+//	POST /v1/evaluate                 batch of evaluation points
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get -grace (default 10s) to complete before the listener closes hard.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+// run is the testable entry point: it builds the environment, listens on
+// -addr (printing the resolved address, so tests and scripts can use port
+// 0), and serves until ctx is canceled or a signal arrives.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flexwattsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	parallel := fs.Int("parallel", 0,
+		"per-request sweep worker bound (0 = GOMAXPROCS, matching the engine default)")
+	maxBatch := fs.Int("max-batch", server.DefaultMaxBatch,
+		"maximum points accepted by one /v1/evaluate request")
+	grace := fs.Duration("grace", 10*time.Second,
+		"graceful shutdown window for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		fmt.Fprintln(stderr, "flexwattsd:", err)
+		return 1
+	}
+	srv := server.New(env, server.Options{Workers: *parallel, MaxBatch: *maxBatch})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "flexwattsd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "flexwattsd listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "flexwattsd:", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "flexwattsd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "flexwattsd: shutdown:", err)
+		httpSrv.Close()
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter makes a strings.Builder safe to share between the server
+// goroutine and the test.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut syncWriter
+	if code := run(context.Background(), []string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h returned %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-addr") {
+		t.Errorf("help text %q does not describe -addr", errOut.String())
+	}
+}
+
+func TestBadAddrFails(t *testing.T) {
+	var out, errOut syncWriter
+	if code := run(context.Background(), []string{"-addr", "no-such-host:bad"}, &out, &errOut); code != 1 {
+		t.Errorf("bad addr returned %d, want 1", code)
+	}
+}
+
+// TestServeAndGracefulShutdown boots the daemon on a free port, exercises
+// the API end to end over real TCP, then cancels the context and expects a
+// clean exit — the full service lifecycle in one test.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errOut syncWriter
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &out, &errOut)
+	}()
+
+	// The daemon prints the resolved address once it is listening.
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; stderr: %s", errOut.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "flexwattsd listening on ") {
+				base = "http://" + strings.TrimPrefix(line, "flexwattsd listening on ")
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d: %s", resp.StatusCode, body)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz body %q (err %v)", body, err)
+	}
+
+	resp, err = http.Get(base + "/v1/experiments/tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "Table 1") {
+		t.Fatalf("experiment status %d body %q", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("shutdown exit code %d; stderr: %s", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("no shutdown message in %q", out.String())
+	}
+}

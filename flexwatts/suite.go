@@ -1,0 +1,74 @@
+package flexwatts
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// Typed experiment results, re-exported so API consumers work with the
+// same dataset model the CLI and flexwattsd serve.
+type (
+	// Dataset is a typed experiment result: title, metadata, tables.
+	Dataset = report.Dataset
+	// Table is one titled grid of typed cells.
+	Table = report.Table
+	// Cell is one typed table entry (string / float / percentage).
+	Cell = report.Cell
+	// Format selects a dataset renderer.
+	Format = report.Format
+)
+
+// The dataset render formats.
+const (
+	FormatASCII = report.FormatASCII
+	FormatJSON  = report.FormatJSON
+	FormatCSV   = report.FormatCSV
+)
+
+// ExperimentIDs lists the registered experiment ids (the paper's
+// figure/table numbering) in sorted order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// Suite regenerates the paper's evaluation as typed datasets. It owns one
+// evaluation environment — platform model, baselines, FlexWatts with its
+// characterized predictor, and the memoizing evaluation cache — so
+// datasets requested from one Suite share warm cells.
+type Suite struct {
+	env *experiments.Env
+}
+
+// NewSuite constructs the default evaluation environment.
+func NewSuite() (*Suite, error) {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{env: env}, nil
+}
+
+// SetWorkers bounds how many sweep points experiments evaluate
+// concurrently: 1 is fully serial, 0 (the default) sizes the pool by
+// GOMAXPROCS. Results are identical either way.
+func (s *Suite) SetWorkers(n int) { s.env.Workers = n }
+
+// Dataset runs one experiment and returns its typed result.
+func (s *Suite) Dataset(id string) (*Dataset, error) {
+	return experiments.Dataset(id, s.env)
+}
+
+// Datasets runs every registered experiment and returns the results in id
+// order.
+func (s *Suite) Datasets() ([]*Dataset, error) {
+	return experiments.Datasets(s.env)
+}
+
+// Render runs one experiment and writes it in the given format.
+func (s *Suite) Render(id string, w io.Writer, f Format) error {
+	d, err := s.Dataset(id)
+	if err != nil {
+		return err
+	}
+	return d.Write(w, f)
+}

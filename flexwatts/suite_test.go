@@ -1,0 +1,46 @@
+package flexwatts_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/flexwatts"
+)
+
+func TestSuiteDataset(t *testing.T) {
+	s, err := flexwatts.NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := flexwatts.ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiment ids")
+	}
+	d, err := s.Dataset("tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "tab2" || len(d.Tables) == 0 {
+		t.Errorf("dataset id %q with %d tables", d.ID, len(d.Tables))
+	}
+
+	var asciiOut, jsonOut strings.Builder
+	if err := s.Render("tab2", &asciiOut, flexwatts.FormatASCII); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asciiOut.String(), "Table 2") {
+		t.Errorf("ASCII output missing title: %q", asciiOut.String())
+	}
+	if err := s.Render("tab2", &jsonOut, flexwatts.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	var round flexwatts.Dataset
+	if err := json.Unmarshal([]byte(jsonOut.String()), &round); err != nil {
+		t.Fatalf("rendered JSON does not parse: %v", err)
+	}
+
+	if _, err := s.Dataset("fig99"); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}

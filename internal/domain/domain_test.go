@@ -219,3 +219,18 @@ func TestKindHelpers(t *testing.T) {
 		t.Error("Kind.String mismatch")
 	}
 }
+
+func TestParseCState(t *testing.T) {
+	for _, c := range CStates() {
+		got, err := ParseCState(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCState(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if got, err := ParseCState("c0min"); err != nil || got != C0MIN {
+		t.Errorf("ParseCState is not case-insensitive: %v, %v", got, err)
+	}
+	if _, err := ParseCState("C99"); err == nil {
+		t.Error("ParseCState accepted an unknown state")
+	}
+}

@@ -2,6 +2,7 @@ package domain
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/units"
 )
@@ -49,6 +50,18 @@ func (c CState) String() string {
 	default:
 		return fmt.Sprintf("CState(%d)", int(c))
 	}
+}
+
+// ParseCState resolves a conventional state name ("C0", "C0MIN", "C2", …),
+// case-insensitively — the inverse of CState.String for the flexwattsd
+// request vocabulary.
+func ParseCState(s string) (CState, error) {
+	for _, c := range CStates() {
+		if strings.EqualFold(s, c.String()) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("domain: unknown package state %q (have C0, C0MIN, C2, C3, C6, C7, C8)", s)
 }
 
 // ComputeActive reports whether compute domains draw power in the state.

@@ -1,19 +1,22 @@
 // Package experiments contains one driver per table and figure of the
 // paper's evaluation (see DESIGN.md's per-experiment index). Each driver
-// renders the same rows/series the paper reports, so the repository's
-// cmd/flexwatts binary and bench harness can regenerate every artifact.
+// computes the same rows/series the paper reports and returns them as a
+// typed report.Dataset, so the repository's cmd/flexwatts binary, the
+// flexwattsd HTTP service and the bench harness can regenerate every
+// artifact in any render format without re-evaluating.
 package experiments
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/pdn"
+	"repro/internal/report"
 	"repro/internal/sweep"
 )
 
@@ -89,8 +92,10 @@ func (e *Env) AllModels(tdp float64) []pdn.Model {
 	}
 }
 
-// Runner is an experiment entry point.
-type Runner func(e *Env, w io.Writer) error
+// Runner is an experiment entry point: it evaluates the experiment's grid
+// and returns the results as a typed dataset. Rendering is the caller's
+// choice (report.Format).
+type Runner func(e *Env) (*report.Dataset, error)
 
 // registry maps experiment ids to runners; populated by init() calls in
 // the per-figure files.
@@ -98,13 +103,29 @@ var registry = map[string]Runner{}
 
 func register(id string, r Runner) { registry[id] = r }
 
-// Run executes the experiment with the given id.
-func Run(id string, e *Env, w io.Writer) error {
+// Dataset executes the experiment with the given id and returns its typed
+// result, with the dataset's ID stamped to the registry key.
+func Dataset(id string, e *Env) (*report.Dataset, error) {
 	r, ok := registry[id]
 	if !ok {
-		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(e, w)
+	d, err := r(e)
+	if err != nil {
+		return nil, err
+	}
+	d.ID = id
+	return d, nil
+}
+
+// Run executes the experiment with the given id and renders it as ASCII,
+// the historical driver behavior (golden files are captured in this form).
+func Run(id string, e *Env, w io.Writer) error {
+	d, err := Dataset(id, e)
+	if err != nil {
+		return err
+	}
+	return d.WriteASCII(w)
 }
 
 // Known reports whether id names a registered experiment.
@@ -123,15 +144,13 @@ func IDs() []string {
 	return ids
 }
 
-// RunAll executes every registered experiment through the sweep engine.
-// Each experiment renders into its own buffer; the buffers are written to w
-// in id order, each followed by a blank line, so the output is byte-for-byte
-// the same whether the registry ran serially or concurrently.
+// Datasets executes every registered experiment through the sweep engine
+// and returns the typed results in id order.
 //
 // The env's worker budget is split between the two sweep levels — a few
 // experiments in flight, each granted its share of the pool for its own
 // grid — so nested sweeps never multiply into workers² goroutines.
-func RunAll(e *Env, w io.Writer) error {
+func Datasets(e *Env) ([]*report.Dataset, error) {
 	ids := IDs()
 	budget := e.Workers
 	if budget <= 0 {
@@ -143,21 +162,48 @@ func RunAll(e *Env, w io.Writer) error {
 	}
 	inner := *e
 	inner.Workers = (budget + outer - 1) / outer
-	outs, err := sweep.Map(outer, len(ids), func(i int) ([]byte, error) {
-		var buf bytes.Buffer
-		if err := Run(ids[i], &inner, &buf); err != nil {
+	return sweep.Map(outer, len(ids), func(i int) (*report.Dataset, error) {
+		d, err := Dataset(ids[i], &inner)
+		if err != nil {
 			return nil, fmt.Errorf("%s: %w", ids[i], err)
 		}
-		buf.WriteByte('\n')
-		return buf.Bytes(), nil
+		return d, nil
 	})
+}
+
+// RunAll executes every registered experiment and renders the results to w
+// in id order, each followed by a blank line, so the output is byte-for-byte
+// the same whether the registry ran serially or concurrently.
+func RunAll(e *Env, w io.Writer) error {
+	ds, err := Datasets(e)
 	if err != nil {
 		return err
 	}
-	for _, out := range outs {
-		if _, err := w.Write(out); err != nil {
+	for _, d := range ds {
+		if err := d.WriteASCII(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// kindsMeta renders a PDN order list for dataset metadata.
+func kindsMeta(ks []pdn.Kind) string {
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ",")
+}
+
+// floatsMeta renders a numeric grid axis for dataset metadata.
+func floatsMeta(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return strings.Join(parts, ",")
 }

@@ -66,7 +66,7 @@ func TestFig7Headline(t *testing.T) {
 	// at 4W (the paper's >22%; the reproduction lands >8%).
 	e := env(t)
 	var b strings.Builder
-	if err := Fig7(e, &b); err != nil {
+	if err := Run("fig7", e, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -85,7 +85,7 @@ func TestFig4AccuracySummary(t *testing.T) {
 	// (§4.3 reports 98.6% worst case, 99.1-99.4% averages).
 	e := env(t)
 	var b strings.Builder
-	if err := Fig4(e, &b); err != nil {
+	if err := Run("fig4", e, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/domain"
 	"repro/internal/pdn"
 	"repro/internal/perf"
@@ -21,7 +19,7 @@ func init() {
 // raise the CPU or GFX clock by 1 % at each TDP design point — small at low
 // TDP (~tens of mW), hundreds of mW at 50 W, which is why PDN efficiency
 // matters most for low-TDP parts.
-func Fig2a(e *Env, w io.Writer) error {
+func Fig2a(e *Env) (*report.Dataset, error) {
 	tdps := workload.StandardTDPs()
 	type cell struct{ cpu, gfx units.Watt }
 	cells, err := sweep.Map(e.Workers, len(tdps), func(i int) (cell, error) {
@@ -31,21 +29,26 @@ func Fig2a(e *Env, w io.Writer) error {
 		}, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable("Fig 2(a): power-budget increase for 1% frequency increase (mW)",
+	d := report.NewDataset("Fig 2(a): power-budget increase for 1% frequency increase").
+		SetMeta("tdps", floatsMeta(tdps)).
+		SetMeta("unit", "mW")
+	t := d.Table("Fig 2(a): power-budget increase for 1% frequency increase (mW)",
 		"TDP", "CPU", "GFX")
 	for i, tdp := range tdps {
-		t.AddRowF(fmtTDP(tdp), cells[i].cpu/units.Milli, cells[i].gfx/units.Milli)
+		t.AddRow(tdpCell(tdp),
+			report.Num(cells[i].cpu/units.Milli, "%.4g"),
+			report.Num(cells[i].gfx/units.Milli, "%.4g"))
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }
 
 // Fig2b regenerates Fig 2(b): the percentage of the TDP power budget going
 // to SA+IO, CPU cores, LLC, and PDN loss for a CPU-intensive workload,
 // using at each TDP the commonly-used PDN with the highest loss (IVR at low
 // TDP, MBVR at high TDP), as the paper does.
-func Fig2b(e *Env, w io.Writer) error {
+func Fig2b(e *Env) (*report.Dataset, error) {
 	const ar = 0.56
 	tdps := workload.StandardTDPs()
 	type cell struct {
@@ -75,16 +78,20 @@ func Fig2b(e *Env, w io.Writer) error {
 		return c, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable("Fig 2(b): power-budget breakdown, CPU-intensive workload, worst PDN per TDP",
+	d := report.NewDataset("Fig 2(b): power-budget breakdown").
+		SetMeta("tdps", floatsMeta(tdps)).
+		SetMeta("ar", "0.56").
+		SetMeta("pdns", kindsMeta(validatedPDNs))
+	t := d.Table("Fig 2(b): power-budget breakdown, CPU-intensive workload, worst PDN per TDP",
 		"TDP", "WorstPDN", "SA+IO", "CPU", "LLC", "PDNLoss")
 	for i, tdp := range tdps {
 		c := cells[i]
 		loss := c.worst.PIn - c.worst.PNomTotal
-		t.AddRow(fmtTDP(tdp), c.worstKind.String(),
+		t.AddRow(tdpCell(tdp), report.Str(c.worstKind.String()),
 			report.Pct(c.saio/c.worst.PIn), report.Pct(c.cores/c.worst.PIn),
 			report.Pct(c.llc/c.worst.PIn), report.Pct(loss/c.worst.PIn))
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -15,7 +14,7 @@ func init() { register("fig3", Fig3) }
 // current (0.1–10 A, log-spaced), output voltage (0.6/0.7/1.0/1.8 V), and
 // VR power state (PS0/PS1), at 7.2 V input. Each current point is one sweep
 // cell producing a full table row.
-func Fig3(e *Env, w io.Writer) error {
+func Fig3(e *Env) (*report.Dataset, error) {
 	b := vr.NewVinVR(e.Params.VINIccmax)
 	vouts := []float64{0.6, 0.7, 1.0, 1.8}
 	states := []vr.PowerState{vr.PS0, vr.PS1}
@@ -30,8 +29,8 @@ func Fig3(e *Env, w io.Writer) error {
 	const n = 13
 	curve := vr.EfficiencyCurve(b, 7.2, 1.0, vr.PS0, 0.1, 10, n)
 	pts := curve.Points()
-	rows, err := sweep.Map(e.Workers, len(pts), func(i int) ([]string, error) {
-		row := []string{fmt.Sprintf("%.3g", pts[i].X)}
+	rows, err := sweep.Map(e.Workers, len(pts), func(i int) ([]report.Cell, error) {
+		row := []report.Cell{report.Num(pts[i].X, "%.3g")}
 		for _, ps := range states {
 			for _, vo := range vouts {
 				eta := b.Efficiency(vr.OperatingPoint{Vin: 7.2, Vout: vo, Iout: pts[i].X, State: ps})
@@ -41,11 +40,14 @@ func Fig3(e *Env, w io.Writer) error {
 		return row, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable("Fig 3: off-chip VR efficiency curves (Vin=7.2V)", cols...)
+	d := report.NewDataset("Fig 3: off-chip VR efficiency curves").
+		SetMeta("vin", "7.2").
+		SetMeta("vouts", floatsMeta(vouts))
+	t := d.Table("Fig 3: off-chip VR efficiency curves (Vin=7.2V)", cols...)
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }

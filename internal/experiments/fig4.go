@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/domain"
 	"repro/internal/pdn"
@@ -23,20 +22,22 @@ var validatedPDNs = []pdn.Kind{pdn.IVR, pdn.MBVR, pdn.LDO}
 // Fig4 regenerates Fig 4(a–i): PDNspot-predicted versus reference-measured
 // ETEE for single-threaded, multi-threaded and graphics workloads at 4, 18
 // and 50 W TDP across the 40–80 % AR range, plus the per-model validation
-// accuracy summary (§4.3 reports 99.1/99.4/99.2 % average accuracy).
+// accuracy summary (§4.3 reports 99.1/99.4/99.2 % average accuracy). The
+// dataset carries one table per (workload, TDP) panel and a final summary
+// table.
 //
 // The (workload, TDP, AR) grid runs on the sweep engine — the reference
 // simulator dominates the cost and every cell is independent (each derives
 // its RNG seed from its grid index). Accuracy statistics accumulate
 // serially over the collected cells in grid order, so the summary is
 // identical to the serial path.
-func Fig4(e *Env, w io.Writer) error {
+func Fig4(e *Env) (*report.Dataset, error) {
 	wts := workload.Types()
 	tdps := []float64{4, 18, 50}
 	ars := []float64{0.40, 0.50, 0.60, 0.70, 0.80}
 
 	type cell struct {
-		row  []string
+		row  []report.Cell
 		accs [3]float64 // per validated PDN, this cell's validation accuracy
 	}
 	n := len(wts) * len(tdps) * len(ars)
@@ -48,7 +49,7 @@ func Fig4(e *Env, w io.Writer) error {
 		if err != nil {
 			return cell{}, err
 		}
-		c := cell{row: []string{report.Pct(ar)}}
+		c := cell{row: []report.Cell{report.Pct(ar)}}
 		for ki, k := range validatedPDNs {
 			pred, err := e.Eval(k, s)
 			if err != nil {
@@ -68,16 +69,20 @@ func Fig4(e *Env, w io.Writer) error {
 		return c, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 
+	d := report.NewDataset("Fig 4: predicted vs measured ETEE validation").
+		SetMeta("tdps", floatsMeta(tdps)).
+		SetMeta("ars", floatsMeta(ars)).
+		SetMeta("pdns", kindsMeta(validatedPDNs))
 	accSum := map[pdn.Kind]float64{}
 	accMin := map[pdn.Kind]float64{}
 	accMax := map[pdn.Kind]float64{}
 	i := 0
 	for _, wt := range wts {
 		for _, tdp := range tdps {
-			t := report.NewTable(
+			t := d.Table(
 				fmt.Sprintf("Fig 4: %s - %sW (predicted vs measured ETEE)", wt, fmtTDP(tdp)),
 				"AR", "IVR pred", "IVR meas", "MBVR pred", "MBVR meas", "LDO pred", "LDO meas")
 			for range ars {
@@ -95,29 +100,26 @@ func Fig4(e *Env, w io.Writer) error {
 				t.AddRow(c.row...)
 				i++
 			}
-			if err := t.WriteASCII(w); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
 		}
 	}
 
-	sum := report.NewTable("Fig 4 validation accuracy summary",
+	sum := d.Table("Fig 4 validation accuracy summary",
 		"PDN", "avg", "min", "max")
 	for _, k := range validatedPDNs {
-		sum.AddRow(k.String(), report.Pct(accSum[k]/float64(n)), report.Pct(accMin[k]), report.Pct(accMax[k]))
+		sum.AddRow(report.Str(k.String()), report.Pct(accSum[k]/float64(n)),
+			report.Pct(accMin[k]), report.Pct(accMax[k]))
 	}
-	return sum.WriteASCII(w)
+	return d, nil
 }
 
 // Fig4j regenerates Fig 4(j): ETEE of the three PDNs in the battery-life
 // power states (C0MIN and package C2/C3/C6/C7/C8).
-func Fig4j(e *Env, w io.Writer) error {
+func Fig4j(e *Env) (*report.Dataset, error) {
 	states := append([]domain.CState{domain.C0MIN}, domain.IdleCStates()...)
-	rows, err := sweep.Map(e.Workers, len(states), func(i int) ([]string, error) {
+	rows, err := sweep.Map(e.Workers, len(states), func(i int) ([]report.Cell, error) {
 		c := states[i]
 		s := workload.CStateScenario(e.Platform, c)
-		row := []string{c.String()}
+		row := []report.Cell{report.Str(c.String())}
 		for _, k := range validatedPDNs {
 			r, err := e.Eval(k, s)
 			if err != nil {
@@ -128,12 +130,14 @@ func Fig4j(e *Env, w io.Writer) error {
 		return row, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable("Fig 4(j): ETEE in battery-life power states",
+	d := report.NewDataset("Fig 4(j): ETEE in battery-life power states").
+		SetMeta("pdns", kindsMeta(validatedPDNs))
+	t := d.Table("Fig 4(j): ETEE in battery-life power states",
 		"State", "IVR", "MBVR", "LDO")
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }

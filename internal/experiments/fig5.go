@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/pdn"
 	"repro/internal/report"
@@ -18,10 +17,10 @@ func init() { register("fig5", Fig5) }
 // normalized (to IVR) chip input current and compute load-line impedance
 // line plots. The (PDN, TDP) grid runs on the sweep engine; the shared IVR
 // reference evaluations dedupe through the env cache.
-func Fig5(e *Env, w io.Writer) error {
+func Fig5(e *Env) (*report.Dataset, error) {
 	const ar = 0.56
 	tdps := []float64{4, 18, 50}
-	rows, err := sweep.Map(e.Workers, len(validatedPDNs)*len(tdps), func(i int) ([]string, error) {
+	rows, err := sweep.Map(e.Workers, len(validatedPDNs)*len(tdps), func(i int) ([]report.Cell, error) {
 		k := validatedPDNs[i/len(tdps)]
 		tdp := tdps[i%len(tdps)]
 		s, err := workload.TDPScenario(e.Platform, tdp, workload.MultiThread, ar)
@@ -39,25 +38,32 @@ func Fig5(e *Env, w io.Writer) error {
 		b := r.Breakdown
 		vrLoss := b.OnChipVR + b.OffChipVR
 		others := b.Guardband + b.PowerGate
-		return []string{k.String(), fmtTDP(tdp),
+		return []report.Cell{report.Str(k.String()), tdpCell(tdp),
 			report.Pct(vrLoss / r.PIn),
 			report.Pct(b.CondCompute / r.PIn),
 			report.Pct(b.CondUncore / r.PIn),
 			report.Pct(others / r.PIn),
 			report.Pct((r.PIn - r.PNomTotal) / r.PIn),
-			fmt.Sprintf("%.2fx", r.ChipInputCurrent/ivrRes.ChipInputCurrent),
-			fmt.Sprintf("%.2fx", r.ComputeRailR/ivrRes.ComputeRailR)}, nil
+			report.Num(r.ChipInputCurrent/ivrRes.ChipInputCurrent, "%.2fx"),
+			report.Num(r.ComputeRailR/ivrRes.ComputeRailR, "%.2fx")}, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable("Fig 5: PDN loss breakdown, CPU-intensive (AR=56%)",
+	d := report.NewDataset("Fig 5: PDN loss breakdown").
+		SetMeta("ar", "0.56").
+		SetMeta("tdps", floatsMeta(tdps)).
+		SetMeta("pdns", kindsMeta(validatedPDNs))
+	t := d.Table("Fig 5: PDN loss breakdown, CPU-intensive (AR=56%)",
 		"PDN", "TDP", "VR ineff", "I2R core+GFX", "I2R SA+IO", "Others", "TotalLoss", "I_norm", "RLL_norm")
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }
 
 // fmtTDP renders a TDP value without trailing zeros.
 func fmtTDP(tdp float64) string { return fmt.Sprintf("%g", tdp) }
+
+// tdpCell renders a TDP design point as a typed numeric cell.
+func tdpCell(tdp float64) report.Cell { return report.Num(tdp, "%g") }

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/pdn"
 	"repro/internal/perf"
 	"repro/internal/report"
@@ -21,14 +19,14 @@ var perfOrder = []pdn.Kind{pdn.IVR, pdn.MBVR, pdn.LDO, pdn.IMBVR, pdn.FlexWatts}
 // Each benchmark is one sweep cell; the Average row accumulates over the
 // collected cells in suite order. The paper's headline: MBVR/LDO/FlexWatts
 // average >22 % over IVR.
-func Fig7(e *Env, w io.Writer) error {
+func Fig7(e *Env) (*report.Dataset, error) {
 	const tdp = 4.0
 	ev := perf.NewEvaluator(e.Platform, e.Model(pdn.IVR))
 	candidates := e.AllModels(tdp)[1:] // all but the IVR baseline
 	suite := workload.SPECCPU2006()
 
 	type cell struct {
-		row []string
+		row []report.Cell
 		rel [5]float64 // Relative per PDN, in perfOrder
 	}
 	cells, err := sweep.Map(e.Workers, len(suite.Workloads), func(i int) (cell, error) {
@@ -37,7 +35,7 @@ func Fig7(e *Env, w io.Writer) error {
 		if err != nil {
 			return cell{}, err
 		}
-		c := cell{row: []string{bench.Name, report.F2(bench.Scalability)}}
+		c := cell{row: []report.Cell{report.Str(bench.Name), report.Num(bench.Scalability, "%.2f")}}
 		for ki, k := range perfOrder {
 			c.row = append(c.row, report.Pct(res[k].Relative))
 			c.rel[ki] = res[k].Relative
@@ -45,10 +43,14 @@ func Fig7(e *Env, w io.Writer) error {
 		return c, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	t := report.NewTable("Fig 7: SPEC CPU2006 normalized performance at 4W TDP",
+	d := report.NewDataset("Fig 7: SPEC CPU2006 normalized performance at 4W TDP").
+		SetMeta("tdp", "4").
+		SetMeta("suite", suite.Name).
+		SetMeta("pdns", kindsMeta(perfOrder))
+	t := d.Table("Fig 7: SPEC CPU2006 normalized performance at 4W TDP",
 		"Benchmark", "Scal", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
 	sums := map[pdn.Kind]float64{}
 	for _, c := range cells {
@@ -58,10 +60,10 @@ func Fig7(e *Env, w io.Writer) error {
 		t.AddRow(c.row...)
 	}
 	n := float64(len(suite.Workloads))
-	avg := []string{"Average", report.F2(suite.MeanScalability())}
+	avg := []report.Cell{report.Str("Average"), report.Num(suite.MeanScalability(), "%.2f")}
 	for _, k := range perfOrder {
 		avg = append(avg, report.Pct(sums[k]/n))
 	}
 	t.AddRow(avg...)
-	return t.WriteASCII(w)
+	return d, nil
 }

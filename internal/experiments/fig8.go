@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/cost"
 	"repro/internal/domain"
 	"repro/internal/pdn"
@@ -20,43 +18,47 @@ func init() {
 	register("fig8e", Fig8e)
 }
 
-// suiteVsTDP renders average suite performance (normalized to IVR) against
+// suiteVsTDP builds average suite performance (normalized to IVR) against
 // TDP for the five PDNs, one sweep cell per TDP design point.
-func suiteVsTDP(e *Env, w io.Writer, title string, suite workload.Suite) error {
+func suiteVsTDP(e *Env, title string, suite workload.Suite) (*report.Dataset, error) {
 	ev := perf.NewEvaluator(e.Platform, e.Model(pdn.IVR))
 	tdps := workload.StandardTDPs()
-	rows, err := sweep.Map(e.Workers, len(tdps), func(i int) ([]string, error) {
+	rows, err := sweep.Map(e.Workers, len(tdps), func(i int) ([]report.Cell, error) {
 		tdp := tdps[i]
 		candidates := e.AllModels(tdp)[1:]
 		avg, err := ev.SuiteAverage(tdp, suite, candidates)
 		if err != nil {
 			return nil, err
 		}
-		row := []string{fmtTDP(tdp)}
+		row := []report.Cell{tdpCell(tdp)}
 		for _, k := range perfOrder {
 			row = append(row, report.Pct(avg[k]))
 		}
 		return row, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable(title, "TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+	d := report.NewDataset(title).
+		SetMeta("suite", suite.Name).
+		SetMeta("tdps", floatsMeta(tdps)).
+		SetMeta("pdns", kindsMeta(perfOrder))
+	t := d.Table(title, "TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }
 
 // Fig8a regenerates Fig 8(a): SPEC CPU2006 average performance vs TDP.
-func Fig8a(e *Env, w io.Writer) error {
-	return suiteVsTDP(e, w, "Fig 8(a): SPEC CPU2006 average performance vs TDP (normalized to IVR)",
+func Fig8a(e *Env) (*report.Dataset, error) {
+	return suiteVsTDP(e, "Fig 8(a): SPEC CPU2006 average performance vs TDP (normalized to IVR)",
 		workload.SPECCPU2006())
 }
 
 // Fig8b regenerates Fig 8(b): 3DMark06 average performance vs TDP.
-func Fig8b(e *Env, w io.Writer) error {
-	return suiteVsTDP(e, w, "Fig 8(b): 3DMark06 average performance vs TDP (normalized to IVR)",
+func Fig8b(e *Env) (*report.Dataset, error) {
+	return suiteVsTDP(e, "Fig 8(b): 3DMark06 average performance vs TDP (normalized to IVR)",
 		workload.ThreeDMark06())
 }
 
@@ -66,9 +68,9 @@ func Fig8b(e *Env, w io.Writer) error {
 // LDO-Mode in these states (predicted by Algorithm 1). Each workload is one
 // sweep cell; the C-state scenarios they share dedupe through the env
 // cache.
-func Fig8c(e *Env, w io.Writer) error {
+func Fig8c(e *Env) (*report.Dataset, error) {
 	bws := workload.BatteryLifeWorkloads()
-	rows, err := sweep.Map(e.Workers, len(bws), func(i int) ([]string, error) {
+	rows, err := sweep.Map(e.Workers, len(bws), func(i int) ([]report.Cell, error) {
 		bw := bws[i]
 		etee := func(m pdn.Model) func(domain.CState) float64 {
 			return func(c domain.CState) float64 {
@@ -81,7 +83,7 @@ func Fig8c(e *Env, w io.Writer) error {
 			}
 		}
 		base := bw.AveragePower(e.Platform, etee(e.Model(pdn.IVR)))
-		row := []string{bw.Name}
+		row := []report.Cell{report.Str(bw.Name)}
 		for _, k := range perfOrder {
 			var m pdn.Model
 			if k == pdn.FlexWatts {
@@ -97,50 +99,55 @@ func Fig8c(e *Env, w io.Writer) error {
 		return row, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable("Fig 8(c): battery-life average power (normalized to IVR, lower is better)",
+	d := report.NewDataset("Fig 8(c): battery-life average power (normalized to IVR, lower is better)").
+		SetMeta("pdns", kindsMeta(perfOrder))
+	t := d.Table("Fig 8(c): battery-life average power (normalized to IVR, lower is better)",
 		"Workload", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }
 
-// costVsTDP renders the sized BOM cost or board area versus TDP normalized
+// costVsTDP builds the sized BOM cost or board area versus TDP normalized
 // to IVR, one sweep cell per TDP design point.
-func costVsTDP(e *Env, w io.Writer, title string, pick func(bom, area map[pdn.Kind]float64) map[pdn.Kind]float64) error {
+func costVsTDP(e *Env, title string, pick func(bom, area map[pdn.Kind]float64) map[pdn.Kind]float64) (*report.Dataset, error) {
 	tdps := workload.StandardTDPs()
-	rows, err := sweep.Map(e.Workers, len(tdps), func(i int) ([]string, error) {
+	rows, err := sweep.Map(e.Workers, len(tdps), func(i int) ([]report.Cell, error) {
 		bom, area, err := cost.Normalized(e.Platform, tdps[i])
 		if err != nil {
 			return nil, err
 		}
 		vals := pick(bom, area)
-		row := []string{fmtTDP(tdps[i])}
+		row := []report.Cell{tdpCell(tdps[i])}
 		for _, k := range perfOrder {
-			row = append(row, report.F2(vals[k]))
+			row = append(row, report.Num(vals[k], "%.2f"))
 		}
 		return row, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable(title, "TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+	d := report.NewDataset(title).
+		SetMeta("tdps", floatsMeta(tdps)).
+		SetMeta("pdns", kindsMeta(perfOrder))
+	t := d.Table(title, "TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }
 
 // Fig8d regenerates Fig 8(d): BOM cost vs TDP normalized to IVR.
-func Fig8d(e *Env, w io.Writer) error {
-	return costVsTDP(e, w, "Fig 8(d): BOM cost (normalized to IVR)",
+func Fig8d(e *Env) (*report.Dataset, error) {
+	return costVsTDP(e, "Fig 8(d): BOM cost (normalized to IVR)",
 		func(bom, area map[pdn.Kind]float64) map[pdn.Kind]float64 { return bom })
 }
 
 // Fig8e regenerates Fig 8(e): board area vs TDP normalized to IVR.
-func Fig8e(e *Env, w io.Writer) error {
-	return costVsTDP(e, w, "Fig 8(e): board area (normalized to IVR)",
+func Fig8e(e *Env) (*report.Dataset, error) {
+	return costVsTDP(e, "Fig 8(e): board area (normalized to IVR)",
 		func(bom, area map[pdn.Kind]float64) map[pdn.Kind]float64 { return area })
 }

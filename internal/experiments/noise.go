@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -17,11 +15,11 @@ func init() { register("noise", Noise) }
 // modes live under load, versus through package C6, across TDPs. A droop
 // beyond the tolerance band is a voltage emergency. The (TDP, workload)
 // grid runs on the sweep engine.
-func Noise(e *Env, w io.Writer) error {
+func Noise(e *Env) (*report.Dataset, error) {
 	p := core.DefaultNoiseParams()
 	tdps := []float64{4, 18, 50}
 	wts := workload.Types()
-	rows, err := sweep.Map(e.Workers, len(tdps)*len(wts), func(i int) ([]string, error) {
+	rows, err := sweep.Map(e.Workers, len(tdps)*len(wts), func(i int) ([]report.Cell, error) {
 		tdp := tdps[i/len(wts)]
 		wt := wts[i%len(wts)]
 		s, err := workload.TDPScenario(e.Platform, tdp, wt, 0.6)
@@ -30,20 +28,25 @@ func Noise(e *Env, w io.Writer) error {
 		}
 		live := core.ModeSwitchNoise(s, p, false)
 		parked := core.ModeSwitchNoise(s, p, true)
-		return []string{fmtTDP(tdp), wt.String(),
-			units.FormatVolt(live.Excursion), boolCell(live.Emergency),
-			units.FormatVolt(parked.Excursion), boolCell(parked.Emergency)}, nil
+		return []report.Cell{tdpCell(tdp), report.Str(wt.String()),
+			report.NumText(live.Excursion, units.FormatVolt(live.Excursion)),
+			report.Str(boolCell(live.Emergency)),
+			report.NumText(parked.Excursion, units.FormatVolt(parked.Excursion)),
+			report.Str(boolCell(parked.Emergency))}, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable("§6: mode-switch voltage droop (tolerance band "+
+	d := report.NewDataset("§6: mode-switch voltage droop").
+		SetMeta("tdps", floatsMeta(tdps)).
+		SetMeta("tolerance", units.FormatVolt(p.Tolerance))
+	t := d.Table("§6: mode-switch voltage droop (tolerance band "+
 		units.FormatVolt(p.Tolerance)+")",
 		"TDP", "Workload", "live droop", "live emergency", "C6 droop", "C6 emergency")
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }
 
 func boolCell(b bool) string {

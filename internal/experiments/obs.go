@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/pdn"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -21,27 +19,30 @@ func init() {
 // graphics/LDO crossover around 21 W). Each (workload, AR) pair is one
 // sweep cell scanning the TDP range; the IVR evaluations shared between the
 // two comparisons dedupe through the env cache.
-func Observations(e *Env, w io.Writer) error {
+func Observations(e *Env) (*report.Dataset, error) {
 	wts := workload.Types()
 	ars := []float64{0.4, 0.6, 0.8}
-	rows, err := sweep.Map(e.Workers, len(wts)*len(ars), func(i int) ([]string, error) {
+	rows, err := sweep.Map(e.Workers, len(wts)*len(ars), func(i int) ([]report.Cell, error) {
 		wt := wts[i/len(ars)]
 		ar := ars[i%len(ars)]
-		row := []string{wt.String(), report.Pct(ar)}
+		row := []report.Cell{report.Str(wt.String()), report.Pct(ar)}
 		for _, other := range []pdn.Kind{pdn.MBVR, pdn.LDO} {
-			row = append(row, crossover(e, wt, ar, other))
+			row = append(row, report.Str(crossover(e, wt, ar, other)))
 		}
 		return row, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t := report.NewTable("Observation 1/2: IVR ETEE crossover TDP (W)",
+	d := report.NewDataset("Observation 1/2: IVR ETEE crossover TDP").
+		SetMeta("ars", floatsMeta(ars)).
+		SetMeta("unit", "W")
+	t := d.Table("Observation 1/2: IVR ETEE crossover TDP (W)",
 		"Workload", "AR", "vs MBVR", "vs LDO")
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
-	return t.WriteASCII(w)
+	return d, nil
 }
 
 // crossover scans the TDP range for the point where IVR's ETEE first
@@ -73,28 +74,34 @@ func crossover(e *Env, wt workload.Type, ar float64, other pdn.Kind) string {
 }
 
 // Table1 dumps the modeled processor architecture (paper Table 1).
-func Table1(e *Env, w io.Writer) error {
-	t := report.NewTable("Table 1: processor architecture summary", "Domain", "Description")
-	t.AddRow("Core 0/1", "shared clock domain, 0.8-4.0 GHz in 100 MHz steps")
-	t.AddRow("GFX", "graphics engines, 0.1-1.2 GHz in 50 MHz steps")
-	t.AddRow("LLC", "last-level cache, clocked with cores, 0.5-4 W")
-	t.AddRow("SA", "system agent: memory/display controllers, fixed frequency")
-	t.AddRow("IO", "DDR/display IO, fixed frequency")
-	return t.WriteASCII(w)
+func Table1(e *Env) (*report.Dataset, error) {
+	d := report.NewDataset("Table 1: processor architecture summary")
+	t := d.Table("Table 1: processor architecture summary", "Domain", "Description")
+	t.AddRow(report.Str("Core 0/1"), report.Str("shared clock domain, 0.8-4.0 GHz in 100 MHz steps"))
+	t.AddRow(report.Str("GFX"), report.Str("graphics engines, 0.1-1.2 GHz in 50 MHz steps"))
+	t.AddRow(report.Str("LLC"), report.Str("last-level cache, clocked with cores, 0.5-4 W"))
+	t.AddRow(report.Str("SA"), report.Str("system agent: memory/display controllers, fixed frequency"))
+	t.AddRow(report.Str("IO"), report.Str("DDR/display IO, fixed frequency"))
+	return d, nil
 }
 
 // Table2 dumps the PDNspot model parameters (paper Table 2).
-func Table2(e *Env, w io.Writer) error {
+func Table2(e *Env) (*report.Dataset, error) {
 	p := e.Params
-	t := report.NewTable("Table 2: main PDNspot parameters", "Parameter", "IVR", "MBVR", "LDO")
-	t.AddRow("Load-line RLL (mOhm)",
-		report.F2(p.IVRInLL*1e3)+" (IN)",
-		report.F2(p.CoresLL*1e3)+"/"+report.F2(p.GfxLL*1e3)+"/"+report.F2(p.SALL*1e3)+"/"+report.F2(p.IOLL*1e3)+" (Cores/GFX/SA/IO)",
-		report.F2(p.LDOInLL*1e3)+" (IN) "+report.F2(p.SALL*1e3)+"/"+report.F2(p.IOLL*1e3)+" (SA/IO)")
-	t.AddRow("Tolerance band (mV)",
-		report.F2(p.TOBIVR*1e3), report.F2(p.TOBMBVR*1e3), report.F2(p.TOBLDO*1e3))
-	t.AddRow("PG impedance (mOhm)", report.F2(p.RPG*1e3), report.F2(p.RPG*1e3), report.F2(p.RPG*1e3))
-	t.AddRow("PSU voltage (V)", report.F2(p.PSU), report.F2(p.PSU), report.F2(p.PSU))
-	t.AddRow("V_IN level (V)", report.F2(p.VINLevel), "-", "max domain voltage")
-	return t.WriteASCII(w)
+	d := report.NewDataset("Table 2: main PDNspot parameters").
+		SetMeta("pdns", kindsMeta(validatedPDNs))
+	t := d.Table("Table 2: main PDNspot parameters", "Parameter", "IVR", "MBVR", "LDO")
+	t.AddRow(report.Str("Load-line RLL (mOhm)"),
+		report.Str(report.F2(p.IVRInLL*1e3)+" (IN)"),
+		report.Str(report.F2(p.CoresLL*1e3)+"/"+report.F2(p.GfxLL*1e3)+"/"+report.F2(p.SALL*1e3)+"/"+report.F2(p.IOLL*1e3)+" (Cores/GFX/SA/IO)"),
+		report.Str(report.F2(p.LDOInLL*1e3)+" (IN) "+report.F2(p.SALL*1e3)+"/"+report.F2(p.IOLL*1e3)+" (SA/IO)"))
+	t.AddRow(report.Str("Tolerance band (mV)"),
+		report.Num(p.TOBIVR*1e3, "%.2f"), report.Num(p.TOBMBVR*1e3, "%.2f"), report.Num(p.TOBLDO*1e3, "%.2f"))
+	t.AddRow(report.Str("PG impedance (mOhm)"),
+		report.Num(p.RPG*1e3, "%.2f"), report.Num(p.RPG*1e3, "%.2f"), report.Num(p.RPG*1e3, "%.2f"))
+	t.AddRow(report.Str("PSU voltage (V)"),
+		report.Num(p.PSU, "%.2f"), report.Num(p.PSU, "%.2f"), report.Num(p.PSU, "%.2f"))
+	t.AddRow(report.Str("V_IN level (V)"),
+		report.Num(p.VINLevel, "%.2f"), report.Str("-"), report.Str("max domain voltage"))
+	return d, nil
 }

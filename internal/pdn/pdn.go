@@ -13,6 +13,7 @@ package pdn
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/domain"
 	"repro/internal/units"
@@ -55,6 +56,22 @@ func (k Kind) String() string {
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// ParseKind resolves a PDN name as the paper spells it ("IVR", "MBVR",
+// "LDO", "I+MBVR", "FlexWatts"), case-insensitively; "IMBVR" is accepted
+// for the hybrid baseline. It is the inverse of Kind.String for the
+// flexwattsd request vocabulary.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range AllKinds() {
+		if strings.EqualFold(s, k.String()) {
+			return k, nil
+		}
+	}
+	if strings.EqualFold(s, "IMBVR") {
+		return IMBVR, nil
+	}
+	return 0, fmt.Errorf("pdn: unknown PDN kind %q (have IVR, MBVR, LDO, I+MBVR, FlexWatts)", s)
 }
 
 // Load is one domain's electrical operating point for an evaluation

@@ -295,3 +295,21 @@ func TestBuildScenarioPhysics(t *testing.T) {
 		t.Error("SA/IO must stay powered in C8")
 	}
 }
+
+func TestParseKind(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if got, err := ParseKind("flexwatts"); err != nil || got != FlexWatts {
+		t.Errorf("ParseKind is not case-insensitive: %v, %v", got, err)
+	}
+	if got, err := ParseKind("IMBVR"); err != nil || got != IMBVR {
+		t.Errorf("ParseKind(IMBVR) = %v, %v", got, err)
+	}
+	if _, err := ParseKind("XVR"); err == nil {
+		t.Error("ParseKind accepted an unknown kind")
+	}
+}

@@ -1,0 +1,199 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Dataset is a complete experiment result: an id (the registry key), a
+// human title, per-experiment metadata (TDP design points, PDN plotting
+// order, activity ratios, …) and one or more tables. It is the unit the
+// drivers return, the renderers consume, and flexwattsd serves.
+type Dataset struct {
+	ID     string            `json:"id,omitempty"`
+	Title  string            `json:"title"`
+	Meta   map[string]string `json:"meta,omitempty"`
+	Tables []*Table          `json:"tables"`
+}
+
+// NewDataset creates an empty dataset with the given title. The registry
+// stamps the ID when the driver returns.
+func NewDataset(title string) *Dataset { return &Dataset{Title: title} }
+
+// SetMeta records a metadata key; it returns the dataset for chaining.
+func (d *Dataset) SetMeta(key, value string) *Dataset {
+	if d.Meta == nil {
+		d.Meta = make(map[string]string)
+	}
+	d.Meta[key] = value
+	return d
+}
+
+// Table creates a table with the given title and columns, appends it and
+// returns it for row filling.
+func (d *Dataset) Table(title string, columns ...string) *Table {
+	t := NewTable(title, columns...)
+	d.Tables = append(d.Tables, t)
+	return t
+}
+
+// Format selects a dataset renderer.
+type Format string
+
+// The supported render formats.
+const (
+	FormatASCII Format = "ascii"
+	FormatJSON  Format = "json"
+	FormatCSV   Format = "csv"
+)
+
+// Formats lists the supported render formats.
+func Formats() []Format { return []Format{FormatASCII, FormatJSON, FormatCSV} }
+
+// ParseFormat validates a format name ("" means ASCII).
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case "", FormatASCII:
+		return FormatASCII, nil
+	case FormatJSON:
+		return FormatJSON, nil
+	case FormatCSV:
+		return FormatCSV, nil
+	}
+	return "", fmt.Errorf("report: unknown format %q (have ascii, json, csv)", s)
+}
+
+// ContentType returns the HTTP content type for the format.
+func (f Format) ContentType() string {
+	switch f {
+	case FormatJSON:
+		return "application/json; charset=utf-8"
+	case FormatCSV:
+		return "text/csv; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// Write renders the dataset in the given format.
+func (d *Dataset) Write(w io.Writer, f Format) error {
+	switch f {
+	case FormatJSON:
+		return d.WriteJSON(w)
+	case FormatCSV:
+		return d.WriteCSV(w)
+	default:
+		return d.WriteASCII(w)
+	}
+}
+
+// WriteASCII renders every table, separated by one blank line — exactly the
+// layout the pre-dataset drivers streamed, so goldens captured before the
+// refactor still match byte for byte.
+func (d *Dataset) WriteASCII(w io.Writer) error {
+	for i, t := range d.Tables {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := t.WriteASCII(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteASCIIGolden renders the dataset as ASCII terminated by one blank
+// line — the exact byte form `flexwatts -exp <id>` emits and the golden
+// files under internal/experiments/testdata are captured in. The CLI and
+// the flexwattsd experiment endpoint both emit this form, so the two
+// surfaces cannot drift apart.
+func (d *Dataset) WriteASCIIGolden(w io.Writer) error {
+	if err := d.WriteASCII(w); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// WriteJSON renders the dataset as an indented JSON object. The encoding
+// round-trips: unmarshaling the output into a Dataset reproduces the value.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteJSONAll renders several datasets as one indented JSON array, the
+// `-exp all -format json` and bulk-export shape.
+func WriteJSONAll(w io.Writer, ds []*Dataset) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ds)
+}
+
+// WriteCSVAll renders several datasets as CSV, each preceded by a
+// `# dataset: <id>` marker line so consumers can partition the stream back
+// into experiments (the blank-line separator alone is ambiguous — it also
+// separates tables within one dataset).
+func WriteCSVAll(w io.Writer, ds []*Dataset) error {
+	for i, d := range ds {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# dataset: %s\n", d.ID); err != nil {
+			return err
+		}
+		if err := d.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders every table as an RFC 4180 CSV block — a `# title`
+// comment line, the header record, then one record per row (cells in their
+// rendered text form; quoting is encoding/csv's, so commas, quotes and
+// newlines in workload names are safe) — with a blank line between tables.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	record := make([]string, 0, 16)
+	for i, t := range d.Tables {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if t.Title != "" {
+			if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+				return err
+			}
+		}
+		record = record[:0]
+		for _, c := range t.Columns {
+			record = append(record, c.Name)
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			record = record[:0]
+			for _, cell := range row {
+				record = append(record, cell.Text)
+			}
+			if err := cw.Write(record); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

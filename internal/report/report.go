@@ -1,5 +1,12 @@
-// Package report renders experiment results as aligned ASCII tables and CSV,
-// the textual equivalents of the paper's figures.
+// Package report models experiment results as typed datasets — titled
+// tables of typed cells (string / float / percentage) plus per-experiment
+// metadata — and renders them as aligned ASCII (the paper's figures as
+// text), JSON (machine-readable, served by flexwattsd) and CSV.
+//
+// The split matters architecturally: experiment drivers build Datasets and
+// never touch an io.Writer, so the same evaluation can feed the CLI, the
+// golden tests and the HTTP service without re-running, and every rendered
+// artifact carries the underlying numbers, not just their formatted text.
 package report
 
 import (
@@ -8,57 +15,114 @@ import (
 	"strings"
 )
 
-// Table is a simple column-oriented result table.
+// CellKind classifies what a cell holds. It marshals as a plain string so
+// datasets round-trip through encoding/json.
+type CellKind string
+
+// The cell kinds. KindMixed never appears on a cell — only on a Column
+// whose rows disagree about their kind.
+const (
+	KindString CellKind = "string"
+	KindFloat  CellKind = "float"
+	KindPct    CellKind = "pct"
+	KindMixed  CellKind = "mixed"
+)
+
+// Cell is one typed table entry: the exact text the ASCII renderer emits
+// plus, for numeric kinds, the underlying value. Keeping the rendered text
+// alongside the value is what lets the ASCII output stay byte-identical
+// across the dataset refactor while JSON consumers get real numbers.
+type Cell struct {
+	Kind CellKind `json:"kind"`
+	Text string   `json:"text"`
+	// Value is the numeric payload of a float cell, or the fraction (not
+	// the percentage) of a pct cell; zero and absent are the same for
+	// string cells.
+	Value float64 `json:"value,omitempty"`
+}
+
+// Str returns a string cell.
+func Str(s string) Cell { return Cell{Kind: KindString, Text: s} }
+
+// Num returns a float cell rendered with the given fmt verb (e.g. "%.2f",
+// "%g", "%.4g"; suffixed verbs like "%.2fx" work too).
+func Num(v float64, format string) Cell {
+	return Cell{Kind: KindFloat, Text: fmt.Sprintf(format, v), Value: v}
+}
+
+// NumText returns a float cell with caller-rendered text, for adaptive
+// formats like units.FormatVolt that a single verb cannot express.
+func NumText(v float64, text string) Cell {
+	return Cell{Kind: KindFloat, Text: text, Value: v}
+}
+
+// Pct returns a percentage cell for a fraction, rendered as "%.1f%%" of
+// frac*100 — the formatting every figure of the paper uses.
+func Pct(frac float64) Cell {
+	return Cell{Kind: KindPct, Text: fmt.Sprintf("%.1f%%", frac*100), Value: frac}
+}
+
+// F2 formats with two decimals (string form, for composite cells).
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats with three decimals (string form, for composite cells).
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Column is a typed table column: its header plus the kind its cells agree
+// on (KindMixed when they don't).
+type Column struct {
+	Name string   `json:"name"`
+	Kind CellKind `json:"kind,omitempty"`
+}
+
+// Table is one titled grid of typed cells — a section of a Dataset. Column
+// kinds are inferred as rows arrive.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	Title   string   `json:"title,omitempty"`
+	Columns []Column `json:"columns"`
+	Rows    [][]Cell `json:"rows"`
 }
 
 // NewTable creates a table with the given title and column headers.
 func NewTable(title string, columns ...string) *Table {
-	return &Table{Title: title, Columns: columns}
-}
-
-// AddRow appends a row; cells beyond the column count are dropped, missing
-// cells are blank.
-func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(t.Columns))
-	for i := range row {
-		if i < len(cells) {
-			row[i] = cells[i]
-		}
+	cols := make([]Column, len(columns))
+	for i, c := range columns {
+		cols[i] = Column{Name: c}
 	}
-	t.Rows = append(t.Rows, row)
+	return &Table{Title: title, Columns: cols}
 }
 
-// AddRowF appends a row of formatted values: strings pass through, float64
-// formats with %.4g, everything else with %v.
-func (t *Table) AddRowF(cells ...interface{}) {
-	row := make([]string, 0, len(cells))
-	for _, c := range cells {
-		switch v := c.(type) {
-		case string:
-			row = append(row, v)
-		case float64:
-			row = append(row, fmt.Sprintf("%.4g", v))
+// AddRow appends a row. The row width must match the column count exactly:
+// a mismatch panics, so a driver refactor that drops or duplicates a cell
+// fails loudly in tests instead of silently truncating a column (the old
+// behavior dropped extra cells).
+func (t *Table) AddRow(cells ...Cell) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: table %q row has %d cells, want %d columns",
+			t.Title, len(cells), len(t.Columns)))
+	}
+	for i, c := range cells {
+		switch t.Columns[i].Kind {
+		case "":
+			t.Columns[i].Kind = c.Kind
+		case c.Kind:
 		default:
-			row = append(row, fmt.Sprint(v))
+			t.Columns[i].Kind = KindMixed
 		}
 	}
-	t.AddRow(row...)
+	t.Rows = append(t.Rows, cells)
 }
 
 // WriteASCII renders the table with aligned columns.
 func (t *Table) WriteASCII(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = len(c.Name)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if len(cell.Text) > widths[i] {
+				widths[i] = len(cell.Text)
 			}
 		}
 	}
@@ -75,53 +139,23 @@ func (t *Table) WriteASCII(w io.Writer) error {
 		}
 		b.WriteByte('\n')
 	}
-	writeRow(t.Columns)
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Name
+	}
+	writeRow(header)
 	sep := make([]string, len(t.Columns))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	writeRow(sep)
+	texts := make([]string, len(t.Columns))
 	for _, row := range t.Rows {
-		writeRow(row)
+		for i, cell := range row {
+			texts[i] = cell.Text
+		}
+		writeRow(texts)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
-
-// WriteCSV renders the table as CSV (no quoting needed for our cell
-// content, which is checked).
-func (t *Table) WriteCSV(w io.Writer) error {
-	var b strings.Builder
-	writeRow := func(cells []string) error {
-		for i, cell := range cells {
-			if strings.ContainsAny(cell, ",\"\n") {
-				return fmt.Errorf("report: cell %q needs CSV quoting", cell)
-			}
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			b.WriteString(cell)
-		}
-		b.WriteByte('\n')
-		return nil
-	}
-	if err := writeRow(t.Columns); err != nil {
-		return err
-	}
-	for _, row := range t.Rows {
-		if err := writeRow(row); err != nil {
-			return err
-		}
-	}
-	_, err := io.WriteString(w, b.String())
-	return err
-}
-
-// Pct formats a fraction as a percentage cell.
-func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
-
-// F2 formats with two decimals.
-func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
-
-// F3 formats with three decimals.
-func F3(v float64) string { return fmt.Sprintf("%.3f", v) }

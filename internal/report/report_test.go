@@ -1,14 +1,17 @@
 package report
 
 import (
+	"encoding/csv"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
 
 func TestWriteASCII(t *testing.T) {
 	tab := NewTable("demo", "name", "value")
-	tab.AddRow("alpha", "1")
-	tab.AddRow("beta-long", "2")
+	tab.AddRow(Str("alpha"), Num(1, "%g"))
+	tab.AddRow(Str("beta-long"), Num(2, "%g"))
 	var b strings.Builder
 	if err := tab.WriteASCII(&b); err != nil {
 		t.Fatal(err)
@@ -20,58 +23,177 @@ func TestWriteASCII(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", w, out)
 		}
 	}
-	// Columns align: every line has the separator's width or more.
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 5 {
 		t.Errorf("expected 5 lines, got %d", len(lines))
 	}
 }
 
-func TestAddRowPadding(t *testing.T) {
-	tab := NewTable("", "a", "b", "c")
-	tab.AddRow("1")                // short row pads
-	tab.AddRow("1", "2", "3", "4") // long row truncates
-	if len(tab.Rows[0]) != 3 || len(tab.Rows[1]) != 3 {
-		t.Error("rows not normalized to column count")
-	}
-	if tab.Rows[0][1] != "" || tab.Rows[1][2] != "3" {
-		t.Error("padding/truncation wrong")
-	}
-}
-
-func TestAddRowF(t *testing.T) {
-	tab := NewTable("", "a", "b", "c")
-	tab.AddRowF("x", 1.23456, 42)
-	if tab.Rows[0][0] != "x" || tab.Rows[0][1] != "1.235" || tab.Rows[0][2] != "42" {
-		t.Errorf("AddRowF formatting: %v", tab.Rows[0])
+func TestAddRowWidthMismatchPanics(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		tab := NewTable("strict", "a", "b", "c")
+		cells := make([]Cell, n)
+		for i := range cells {
+			cells[i] = Str("x")
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddRow with %d cells on a 3-column table did not panic", n)
+				}
+			}()
+			tab.AddRow(cells...)
+		}()
 	}
 }
 
-func TestWriteCSV(t *testing.T) {
-	tab := NewTable("t", "a", "b")
-	tab.AddRow("1", "2")
-	var b strings.Builder
-	if err := tab.WriteCSV(&b); err != nil {
-		t.Fatal(err)
-	}
-	if b.String() != "a,b\n1,2\n" {
-		t.Errorf("CSV = %q", b.String())
-	}
-	bad := NewTable("t", "a")
-	bad.AddRow("has,comma")
-	if err := bad.WriteCSV(&strings.Builder{}); err == nil {
-		t.Error("comma cell accepted without quoting support")
+func TestColumnKindInference(t *testing.T) {
+	tab := NewTable("", "name", "etee", "norm", "flag")
+	tab.AddRow(Str("a"), Pct(0.5), Num(1.2, "%.2fx"), Str("no"))
+	tab.AddRow(Str("b"), Pct(0.6), Num(1.4, "%.2fx"), Num(3, "%g"))
+	wantKinds := []CellKind{KindString, KindPct, KindFloat, KindMixed}
+	for i, want := range wantKinds {
+		if got := tab.Columns[i].Kind; got != want {
+			t.Errorf("column %d kind = %q, want %q", i, got, want)
+		}
 	}
 }
 
-func TestFormatters(t *testing.T) {
-	if Pct(0.2512) != "25.1%" {
-		t.Errorf("Pct = %s", Pct(0.2512))
+func TestCellConstructors(t *testing.T) {
+	if c := Pct(0.2512); c.Text != "25.1%" || c.Value != 0.2512 || c.Kind != KindPct {
+		t.Errorf("Pct = %+v", c)
+	}
+	if c := Num(8.13492, "%.4g"); c.Text != "8.135" || c.Kind != KindFloat {
+		t.Errorf("Num %%.4g = %+v", c)
+	}
+	if c := Num(1.234, "%.2fx"); c.Text != "1.23x" {
+		t.Errorf("Num %%.2fx = %+v", c)
+	}
+	if c := NumText(0.025, "25mV"); c.Text != "25mV" || c.Value != 0.025 {
+		t.Errorf("NumText = %+v", c)
 	}
 	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
 		t.Errorf("F2 = %s", F2(1.005))
 	}
 	if F3(2.0) != "2.000" {
 		t.Errorf("F3 = %s", F3(2.0))
+	}
+}
+
+// demoDataset exercises every cell kind, multiple tables, metadata, and CSV
+// hostile strings (commas, quotes, newline-free but nasty names).
+func demoDataset() *Dataset {
+	d := NewDataset("Demo dataset")
+	d.ID = "demo"
+	d.SetMeta("tdp", "4").SetMeta("pdns", "IVR,MBVR")
+	t1 := d.Table("Section one", "Workload", "ETEE", "Norm")
+	t1.AddRow(Str(`spec,comma "quoted"`), Pct(0.651), Num(1.25, "%.2fx"))
+	t1.AddRow(Str("plain"), Pct(0.7), Num(0.98, "%.2fx"))
+	t2 := d.Table("Section two", "State", "Power")
+	t2.AddRow(Str("C6"), NumText(0.004, "4mW"))
+	return d
+}
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	d := demoDataset()
+	var b strings.Builder
+	if err := d.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got Dataset
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(&got, d) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", &got, d)
+	}
+}
+
+func TestDatasetCSVQuoting(t *testing.T) {
+	d := demoDataset()
+	var b strings.Builder
+	if err := d.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Each table becomes a comment + records; blank line between tables.
+	if !strings.Contains(out, "# Section one\n") || !strings.Contains(out, "\n\n# Section two\n") {
+		t.Fatalf("table layout wrong:\n%s", out)
+	}
+	// The record block must parse back losslessly despite comma and quotes.
+	body := strings.Split(out, "\n\n")[0]
+	var records [][]string
+	for _, block := range strings.SplitAfter(body, "\n") {
+		if strings.HasPrefix(block, "#") || strings.TrimSpace(block) == "" {
+			continue
+		}
+		r := csv.NewReader(strings.NewReader(block))
+		rec, err := r.Read()
+		if err != nil {
+			t.Fatalf("CSV record %q does not parse: %v", block, err)
+		}
+		records = append(records, rec)
+	}
+	if len(records) != 3 {
+		t.Fatalf("want header + 2 records, got %d: %v", len(records), records)
+	}
+	if records[1][0] != `spec,comma "quoted"` {
+		t.Errorf("hostile workload name did not round-trip: %q", records[1][0])
+	}
+	if records[1][1] != "65.1%" {
+		t.Errorf("pct cell text = %q", records[1][1])
+	}
+}
+
+func TestDatasetASCIIMultiTable(t *testing.T) {
+	d := demoDataset()
+	var b strings.Builder
+	if err := d.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Tables are separated by exactly one blank line and the output ends
+	// with the last row's newline (no trailing blank).
+	if !strings.Contains(out, "\n\n# Section two\n") {
+		t.Errorf("missing blank-line separator:\n%s", out)
+	}
+	if strings.HasSuffix(out, "\n\n") {
+		t.Errorf("trailing blank line:\n%q", out)
+	}
+}
+
+func TestWriteCSVAllMarksDatasetBoundaries(t *testing.T) {
+	a, b := demoDataset(), demoDataset()
+	b.ID = "demo2"
+	var out strings.Builder
+	if err := WriteCSVAll(&out, []*Dataset{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "# dataset: demo\n") {
+		t.Errorf("first dataset unmarked:\n%s", got)
+	}
+	if !strings.Contains(got, "\n\n# dataset: demo2\n") {
+		t.Errorf("second dataset boundary unmarked:\n%s", got)
+	}
+	// A consumer can partition on the marker: exactly two markers here,
+	// even though each dataset contains two tables (three blank-line
+	// separated blocks would be ambiguous without the marker).
+	if n := strings.Count(got, "# dataset: "); n != 2 {
+		t.Errorf("%d dataset markers, want 2", n)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{
+		"": FormatASCII, "ascii": FormatASCII, "json": FormatJSON, "csv": FormatCSV,
+	} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat accepted xml")
 	}
 }

@@ -1,0 +1,368 @@
+// Package server implements flexwattsd's HTTP/JSON API: a long-lived
+// serving layer over the experiments registry and the zero-alloc PDN
+// evaluation core. Every request shares one experiments.Env — and therefore
+// one sharded sweep.Cache — so concurrent clients hit memoized evaluation
+// cells instead of recomputing the paper's grids, and experiment datasets
+// themselves are computed at most once per process and re-rendered per
+// request.
+//
+// Endpoints:
+//
+//	GET  /healthz                          liveness + cache statistics
+//	GET  /v1/experiments                   registered experiment ids
+//	GET  /v1/experiments/{id}?format=F     one experiment (ascii|json|csv)
+//	POST /v1/evaluate                      batch of arbitrary evaluation points
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/experiments"
+	"repro/internal/pdn"
+	"repro/internal/report"
+	"repro/internal/sweep"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// Workers bounds each request's sweep pool (experiment grids and
+	// evaluate batches); <= 0 sizes it by runtime.GOMAXPROCS(0), the
+	// sweep.Map contract.
+	Workers int
+	// MaxBatch caps the points accepted by one /v1/evaluate request;
+	// <= 0 means the default of 4096.
+	MaxBatch int
+}
+
+// DefaultMaxBatch is the /v1/evaluate batch cap when Options.MaxBatch is
+// unset.
+const DefaultMaxBatch = 4096
+
+// Server is the flexwattsd request handler: one shared evaluation
+// environment, a per-experiment dataset memo, and the HTTP surface.
+type Server struct {
+	env   *experiments.Env
+	opts  Options
+	start time.Time
+	memos sync.Map // experiment id -> *datasetMemo
+}
+
+// datasetMemo computes an experiment's dataset exactly once; concurrent
+// requests for the same id block on the first computation and then share
+// the immutable result (rendering is per-request).
+type datasetMemo struct {
+	once sync.Once
+	ds   *report.Dataset
+	err  error
+}
+
+// New creates a server over the given environment.
+func New(env *experiments.Env, opts Options) *Server {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	return &Server{env: env, opts: opts, start: time.Now()}
+}
+
+// Handler returns the routed HTTP handler. Routing is manual (prefix
+// matching) so it works identically on every supported Go version.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/experiments", s.handleList)
+	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
+	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	return mux
+}
+
+// workers resolves the per-request sweep pool bound.
+func (s *Server) workers() int {
+	if s.opts.Workers > 0 {
+		return s.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// dataset returns the memoized dataset for id, computing it on first use
+// with the request-scoped worker bound.
+func (s *Server) dataset(id string) (*report.Dataset, error) {
+	v, _ := s.memos.LoadOrStore(id, &datasetMemo{})
+	m := v.(*datasetMemo)
+	m.once.Do(func() {
+		env := *s.env
+		env.Workers = s.workers()
+		m.ds, m.err = experiments.Dataset(id, &env)
+	})
+	return m.ds, m.err
+}
+
+// writeJSON renders v as the response body.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status      string `json:"status"`
+	UptimeS     int64  `json:"uptime_s"`
+	Experiments int    `json:"experiments"`
+	Workers     int    `json:"workers"`
+	CacheKeys   int    `json:"cache_keys"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	hits, misses := s.env.Cache.Stats()
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:      "ok",
+		UptimeS:     int64(time.Since(s.start).Seconds()),
+		Experiments: len(experiments.IDs()),
+		Workers:     s.workers(),
+		CacheKeys:   s.env.Cache.Len(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	})
+}
+
+// experimentInfo is one entry of the /v1/experiments listing.
+type experimentInfo struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	ids := experiments.IDs()
+	infos := make([]experimentInfo, len(ids))
+	for i, id := range ids {
+		infos[i] = experimentInfo{ID: id, URL: "/v1/experiments/" + id}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []experimentInfo `json:"experiments"`
+		Formats     []report.Format  `json:"formats"`
+	}{infos, report.Formats()})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "experiment path must be /v1/experiments/{id}")
+		return
+	}
+	if !experiments.Known(id) {
+		writeError(w, http.StatusNotFound, "unknown experiment %q (try GET /v1/experiments)", id)
+		return
+	}
+	format, err := report.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ds, err := s.dataset(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// Render to a buffer first so a renderer error can still become a 500
+	// instead of a half-written 200 body.
+	var b bytes.Buffer
+	var renderErr error
+	if format == report.FormatASCII {
+		// WriteASCIIGolden matches `flexwatts -exp {id}` byte for byte.
+		renderErr = ds.WriteASCIIGolden(&b)
+	} else {
+		renderErr = ds.Write(&b, format)
+	}
+	if renderErr != nil {
+		writeError(w, http.StatusInternalServerError, "%v", renderErr)
+		return
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	b.WriteTo(w) //nolint:errcheck // client gone, nothing to do
+}
+
+// EvalPoint is one /v1/evaluate request entry: a PDN kind plus either an
+// active operating point (tdp, workload, ar) or a package idle state
+// (cstate C2 and deeper). For FlexWatts points, Algorithm 1 predicts the
+// hybrid mode from the point itself; a zero TDP on an idle-state point
+// defaults to 4 W (battery-life evaluation is TDP-independent, §7.1).
+type EvalPoint struct {
+	PDN      string  `json:"pdn"`
+	TDP      float64 `json:"tdp,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	AR       float64 `json:"ar,omitempty"`
+	CState   string  `json:"cstate,omitempty"`
+}
+
+// EvalRequest is the /v1/evaluate request body.
+type EvalRequest struct {
+	Points []EvalPoint `json:"points"`
+}
+
+// EvalResult is one evaluated point: the headline PDNspot quantities.
+type EvalResult struct {
+	PDN    string  `json:"pdn"`
+	CState string  `json:"cstate"`
+	ETEE   float64 `json:"etee"`
+	PNom   float64 `json:"p_nom"`
+	PIn    float64 `json:"p_in"`
+	Loss   float64 `json:"loss"`
+}
+
+// EvalResponse is the /v1/evaluate response body.
+type EvalResponse struct {
+	Results []EvalResult `json:"results"`
+	Workers int          `json:"workers"`
+}
+
+// evalJob is a validated point ready for the sweep pool.
+type evalJob struct {
+	kind     pdn.Kind
+	scenario pdn.Scenario
+	tdp      units.Watt
+}
+
+// buildJob validates one request point into an evaluable job.
+func (s *Server) buildJob(p EvalPoint) (evalJob, error) {
+	kind, err := pdn.ParseKind(p.PDN)
+	if err != nil {
+		return evalJob{}, err
+	}
+	cstate := domain.C0
+	if p.CState != "" {
+		cstate, err = domain.ParseCState(p.CState)
+		if err != nil {
+			return evalJob{}, err
+		}
+	}
+	tdp := p.TDP
+	if cstate != domain.C0 {
+		// Battery-life states (C0MIN and package C2…C8) evaluate the
+		// fig4j/fig8c scenarios; the TDP only steers FlexWatts' predictor.
+		// Active-point parameters would be silently ignored here, so a
+		// point carrying both is contradictory and rejected.
+		if p.Workload != "" || p.AR != 0 {
+			return evalJob{}, fmt.Errorf("cstate %s is an idle-state evaluation: workload and ar must be unset", cstate)
+		}
+		if tdp == 0 {
+			tdp = 4 // battery-life evaluation is TDP-independent (§7.1)
+		}
+		return evalJob{kind: kind, scenario: workload.CStateScenario(s.env.Platform, cstate), tdp: tdp}, nil
+	}
+	if p.Workload == "" {
+		return evalJob{}, fmt.Errorf("an active (C0) point requires tdp, workload and ar; for idle states set cstate to C0MIN or C2…C8")
+	}
+	wt, err := workload.ParseType(p.Workload)
+	if err != nil {
+		return evalJob{}, err
+	}
+	sc, err := workload.TDPScenario(s.env.Platform, tdp, wt, p.AR)
+	if err != nil {
+		return evalJob{}, err
+	}
+	return evalJob{kind: kind, scenario: sc, tdp: tdp}, nil
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req EvalRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "request has no points")
+		return
+	}
+	if len(req.Points) > s.opts.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d points exceeds the %d-point batch cap", len(req.Points), s.opts.MaxBatch)
+		return
+	}
+	jobs := make([]evalJob, len(req.Points))
+	for i, p := range req.Points {
+		job, err := s.buildJob(p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
+			return
+		}
+		jobs[i] = job
+	}
+
+	// Batch through the sweep engine with the request-scoped worker bound;
+	// baseline evaluations dedupe through the shared env cache, so a hot
+	// scenario costs one evaluation per process, not per request.
+	workers := s.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results, err := sweep.Map(workers, len(jobs), func(i int) (EvalResult, error) {
+		job := jobs[i]
+		var (
+			res pdn.Result
+			err error
+		)
+		if job.kind == pdn.FlexWatts {
+			res, err = core.NewAutoModel(s.env.Flex, s.env.Predictor, job.tdp).Evaluate(job.scenario)
+		} else {
+			res, err = s.env.Eval(job.kind, job.scenario)
+		}
+		if err != nil {
+			return EvalResult{}, fmt.Errorf("point %d: %w", i, err)
+		}
+		return EvalResult{
+			PDN:    job.kind.String(),
+			CState: job.scenario.CState.String(),
+			ETEE:   res.ETEE,
+			PNom:   res.PNomTotal,
+			PIn:    res.PIn,
+			Loss:   res.PIn - res.PNomTotal,
+		}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvalResponse{Results: results, Workers: workers})
+}

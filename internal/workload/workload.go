@@ -9,7 +9,10 @@
 // performance scalability (performance gained per unit frequency increase).
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Type classifies a workload the way the FlexWatts mode predictor does
 // (§6): by which domains it stresses.
@@ -40,6 +43,22 @@ func (t Type) String() string {
 	default:
 		return fmt.Sprintf("Type(%d)", int(t))
 	}
+}
+
+// ParseType resolves a workload type name as the figures spell it
+// ("Single-Thread", "Multi-Thread", "Graphics", "Battery-Life"),
+// case-insensitively and with the hyphen optional, so HTTP clients can
+// write "multi-thread" or "MultiThread" alike.
+func ParseType(s string) (Type, error) {
+	norm := func(v string) string {
+		return strings.ToLower(strings.ReplaceAll(v, "-", ""))
+	}
+	for _, t := range []Type{SingleThread, MultiThread, Graphics, BatteryLife} {
+		if norm(s) == norm(t.String()) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown type %q (have Single-Thread, Multi-Thread, Graphics, Battery-Life)", s)
 }
 
 // Workload is one benchmark with its modeling inputs.

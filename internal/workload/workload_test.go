@@ -263,3 +263,19 @@ func TestTypeString(t *testing.T) {
 		t.Error("Types() should list the three Fig 4 classes")
 	}
 }
+
+func TestParseType(t *testing.T) {
+	for s, want := range map[string]Type{
+		"Multi-Thread": MultiThread, "multi-thread": MultiThread,
+		"MultiThread": MultiThread, "graphics": Graphics,
+		"single-thread": SingleThread, "battery-life": BatteryLife,
+	} {
+		got, err := ParseType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseType("mining"); err == nil {
+		t.Error("ParseType accepted an unknown type")
+	}
+}
