@@ -5,9 +5,14 @@ GO ?= go
 BENCHES ?= BenchmarkEvaluateETEE|BenchmarkReferenceSim|BenchmarkPredictor$$|BenchmarkSuiteSerial|BenchmarkSuiteParallel|BenchmarkTraceSim|BenchmarkCompareOnTraces
 BENCHTIME ?= 1s
 BENCH_LABEL ?= current
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_5.json
 
-.PHONY: all build test race bench bench-json lint fmt ci smoke
+# Pinned analysis-tool versions, installed on demand by `go run` (CI) —
+# bump deliberately, not implicitly.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build test race bench bench-json lint fmt ci smoke staticcheck govulncheck
 
 all: build test
 
@@ -47,6 +52,15 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Deeper static analysis than vet (needs network on first run to fetch the
+# pinned tool; CI runs it on every push).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# Known-vulnerability scan over the module graph and stdlib usage.
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 fmt:
 	gofmt -w .

@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -116,7 +117,7 @@ func BenchmarkCompareOnTraces(b *testing.B) {
 		bc := bc
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := sim.CompareOnTraces(cfg, statics, e.Flex, e.Predictor, traces, bc.workers); err != nil {
+				if _, err := sim.CompareOnTraces(context.Background(), cfg, statics, e.Flex, e.Predictor, traces, bc.workers); err != nil {
 					b.Fatal(err)
 				}
 			}

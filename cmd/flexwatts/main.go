@@ -41,8 +41,8 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/flexwatts/report"
 	"repro/internal/experiments"
-	"repro/internal/report"
 )
 
 // writeOutput renders the selected experiments in the selected format.

@@ -7,7 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/report"
+	"repro/flexwatts/report"
 )
 
 func TestUnknownExperimentExitsNonZero(t *testing.T) {

@@ -1,5 +1,6 @@
 // Command pdnspot evaluates a PDN architecture at one operating point and
-// prints the end-to-end efficiency, power flow, and loss breakdown.
+// prints the end-to-end efficiency, power flow, and loss breakdown. It is
+// built entirely on the public repro/flexwatts + repro/pdnspot surface.
 //
 // Usage:
 //
@@ -8,110 +9,99 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
-	"repro/internal/domain"
-	"repro/internal/units"
+	"repro/flexwatts"
 	"repro/pdnspot"
 )
 
-func parseKind(s string) (pdnspot.Kind, error) {
-	switch strings.ToUpper(s) {
-	case "IVR":
-		return pdnspot.IVR, nil
-	case "MBVR":
-		return pdnspot.MBVR, nil
-	case "LDO":
-		return pdnspot.LDO, nil
-	case "I+MBVR", "IMBVR":
-		return pdnspot.IMBVR, nil
-	default:
-		return 0, fmt.Errorf("unknown PDN %q (IVR, MBVR, LDO, I+MBVR)", s)
-	}
-}
+// pct renders a fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
 
-func parseCState(s string) (domain.CState, error) {
-	for _, c := range domain.CStates() {
-		if strings.EqualFold(c.String(), s) {
-			return c, nil
+// run is the testable entry point: it parses args, evaluates, writes to the
+// given streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdnspot", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kindF := fs.String("pdn", "IVR", "PDN architecture: IVR, MBVR, LDO, I+MBVR")
+	tdp := fs.Float64("tdp", 4, "thermal design power (W)")
+	wl := fs.String("workload", "mt", "workload class: st, mt, gfx")
+	ar := fs.Float64("ar", 0.6, "application ratio (0,1]")
+	cstate := fs.String("cstate", "", "evaluate a package C-state instead (C0MIN, C2..C8)")
+	validate := fs.Bool("validate", false, "also run the time-stepped reference and report accuracy")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
 		}
-	}
-	return 0, fmt.Errorf("unknown C-state %q", s)
-}
-
-func main() {
-	kindF := flag.String("pdn", "IVR", "PDN architecture: IVR, MBVR, LDO, I+MBVR")
-	tdp := flag.Float64("tdp", 4, "thermal design power (W)")
-	wl := flag.String("workload", "mt", "workload class: st, mt, gfx")
-	ar := flag.Float64("ar", 0.6, "application ratio (0,1]")
-	cstate := flag.String("cstate", "", "evaluate a package C-state instead (C0MIN, C2..C8)")
-	validate := flag.Bool("validate", false, "also run the time-stepped reference and report accuracy")
-	flag.Parse()
-
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "pdnspot:", err)
-		os.Exit(1)
+		return 2
 	}
 
-	kind, err := parseKind(*kindF)
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "pdnspot:", err)
+		return 1
+	}
+
+	ctx := context.Background()
+	kind, err := flexwatts.ParseKind(*kindF)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	ps, err := pdnspot.New()
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *cstate != "" {
-		c, err := parseCState(*cstate)
+		c, err := flexwatts.ParseCState(*cstate)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		r, err := ps.EvaluateCState(kind, c)
+		if c == flexwatts.C0 {
+			return fail(fmt.Errorf("C0 is the active state; drop -cstate and pass -tdp/-workload/-ar instead"))
+		}
+		r, err := ps.EvaluateCState(ctx, kind, c)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("%s in %s: ETEE %s, PNom %s, PIn %s\n",
-			kind, c, units.Percent(r.ETEE), units.FormatWatt(r.PNomTotal), units.FormatWatt(r.PIn))
-		return
+		fmt.Fprintf(stdout, "%s in %s: ETEE %s, PNom %s, PIn %s\n",
+			kind, c, pct(r.ETEE), r.PNomTotal, r.PIn)
+		return 0
 	}
 
-	var wt = pdnspot.MultiThread
-	switch strings.ToLower(*wl) {
-	case "st":
-		wt = pdnspot.SingleThread
-	case "mt":
-		wt = pdnspot.MultiThread
-	case "gfx", "graphics":
-		wt = pdnspot.Graphics
-	default:
-		fail(fmt.Errorf("unknown workload %q (st, mt, gfx)", *wl))
+	wt, err := flexwatts.ParseWorkloadType(*wl)
+	if err != nil || wt == flexwatts.WorkloadUnset {
+		return fail(fmt.Errorf("unknown workload %q (st, mt, gfx)", *wl))
 	}
 
-	pt := pdnspot.Point{TDP: *tdp, Workload: wt, AR: *ar}
-	r, err := ps.Evaluate(kind, pt)
+	pt := pdnspot.Point{TDP: flexwatts.Watt(*tdp), Workload: wt, AR: *ar}
+	r, err := ps.Evaluate(ctx, kind, pt)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("%s @ %gW TDP, %s, AR %s\n", kind, *tdp, wt, units.Percent(*ar))
-	fmt.Printf("  ETEE        %s\n", units.Percent(r.ETEE))
-	fmt.Printf("  PNom / PIn  %s / %s\n", units.FormatWatt(r.PNomTotal), units.FormatWatt(r.PIn))
-	fmt.Printf("  chip input  %.2fA\n", r.ChipInputCurrent)
+	fmt.Fprintf(stdout, "%s @ %gW TDP, %s, AR %s\n", kind, *tdp, wt, pct(*ar))
+	fmt.Fprintf(stdout, "  ETEE        %s\n", pct(r.ETEE))
+	fmt.Fprintf(stdout, "  PNom / PIn  %s / %s\n", r.PNomTotal, r.PIn)
+	fmt.Fprintf(stdout, "  chip input  %.2fA\n", r.ChipInputCurrent)
 	b := r.Breakdown
-	fmt.Printf("  losses: VR on-chip %s, VR off-chip %s, I2R compute %s, I2R uncore %s, guardband %s, power-gate %s\n",
-		units.FormatWatt(b.OnChipVR), units.FormatWatt(b.OffChipVR),
-		units.FormatWatt(b.CondCompute), units.FormatWatt(b.CondUncore),
-		units.FormatWatt(b.Guardband), units.FormatWatt(b.PowerGate))
+	fmt.Fprintf(stdout, "  losses: VR on-chip %s, VR off-chip %s, I2R compute %s, I2R uncore %s, guardband %s, power-gate %s\n",
+		b.OnChipVR, b.OffChipVR, b.CondCompute, b.CondUncore, b.Guardband, b.PowerGate)
 
 	if *validate {
-		pred, meas, acc, err := ps.ValidateAgainstReference(kind, pt, 1)
+		pred, meas, acc, err := ps.ValidateAgainstReference(ctx, kind, pt, 1)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("  validation: predicted %s, measured %s, accuracy %s\n",
-			units.Percent(pred), units.Percent(meas), units.Percent(acc))
+		fmt.Fprintf(stdout, "  validation: predicted %s, measured %s, accuracy %s\n",
+			pct(pred), pct(meas), pct(acc))
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvaluateDefaultPoint(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("default run returned %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"IVR @ 4W TDP", "ETEE", "PNom / PIn", "losses:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestEvaluateCState(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-pdn", "LDO", "-cstate", "C8"}, &out, &errOut); code != 0 {
+		t.Fatalf("cstate run returned %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "LDO in C8: ETEE") {
+		t.Errorf("cstate output: %q", out.String())
+	}
+}
+
+func TestValidateFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-pdn", "MBVR", "-tdp", "18", "-validate"}, &out, &errOut); code != 0 {
+		t.Fatalf("-validate returned %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "validation: predicted") {
+		t.Errorf("-validate output missing validation line: %q", out.String())
+	}
+}
+
+func TestBadInputsExitNonZero(t *testing.T) {
+	cases := map[string][]string{
+		"unknown pdn":      {"-pdn", "XVR"},
+		"flexwatts kind":   {"-pdn", "FlexWatts"},
+		"unknown workload": {"-workload", "zz"},
+		"bad ar":           {"-ar", "7"},
+		"bad tdp":          {"-tdp", "900"},
+		"unknown cstate":   {"-cstate", "C99"},
+		"active cstate":    {"-cstate", "C0"},
+	}
+	for name, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("%s: exit code 0, want non-zero", name)
+		}
+		if errOut.Len() == 0 {
+			t.Errorf("%s: no error message on stderr", name)
+		}
+	}
+}
+
+func TestBadFlagSyntaxExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-tdp", "abc"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag value returned %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h returned %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-pdn") {
+		t.Errorf("help text %q does not describe -pdn", errOut.String())
+	}
+}

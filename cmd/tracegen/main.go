@@ -1,7 +1,7 @@
 // Command tracegen emits synthetic workload phase traces as CSV, standing
 // in for the paper's ~5000 measured benchmark traces (§4.1). Each row is
 // one phase: duration (s), workload type, package C-state, and application
-// ratio.
+// ratio. It is built entirely on the public repro/flexwatts surface.
 //
 // Usage:
 //
@@ -10,38 +10,54 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"repro/internal/workload"
+	"repro/flexwatts"
 )
 
-func main() {
-	kind := flag.String("kind", "mixed", "trace kind: mixed, battery")
-	n := flag.Int("n", 100, "number of phases (mixed)")
-	seed := flag.Int64("seed", 1, "random seed (mixed)")
-	wtype := flag.String("type", "mt", "workload type for mixed traces: st, mt, gfx")
-	idle := flag.Float64("idle", 0.2, "fraction of idle phases (mixed)")
-	name := flag.String("workload", "Video Playback", "battery workload name")
-	frames := flag.Int("frames", 10, "frames (battery)")
-	flag.Parse()
+// run is the testable entry point: it parses args, generates the trace,
+// writes the CSV to stdout, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "mixed", "trace kind: mixed, battery")
+	n := fs.Int("n", 100, "number of phases (mixed)")
+	seed := fs.Int64("seed", 1, "random seed (mixed)")
+	wtype := fs.String("type", "mt", "workload type for mixed traces: st, mt, gfx")
+	idle := fs.Float64("idle", 0.2, "fraction of idle phases (mixed)")
+	name := fs.String("workload", "Video Playback", "battery workload name")
+	frames := fs.Int("frames", 10, "frames (battery)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
-	var tr workload.Trace
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(stderr, "tracegen: "+format+"\n", a...)
+		return 1
+	}
+
+	var tr flexwatts.Trace
 	switch *kind {
 	case "mixed":
-		t := workload.MultiThread
-		switch *wtype {
-		case "st":
-			t = workload.SingleThread
-		case "gfx":
-			t = workload.Graphics
+		t, err := flexwatts.ParseWorkloadType(*wtype)
+		if err != nil || t == flexwatts.WorkloadUnset {
+			return fail("unknown workload type %q (st, mt, gfx)", *wtype)
 		}
-		g := workload.NewGenerator(*seed)
+		if !(*idle >= 0 && *idle <= 1) {
+			return fail("idle fraction %g outside [0,1]", *idle)
+		}
+		g := flexwatts.NewTraceGenerator(*seed)
 		tr = g.Mixed(fmt.Sprintf("mixed-%s-%d", *wtype, *seed), t, *n, 0.3, 0.85, *idle)
 	case "battery":
-		var bw *workload.BatteryWorkload
-		for _, w := range workload.BatteryLifeWorkloads() {
+		var bw *flexwatts.BatteryWorkload
+		for _, w := range flexwatts.BatteryLifeWorkloads() {
 			if w.Name == *name {
 				w := w
 				bw = &w
@@ -49,18 +65,21 @@ func main() {
 			}
 		}
 		if bw == nil {
-			fmt.Fprintf(os.Stderr, "tracegen: unknown battery workload %q\n", *name)
-			os.Exit(1)
+			return fail("unknown battery workload %q", *name)
 		}
-		tr = workload.BatteryTrace(*bw, *frames, 1.0/60)
+		tr = flexwatts.BatteryTrace(*bw, *frames, 1.0/60)
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
-		os.Exit(1)
+		return fail("unknown kind %q (mixed, battery)", *kind)
 	}
 
-	fmt.Printf("# trace %s: %d phases, %.3fs total\n", tr.Name, len(tr.Phases), tr.Duration())
-	fmt.Println("duration_s,type,cstate,ar")
+	fmt.Fprintf(stdout, "# trace %s: %d phases, %.3fs total\n", tr.Name, len(tr.Phases), tr.Duration())
+	fmt.Fprintln(stdout, "duration_s,type,cstate,ar")
 	for _, ph := range tr.Phases {
-		fmt.Printf("%.6f,%s,%s,%.3f\n", ph.Duration, ph.Type, ph.CState, ph.AR)
+		fmt.Fprintf(stdout, "%.6f,%s,%s,%.3f\n", ph.Duration, ph.Workload, ph.CState, ph.AR)
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

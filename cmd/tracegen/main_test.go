@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMixedTraceCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-kind", "mixed", "-n", "20", "-seed", "7"}, &out, &errOut); code != 0 {
+		t.Fatalf("mixed run returned %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "# trace mixed-mt-7: 20 phases") {
+		t.Errorf("header line: %q", got)
+	}
+	if !strings.Contains(got, "duration_s,type,cstate,ar\n") {
+		t.Errorf("missing CSV header: %q", got)
+	}
+	// Header comment + CSV header + one row per phase.
+	if lines := strings.Count(got, "\n"); lines != 22 {
+		t.Errorf("%d lines, want 22", lines)
+	}
+}
+
+func TestMixedTraceDeterministic(t *testing.T) {
+	var a, b, errOut strings.Builder
+	if code := run([]string{"-n", "50", "-seed", "3"}, &a, &errOut); code != 0 {
+		t.Fatal(errOut.String())
+	}
+	if code := run([]string{"-n", "50", "-seed", "3"}, &b, &errOut); code != 0 {
+		t.Fatal(errOut.String())
+	}
+	if a.String() != b.String() {
+		t.Error("equal seeds produced different traces")
+	}
+	var c strings.Builder
+	if code := run([]string{"-n", "50", "-seed", "4"}, &c, &errOut); code != 0 {
+		t.Fatal(errOut.String())
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestBatteryTrace(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-kind", "battery", "-workload", "Video Playback", "-frames", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("battery run returned %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "# trace Video Playback:") {
+		t.Errorf("header: %q", got)
+	}
+	// Video playback cycles C0MIN -> C2 -> C8 each frame.
+	for _, state := range []string{"C0MIN", "C2", "C8"} {
+		if !strings.Contains(got, ","+state+",") {
+			t.Errorf("missing %s phase: %q", state, got)
+		}
+	}
+}
+
+func TestBadInputsExitNonZero(t *testing.T) {
+	cases := map[string][]string{
+		"unknown kind":     {"-kind", "fractal"},
+		"unknown type":     {"-type", "zz"},
+		"unknown workload": {"-kind", "battery", "-workload", "Mining"},
+		"bad idle":         {"-idle", "2"},
+	}
+	for name, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("%s: exit code 0, want non-zero", name)
+		}
+		if !strings.Contains(errOut.String(), "tracegen:") {
+			t.Errorf("%s: stderr %q lacks error prefix", name, errOut.String())
+		}
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h returned %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-kind") {
+		t.Errorf("help text %q does not describe -kind", errOut.String())
+	}
+}

@@ -3,52 +3,41 @@
 // light gaming) under each PDN, using the paper's residency-weighted state
 // power formula. The IVR PDN pays its two-stage conversion losses even in
 // deep package C-states, which is why FlexWatts (in LDO-Mode) cuts video
-// playback power by ~11-12 %.
+// playback power by ~11-12 %. One flexwatts.Client serves every PDN,
+// including the hybrid.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/flexwatts"
-	"repro/internal/domain"
-	"repro/internal/workload"
-	"repro/pdnspot"
 )
 
 func main() {
-	ps, err := pdnspot.New()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fw, err := flexwatts.New()
+	ctx := context.Background()
+	c, err := flexwatts.NewClient()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	kinds := []pdnspot.Kind{pdnspot.IVR, pdnspot.MBVR, pdnspot.LDO, pdnspot.IMBVR}
 	fmt.Println("Battery-life average power (W); lower is better")
 	fmt.Printf("%-16s %7s %7s %7s %7s %10s\n", "Workload", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
 
-	for _, bw := range workload.BatteryLifeWorkloads() {
+	for _, bw := range flexwatts.BatteryLifeWorkloads() {
 		fmt.Printf("%-16s", bw.Name)
-		for _, k := range kinds {
-			p := bw.AveragePower(ps.Platform(), func(c domain.CState) float64 {
-				r, err := ps.EvaluateCState(k, c)
-				if err != nil {
-					log.Fatal(err)
-				}
-				return r.ETEE
-			})
-			fmt.Printf(" %6.3fW", p)
-		}
-		p := bw.AveragePower(fw.Platform(), func(c domain.CState) float64 {
-			r, err := fw.Evaluate(flexwatts.Point{CState: c})
+		for _, k := range flexwatts.Kinds() {
+			p, err := c.BatteryLifePower(ctx, k, bw)
 			if err != nil {
 				log.Fatal(err)
 			}
-			return r.ETEE
-		})
-		fmt.Printf(" %8.3fW\n", p)
+			fmt.Printf(" %6.3fW", float64(p))
+		}
+		p, err := c.BatteryLifePower(ctx, flexwatts.FlexWatts, bw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" %8.3fW\n", float64(p))
 	}
 }

@@ -2,51 +2,47 @@
 // TDP (the paper's motivation for one PDN serving a whole product family):
 // the PMU reallocates budget and DVFS points as the platform's TDP is
 // reconfigured at runtime, and a higher-ETEE PDN sustains measurably higher
-// clocks from the same TDP — the §3.3 mechanism end to end.
+// clocks from the same TDP — the §3.3 mechanism end to end, driven through
+// flexwatts.Client.Allocate.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/pdn"
-	"repro/internal/pmu"
-	"repro/internal/workload"
-	"repro/pdnspot"
+	"repro/flexwatts"
 )
 
 func main() {
-	ps, err := pdnspot.New()
+	ctx := context.Background()
+	c, err := flexwatts.NewClient()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("PBM allocations for a multi-threaded workload (AR 60%) under cTDP")
 	fmt.Printf("%-5s %-8s %10s %10s %10s %8s\n", "TDP", "PDN", "coreclk", "corebudget", "pdnloss", "ETEE")
-	for _, tdp := range []float64{4, 10, 18, 36, 50} {
-		for _, k := range []pdnspot.Kind{pdnspot.IVR, pdnspot.LDO} {
-			m, err := ps.Model(k)
-			if err != nil {
-				log.Fatal(err)
-			}
-			mg := pmu.NewManager(ps.Platform(), m, tdp)
-			a, err := mg.Allocate(workload.MultiThread, 0.6)
+	for _, tdp := range []flexwatts.Watt{4, 10, 18, 36, 50} {
+		for _, k := range []flexwatts.Kind{flexwatts.IVR, flexwatts.LDO} {
+			a, err := c.Allocate(ctx, k, tdp, flexwatts.MultiThread, 0.6)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("%-5g %-8s %7.1fGHz %9.2fW %9.2fW %7.1f%%\n",
-				tdp, k, a.CoreFreq/1e9, a.CoreBudget, a.PDNLossBudget, a.ETEE*100)
+				float64(tdp), k, a.CoreFreq/1e9, float64(a.CoreBudget), float64(a.PDNLossBudget), a.ETEE*100)
 		}
 	}
 
-	// Runtime cTDP-down: the same manager reconfigured from 18W to 10W.
-	m, _ := ps.Model(pdn.LDO)
-	mg := pmu.NewManager(ps.Platform(), m, 18)
-	before, _ := mg.Allocate(workload.MultiThread, 0.6)
-	if err := mg.SetTDP(10); err != nil {
+	// Runtime cTDP-down: the same PDN reconfigured from 18W to 10W.
+	before, err := c.Allocate(ctx, flexwatts.LDO, 18, flexwatts.MultiThread, 0.6)
+	if err != nil {
 		log.Fatal(err)
 	}
-	after, _ := mg.Allocate(workload.MultiThread, 0.6)
+	after, err := c.Allocate(ctx, flexwatts.LDO, 10, flexwatts.MultiThread, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ncTDP-down 18W -> 10W on LDO: core clock %.1fGHz -> %.1fGHz\n",
 		before.CoreFreq/1e9, after.CoreFreq/1e9)
 }

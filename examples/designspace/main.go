@@ -2,52 +2,52 @@
 // multi-dimensional exploration tool. It sweeps two design parameters — the
 // compute load-line impedance and the VR tolerance band — and shows how each
 // PDN's ETEE responds, then sweeps the FlexWatts sharing penalty to show the
-// cost of the hybrid's shared routing.
+// cost of the hybrid's shared routing. Every knob is a field of the public
+// flexwatts.Params struct.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/flexwatts"
-	"repro/internal/pdn"
-	"repro/internal/units"
-	"repro/pdnspot"
 )
 
 func main() {
-	pt := pdnspot.Point{TDP: 18, Workload: pdnspot.MultiThread, AR: 0.6}
-	fmt.Printf("Design-space exploration at %gW TDP, %s, AR %.0f%%\n\n", pt.TDP, pt.Workload, pt.AR*100)
+	ctx := context.Background()
+	pt := flexwatts.Point{TDP: 18, Workload: flexwatts.MultiThread, AR: 0.6}
+	fmt.Printf("Design-space exploration at %gW TDP, %s, AR %.0f%%\n\n", float64(pt.TDP), pt.Workload, pt.AR*100)
 
 	fmt.Println("ETEE vs compute load-line impedance (MBVR V_Cores rail)")
 	for _, mul := range []float64{0.5, 1.0, 1.5, 2.0, 3.0} {
-		p := pdn.DefaultParams()
+		p := flexwatts.DefaultParams()
 		p.CoresLL *= mul
 		p.GfxLL *= mul
-		ps, err := pdnspot.NewWithParams(p)
+		c, err := flexwatts.NewClient(flexwatts.WithParams(p))
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := ps.Evaluate(pdnspot.MBVR, pt)
+		r, err := c.EvaluateKind(ctx, flexwatts.MBVR, pt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  RLL x%.1f (%.2f mOhm): MBVR ETEE %.1f%%\n", mul, p.CoresLL/units.Milli, r.ETEE*100)
+		fmt.Printf("  RLL x%.1f (%.2f mOhm): MBVR ETEE %.1f%%\n", mul, p.CoresLL*1e3, r.ETEE*100)
 	}
 
 	fmt.Println("\nETEE vs tolerance band (all PDNs)")
 	for _, tobMV := range []float64{10, 20, 30, 40} {
-		p := pdn.DefaultParams()
-		p.TOBIVR = units.MilliVolt(tobMV)
-		p.TOBMBVR = units.MilliVolt(tobMV)
-		p.TOBLDO = units.MilliVolt(tobMV)
-		ps, err := pdnspot.NewWithParams(p)
+		p := flexwatts.DefaultParams()
+		p.TOBIVR = tobMV * 1e-3
+		p.TOBMBVR = tobMV * 1e-3
+		p.TOBLDO = tobMV * 1e-3
+		c, err := flexwatts.NewClient(flexwatts.WithParams(p))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  TOB %2.0fmV:", tobMV)
-		for _, k := range []pdnspot.Kind{pdnspot.IVR, pdnspot.MBVR, pdnspot.LDO} {
-			r, err := ps.Evaluate(k, pt)
+		for _, k := range []flexwatts.Kind{flexwatts.IVR, flexwatts.MBVR, flexwatts.LDO} {
+			r, err := c.EvaluateKind(ctx, k, pt)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -58,13 +58,13 @@ func main() {
 
 	fmt.Println("\nFlexWatts ETEE vs hybrid-VR sharing penalty (input load-line factor)")
 	for _, pen := range []float64{1.0, 1.1, 1.25, 1.5, 2.0} {
-		p := pdn.DefaultParams()
+		p := flexwatts.DefaultParams()
 		p.FlexSharePenalty = pen
-		fw, err := flexwatts.NewWithParams(p)
+		c, err := flexwatts.NewClient(flexwatts.WithParams(p))
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := fw.Evaluate(flexwatts.Point{TDP: pt.TDP, Workload: pt.Workload, AR: pt.AR})
+		r, err := c.Evaluate(ctx, pt)
 		if err != nil {
 			log.Fatal(err)
 		}

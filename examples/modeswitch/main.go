@@ -3,7 +3,8 @@
 // controller switches the hybrid PDN between IVR-Mode and LDO-Mode through
 // the 94 µs voltage-noise-free flow. The example compares FlexWatts (with a
 // realistic noisy activity sensor) against the static PDNs on the same
-// trace and prints the switch count and overhead.
+// trace and prints the switch count and overhead. Traces, sensors and the
+// simulator are all part of the public flexwatts surface.
 package main
 
 import (
@@ -11,18 +12,10 @@ import (
 	"log"
 
 	"repro/flexwatts"
-	"repro/internal/activity"
-	"repro/internal/sim"
-	"repro/internal/workload"
-	"repro/pdnspot"
 )
 
 func main() {
-	ps, err := pdnspot.New()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fw, err := flexwatts.New()
+	c, err := flexwatts.NewClient()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,31 +23,25 @@ func main() {
 	// A bursty multi-threaded workload on an 18 W laptop: AR wanders over
 	// a wide range with 30 % idle phases — the regime where neither static
 	// mode wins everywhere.
-	gen := workload.NewGenerator(7)
-	tr := gen.Mixed("bursty-mt", workload.MultiThread, 400, 0.30, 0.85, 0.30)
-	const tdp = 18.0
-	fmt.Printf("Trace %q: %d phases, %.2fs simulated, TDP %gW\n\n", tr.Name, len(tr.Phases), tr.Duration(), tdp)
+	gen := flexwatts.NewTraceGenerator(7)
+	tr := gen.Mixed("bursty-mt", flexwatts.MultiThread, 400, 0.30, 0.85, 0.30)
+	const tdp = flexwatts.Watt(18)
+	fmt.Printf("Trace %q: %d phases, %.2fs simulated, TDP %gW\n\n", tr.Name, len(tr.Phases), tr.Duration(), float64(tdp))
 
-	cfg := sim.Config{Platform: ps.Platform(), TDP: tdp}
 	fmt.Printf("%-10s %10s %9s %9s %9s\n", "PDN", "energy(J)", "avgP(W)", "ETEE", "switches")
-	for _, k := range []pdnspot.Kind{pdnspot.IVR, pdnspot.MBVR, pdnspot.LDO} {
-		m, err := ps.Model(k)
+	for _, k := range []flexwatts.Kind{flexwatts.IVR, flexwatts.MBVR, flexwatts.LDO} {
+		rep, err := c.SimulateTrace(k, tdp, tr, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := sim.RunStatic(cfg, m, tr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-10s %10.3f %8.3fW %8.1f%% %9s\n", k, rep.Energy, rep.AvgPower, rep.AvgETEE*100, "-")
+		fmt.Printf("%-10s %10.3f %8.3fW %8.1f%% %9s\n", k, rep.Energy, float64(rep.AvgPower), rep.AvgETEE*100, "-")
 	}
 
-	sensor := activity.NewSensor(activity.DefaultWeights(), 99)
-	rep, err := fw.SimulateTrace(tdp, tr, sensor)
+	rep, err := c.SimulateTrace(flexwatts.FlexWatts, tdp, tr, flexwatts.NewSensor(99))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-10s %10.3f %8.3fW %8.1f%% %9d\n", "FlexWatts", rep.Energy, rep.AvgPower, rep.AvgETEE*100, rep.ModeSwitches)
+	fmt.Printf("%-10s %10.3f %8.3fW %8.1f%% %9d\n", "FlexWatts", rep.Energy, float64(rep.AvgPower), rep.AvgETEE*100, rep.ModeSwitches)
 	fmt.Printf("\nFlexWatts switch overhead: %.0fus total (%.4f%% of runtime)\n",
 		rep.SwitchOverhead*1e6, rep.SwitchOverhead/rep.Duration*100)
 	for mode, t := range rep.ModeTime {

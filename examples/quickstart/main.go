@@ -1,9 +1,11 @@
 // Quickstart: evaluate the three commonly-used PDNs and FlexWatts at one
 // operating point and print their end-to-end efficiencies — the 30-second
-// tour of the library.
+// tour of the library. Everything here is the public repro/flexwatts +
+// repro/pdnspot surface: no internal packages.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,11 +14,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ps, err := pdnspot.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fw, err := flexwatts.New()
+	fw, err := flexwatts.NewClient()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,18 +28,18 @@ func main() {
 	// ratio — the regime where the paper finds the state-of-the-art IVR
 	// PDN weakest.
 	pt := pdnspot.Point{TDP: 4, Workload: pdnspot.MultiThread, AR: 0.6}
-	fmt.Printf("Operating point: %gW TDP, %s, AR %.0f%%\n\n", pt.TDP, pt.Workload, pt.AR*100)
+	fmt.Printf("Operating point: %gW TDP, %s, AR %.0f%%\n\n", float64(pt.TDP), pt.Workload, pt.AR*100)
 
 	for _, k := range []pdnspot.Kind{pdnspot.IVR, pdnspot.MBVR, pdnspot.LDO, pdnspot.IMBVR} {
-		r, err := ps.Evaluate(k, pt)
+		r, err := ps.Evaluate(ctx, k, pt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10s ETEE %.1f%%  (draws %.2fW for %.2fW of load)\n",
-			k.String(), r.ETEE*100, r.PIn, r.PNomTotal)
+			k.String(), r.ETEE*100, float64(r.PIn), float64(r.PNomTotal))
 	}
 
-	fr, err := fw.Evaluate(flexwatts.Point{TDP: pt.TDP, Workload: pt.Workload, AR: pt.AR})
+	fr, err := fw.Evaluate(ctx, flexwatts.Point{TDP: pt.TDP, Workload: pt.Workload, AR: pt.AR})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +47,7 @@ func main() {
 
 	// Validate the IVR model against the time-stepped reference simulator,
 	// the reproduction's stand-in for the paper's lab measurements.
-	pred, meas, acc, err := ps.ValidateAgainstReference(pdnspot.IVR, pt, 42)
+	pred, meas, acc, err := ps.ValidateAgainstReference(ctx, pdnspot.IVR, pt, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

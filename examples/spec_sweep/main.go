@@ -2,57 +2,38 @@
 // Fig 8(a)): it sweeps the SPEC CPU2006 suite across TDPs and reports each
 // PDN's average performance normalized to the IVR baseline, showing the
 // crossover between LDO-friendly low TDPs and IVR-friendly high TDPs — and
-// FlexWatts tracking the best of both.
+// FlexWatts tracking the best of both. One SuiteRelativePerformance call
+// per TDP does what previously took internal model plumbing.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/flexwatts"
-	"repro/internal/core"
-	"repro/internal/pdn"
-	"repro/internal/perf"
-	"repro/internal/workload"
-	"repro/pdnspot"
 )
 
 func main() {
-	ps, err := pdnspot.New()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fw, err := flexwatts.New()
+	ctx := context.Background()
+	c, err := flexwatts.NewClient()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	suite := workload.SPECCPU2006()
-	base, err := ps.Model(pdnspot.IVR)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ev := perf.NewEvaluator(ps.Platform(), base)
+	suite := flexwatts.SPECCPU2006()
+	candidates := []flexwatts.Kind{flexwatts.MBVR, flexwatts.LDO, flexwatts.IMBVR, flexwatts.FlexWatts}
 
 	fmt.Println("SPEC CPU2006 average performance vs IVR (higher is better)")
 	fmt.Printf("%-5s %8s %8s %8s %8s\n", "TDP", "MBVR", "LDO", "I+MBVR", "FlexWatts")
-	for _, tdp := range workload.StandardTDPs() {
-		candidates := []pdn.Model{}
-		for _, k := range []pdnspot.Kind{pdnspot.MBVR, pdnspot.LDO, pdnspot.IMBVR} {
-			m, err := ps.Model(k)
-			if err != nil {
-				log.Fatal(err)
-			}
-			candidates = append(candidates, m)
-		}
-		candidates = append(candidates, core.NewAutoModel(fw.Model(), fw.Predictor(), tdp))
-		avg, err := ev.SuiteAverage(tdp, suite, candidates)
+	for _, tdp := range flexwatts.StandardTDPs() {
+		avg, err := c.SuiteRelativePerformance(ctx, tdp, suite, candidates)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-5g %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", tdp,
-			avg[pdnspot.MBVR]*100, avg[pdnspot.LDO]*100,
-			avg[pdnspot.IMBVR]*100, avg[pdn.FlexWatts]*100)
+		fmt.Printf("%-5g %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", float64(tdp),
+			avg[flexwatts.MBVR]*100, avg[flexwatts.LDO]*100,
+			avg[flexwatts.IMBVR]*100, avg[flexwatts.FlexWatts]*100)
 	}
 	fmt.Println("\nAt 4W the hybrid runs LDO-Mode and gains like LDO; at 50W it runs")
 	fmt.Println("IVR-Mode and keeps the IVR PDN's high-power efficiency.")

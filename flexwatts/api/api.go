@@ -1,0 +1,198 @@
+// Package api defines the wire vocabulary of the flexwattsd HTTP/JSON
+// service: request and response bodies, endpoint paths, and the typed
+// sentinel errors both sides of the wire agree on. The daemon
+// (internal/server) and the SDK (flexwatts/client) consume these same
+// definitions, so the two can never drift.
+//
+// Wire enums are plain strings spelled the way the paper spells them
+// ("IVR", "Multi-Thread", "C0MIN", …) and parsed case-insensitively;
+// the typed counterparts live in the flexwatts package, with conversions
+// in EvalPointFromPoint and EvalPoint.Point.
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/flexwatts"
+	"repro/flexwatts/report"
+)
+
+// Endpoint paths served by flexwattsd.
+const (
+	// PathHealthz is the liveness endpoint (GET).
+	PathHealthz = "/healthz"
+	// PathExperiments lists experiment ids (GET); one experiment is
+	// PathExperiments + "/{id}".
+	PathExperiments = "/v1/experiments"
+	// PathEvaluate evaluates a batch of points (POST).
+	PathEvaluate = "/v1/evaluate"
+)
+
+// Sentinel errors of the HTTP API. The server maps them to statuses with
+// StatusFor; the client SDK maps statuses back with FromStatus, so
+// errors.Is works identically on both sides of the wire.
+var (
+	// ErrUnknownExperiment: the experiment id is not registered (404).
+	ErrUnknownExperiment = errors.New("unknown experiment")
+	// ErrInvalidPoint: a request body or evaluation point failed
+	// validation (400).
+	ErrInvalidPoint = errors.New("invalid point")
+	// ErrBatchTooLarge: the batch exceeds the server's point cap (413).
+	ErrBatchTooLarge = errors.New("batch too large")
+	// ErrMethodNotAllowed: the endpoint exists but not for this HTTP
+	// method (405).
+	ErrMethodNotAllowed = errors.New("method not allowed")
+	// ErrEvaluation: a well-formed point failed to evaluate (422).
+	ErrEvaluation = errors.New("evaluation failed")
+)
+
+// StatusFor returns the HTTP status the API maps err to: the sentinel
+// statuses above, 500 for anything unrecognized, and 0 for nil. This is
+// the single place where errors become statuses.
+func StatusFor(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrUnknownExperiment):
+		return http.StatusNotFound
+	case errors.Is(err, ErrInvalidPoint):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrBatchTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrMethodNotAllowed):
+		return http.StatusMethodNotAllowed
+	case errors.Is(err, ErrEvaluation):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// FromStatus returns the sentinel a response status maps to, or nil for a
+// status the API assigns no sentinel (the caller falls back to a generic
+// error). It is StatusFor's inverse, used by the client SDK.
+func FromStatus(status int) error {
+	switch status {
+	case http.StatusNotFound:
+		return ErrUnknownExperiment
+	case http.StatusBadRequest:
+		return ErrInvalidPoint
+	case http.StatusRequestEntityTooLarge:
+		return ErrBatchTooLarge
+	case http.StatusMethodNotAllowed:
+		return ErrMethodNotAllowed
+	case http.StatusUnprocessableEntity:
+		return ErrEvaluation
+	default:
+		return nil
+	}
+}
+
+// Error is the uniform error response body.
+type Error struct {
+	Message string `json:"error"`
+}
+
+// Health is the GET /healthz response: liveness plus cache statistics of
+// the shared evaluation environment.
+type Health struct {
+	Status      string `json:"status"`
+	UptimeS     int64  `json:"uptime_s"`
+	Experiments int    `json:"experiments"`
+	Workers     int    `json:"workers"`
+	CacheKeys   int    `json:"cache_keys"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+}
+
+// ExperimentInfo is one entry of the GET /v1/experiments listing.
+type ExperimentInfo struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// ExperimentList is the GET /v1/experiments response.
+type ExperimentList struct {
+	Experiments []ExperimentInfo `json:"experiments"`
+	Formats     []report.Format  `json:"formats"`
+}
+
+// EvalPoint is one POST /v1/evaluate request entry: a PDN kind plus either
+// an active operating point (tdp, workload, ar) or a package idle state
+// (cstate C0MIN or C2 and deeper). For FlexWatts points, Algorithm 1
+// predicts the hybrid mode from the point itself; a zero TDP on an
+// idle-state point defaults to 4 W (battery-life evaluation is
+// TDP-independent, §7.1).
+type EvalPoint struct {
+	PDN      string  `json:"pdn"`
+	TDP      float64 `json:"tdp,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	AR       float64 `json:"ar,omitempty"`
+	CState   string  `json:"cstate,omitempty"`
+}
+
+// EvalPointFromPoint converts a typed evaluation point to its wire form.
+func EvalPointFromPoint(p flexwatts.Point) EvalPoint {
+	return EvalPoint{
+		PDN:      p.PDN.String(),
+		TDP:      float64(p.TDP),
+		Workload: p.Workload.String(),
+		AR:       p.AR,
+		CState:   cstateWire(p.CState),
+	}
+}
+
+// cstateWire renders a package state for the wire, leaving the active
+// state implicit (the wire treats a missing cstate as C0).
+func cstateWire(c flexwatts.CState) string {
+	if c == flexwatts.C0 {
+		return ""
+	}
+	return c.String()
+}
+
+// Point parses the wire point back into the typed vocabulary.
+func (p EvalPoint) Point() (flexwatts.Point, error) {
+	kind, err := flexwatts.ParseKind(p.PDN)
+	if err != nil {
+		return flexwatts.Point{}, fmt.Errorf("%w: %v", ErrInvalidPoint, err)
+	}
+	wt, err := flexwatts.ParseWorkloadType(p.Workload)
+	if err != nil {
+		return flexwatts.Point{}, fmt.Errorf("%w: %v", ErrInvalidPoint, err)
+	}
+	cs, err := flexwatts.ParseCState(p.CState)
+	if err != nil {
+		return flexwatts.Point{}, fmt.Errorf("%w: %v", ErrInvalidPoint, err)
+	}
+	return flexwatts.Point{
+		PDN:      kind,
+		TDP:      flexwatts.Watt(p.TDP),
+		Workload: wt,
+		AR:       p.AR,
+		CState:   cs,
+	}, nil
+}
+
+// EvalRequest is the POST /v1/evaluate request body.
+type EvalRequest struct {
+	Points []EvalPoint `json:"points"`
+}
+
+// EvalResult is one evaluated point: the headline PDNspot quantities.
+type EvalResult struct {
+	PDN    string  `json:"pdn"`
+	CState string  `json:"cstate"`
+	ETEE   float64 `json:"etee"`
+	PNom   float64 `json:"p_nom"`
+	PIn    float64 `json:"p_in"`
+	Loss   float64 `json:"loss"`
+}
+
+// EvalResponse is the POST /v1/evaluate response body.
+type EvalResponse struct {
+	Results []EvalResult `json:"results"`
+	Workers int          `json:"workers"`
+}

@@ -1,0 +1,83 @@
+package api_test
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/flexwatts"
+	"repro/flexwatts/api"
+)
+
+// TestStatusMappingRoundTrips pins the error contract both sides of the
+// wire share: every sentinel maps to its status and back to itself, so
+// errors.Is behaves identically in the server and in the SDK.
+func TestStatusMappingRoundTrips(t *testing.T) {
+	sentinels := map[error]int{
+		api.ErrUnknownExperiment: http.StatusNotFound,
+		api.ErrInvalidPoint:      http.StatusBadRequest,
+		api.ErrBatchTooLarge:     http.StatusRequestEntityTooLarge,
+		api.ErrMethodNotAllowed:  http.StatusMethodNotAllowed,
+		api.ErrEvaluation:        http.StatusUnprocessableEntity,
+	}
+	for sentinel, status := range sentinels {
+		if got := api.StatusFor(sentinel); got != status {
+			t.Errorf("StatusFor(%v) = %d, want %d", sentinel, got, status)
+		}
+		if back := api.FromStatus(status); !errors.Is(back, sentinel) {
+			t.Errorf("FromStatus(%d) = %v, want %v", status, back, sentinel)
+		}
+	}
+	if api.StatusFor(nil) != 0 {
+		t.Error("StatusFor(nil) != 0")
+	}
+	if api.StatusFor(errors.New("boom")) != http.StatusInternalServerError {
+		t.Error("unrecognized error should map to 500")
+	}
+	if api.FromStatus(http.StatusTeapot) != nil {
+		t.Error("unmapped status should return nil")
+	}
+	// Wrapped sentinels keep their status — the server always wraps.
+	if api.StatusFor(fmtWrap(api.ErrBatchTooLarge)) != http.StatusRequestEntityTooLarge {
+		t.Error("wrapped sentinel lost its status")
+	}
+}
+
+func fmtWrap(err error) error { return errors.Join(errors.New("context"), err) }
+
+// TestEvalPointRoundTrips pins the wire conversion: a typed point converted
+// to its wire form and parsed back must be identical, for both active and
+// idle points.
+func TestEvalPointRoundTrips(t *testing.T) {
+	pts := []flexwatts.Point{
+		{PDN: flexwatts.IVR, TDP: 18, Workload: flexwatts.MultiThread, AR: 0.6},
+		{PDN: flexwatts.FlexWatts, TDP: 4, Workload: flexwatts.Graphics, AR: 0.45},
+		{PDN: flexwatts.LDO, CState: flexwatts.C8},
+		{PDN: flexwatts.MBVR, TDP: 4, CState: flexwatts.C0MIN},
+	}
+	for _, pt := range pts {
+		wire := api.EvalPointFromPoint(pt)
+		back, err := wire.Point()
+		if err != nil {
+			t.Errorf("%+v: %v", pt, err)
+			continue
+		}
+		if back != pt {
+			t.Errorf("round trip %+v != %+v", back, pt)
+		}
+	}
+	// The wire leaves the active state implicit.
+	if w := api.EvalPointFromPoint(pts[0]); w.CState != "" {
+		t.Errorf("active point carries cstate %q on the wire", w.CState)
+	}
+	// Bad wire vocabulary surfaces as ErrInvalidPoint.
+	for _, bad := range []api.EvalPoint{
+		{PDN: "XVR"},
+		{PDN: "IVR", Workload: "mining"},
+		{PDN: "IVR", CState: "C99"},
+	} {
+		if _, err := bad.Point(); !errors.Is(err, api.ErrInvalidPoint) {
+			t.Errorf("%+v: err = %v, want ErrInvalidPoint", bad, err)
+		}
+	}
+}

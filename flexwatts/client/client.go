@@ -1,0 +1,190 @@
+// Package client is the HTTP SDK for the flexwattsd daemon: typed methods
+// for every endpoint, sharing the wire vocabulary of repro/flexwatts/api
+// with the server so the two can never drift.
+//
+// Errors are typed: a non-2xx response is mapped back to the api package's
+// sentinel for its status (api.ErrUnknownExperiment, api.ErrInvalidPoint,
+// api.ErrBatchTooLarge, …), so callers branch with errors.Is instead of
+// string-matching status text:
+//
+//	c, _ := client.New("http://localhost:8080")
+//	res, err := c.EvaluateBatch(ctx, points)
+//	if errors.Is(err, api.ErrBatchTooLarge) { … split the batch … }
+//
+// Every method takes a context.Context and honors cancellation and
+// deadlines end to end: the request is built with the context, and the
+// server aborts its in-flight sweep when the connection drops.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/flexwatts"
+	"repro/flexwatts/api"
+	"repro/flexwatts/report"
+)
+
+// Client talks to one flexwattsd base URL. The zero value is not usable;
+// construct with New. Client is safe for concurrent use.
+type Client struct {
+	base *url.URL
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// New returns a client for the daemon at baseURL, e.g.
+// "http://localhost:8080".
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(strings.TrimRight(baseURL, "/"))
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	c := &Client{base: u, hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// apiError converts a non-2xx response into a typed error: the api
+// sentinel for the status (when one exists) wrapping the server's message.
+func apiError(resp *http.Response, body []byte) error {
+	msg := strings.TrimSpace(string(body))
+	var e api.Error
+	if json.Unmarshal(body, &e) == nil && e.Message != "" {
+		msg = e.Message
+	}
+	if sentinel := api.FromStatus(resp.StatusCode); sentinel != nil {
+		return fmt.Errorf("%w: %s", sentinel, msg)
+	}
+	return fmt.Errorf("client: %s: %s", resp.Status, msg)
+}
+
+// do issues the request and returns the response body, mapping non-2xx
+// statuses to typed errors.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base.String()+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, apiError(resp, b)
+	}
+	return b, nil
+}
+
+// getJSON issues a GET and decodes the JSON response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out interface{}) error {
+	b, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}
+
+// Health returns the daemon's liveness and cache statistics
+// (GET /healthz).
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.getJSON(ctx, api.PathHealthz, &h)
+	return h, err
+}
+
+// Experiments lists the registered experiment ids and the supported render
+// formats (GET /v1/experiments).
+func (c *Client) Experiments(ctx context.Context) (api.ExperimentList, error) {
+	var l api.ExperimentList
+	err := c.getJSON(ctx, api.PathExperiments, &l)
+	return l, err
+}
+
+// Experiment fetches one experiment rendered in the given format
+// (GET /v1/experiments/{id}?format=…) and returns the raw body — ASCII
+// bytes identical to the committed goldens, a JSON dataset, or CSV blocks.
+// Unknown ids return api.ErrUnknownExperiment.
+func (c *Client) Experiment(ctx context.Context, id string, format report.Format) ([]byte, error) {
+	path := api.PathExperiments + "/" + url.PathEscape(id) + "?format=" + url.QueryEscape(string(format))
+	return c.do(ctx, http.MethodGet, path, nil)
+}
+
+// ExperimentDataset fetches one experiment as a typed dataset
+// (format=json, decoded).
+func (c *Client) ExperimentDataset(ctx context.Context, id string) (*report.Dataset, error) {
+	b, err := c.Experiment(ctx, id, report.FormatJSON)
+	if err != nil {
+		return nil, err
+	}
+	var d report.Dataset
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("client: experiment %s: %w", id, err)
+	}
+	return &d, nil
+}
+
+// Evaluate posts a raw wire-form batch (POST /v1/evaluate). Most callers
+// want EvaluateBatch; use Evaluate to control the wire body directly.
+func (c *Client) Evaluate(ctx context.Context, req api.EvalRequest) (api.EvalResponse, error) {
+	var out api.EvalResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	b, err := c.do(ctx, http.MethodPost, api.PathEvaluate, bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// EvaluateBatch evaluates typed points on the daemon and returns the
+// results in input order. Oversized batches return api.ErrBatchTooLarge;
+// malformed points return api.ErrInvalidPoint with the failing index in
+// the message.
+func (c *Client) EvaluateBatch(ctx context.Context, pts []flexwatts.Point) ([]api.EvalResult, error) {
+	req := api.EvalRequest{Points: make([]api.EvalPoint, len(pts))}
+	for i, p := range pts {
+		req.Points[i] = api.EvalPointFromPoint(p)
+	}
+	resp, err := c.Evaluate(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}

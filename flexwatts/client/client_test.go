@@ -1,0 +1,202 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/flexwatts"
+	"repro/flexwatts/api"
+	"repro/flexwatts/client"
+	"repro/flexwatts/report"
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+var ctx = context.Background()
+
+// testEnv builds one shared evaluation environment; predictor
+// characterization dominates its cost.
+var (
+	envOnce sync.Once
+	envVal  *experiments.Env
+	envErr  error
+)
+
+// testClient stands up a real in-process flexwattsd handler and returns an
+// SDK client pointed at it — the drift test for the shared api package.
+func testClient(t *testing.T, opts server.Options) *client.Client {
+	t.Helper()
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	ts := httptest.NewServer(server.New(envVal, opts).Handler())
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadBaseURL(t *testing.T) {
+	if _, err := client.New("ftp://example.com"); err == nil {
+		t.Error("ftp scheme accepted")
+	}
+	if _, err := client.New("://bad"); err == nil {
+		t.Error("unparseable URL accepted")
+	}
+}
+
+func TestHealth(t *testing.T) {
+	c := testClient(t, server.Options{})
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Experiments == 0 || h.Workers == 0 {
+		t.Errorf("health %+v", h)
+	}
+}
+
+func TestExperiments(t *testing.T) {
+	c := testClient(t, server.Options{})
+	l, err := c.Experiments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]bool, len(l.Experiments))
+	for _, e := range l.Experiments {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig2a", "fig7", "tab1", "obs"} {
+		if !ids[want] {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+	if len(l.Formats) != 3 {
+		t.Errorf("formats %v", l.Formats)
+	}
+}
+
+// TestExperimentASCIIMatchesGolden closes the loop across all three layers:
+// the bytes the SDK fetches over HTTP must equal the committed golden that
+// also pins the CLI output.
+func TestExperimentASCIIMatchesGolden(t *testing.T) {
+	c := testClient(t, server.Options{})
+	body, err := c.Experiment(ctx, "tab1", report.FormatASCII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "experiments", "testdata", "tab1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Error("SDK-fetched ASCII differs from the committed golden")
+	}
+}
+
+func TestExperimentDataset(t *testing.T) {
+	c := testClient(t, server.Options{})
+	ds, err := c.ExperimentDataset(ctx, "tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ID != "tab2" || len(ds.Tables) == 0 {
+		t.Errorf("dataset id %q with %d tables", ds.ID, len(ds.Tables))
+	}
+}
+
+func TestUnknownExperimentSentinel(t *testing.T) {
+	c := testClient(t, server.Options{})
+	_, err := c.Experiment(ctx, "fig99", report.FormatASCII)
+	if !errors.Is(err, api.ErrUnknownExperiment) {
+		t.Errorf("err = %v, want ErrUnknownExperiment", err)
+	}
+	if _, err := c.ExperimentDataset(ctx, "fig99"); !errors.Is(err, api.ErrUnknownExperiment) {
+		t.Errorf("dataset err = %v, want ErrUnknownExperiment", err)
+	}
+}
+
+// TestEvaluateBatchMatchesLibrary pins the "library and service report
+// identical numbers" contract: the same typed points evaluated through the
+// SDK and through a local flexwatts.Client must agree exactly.
+func TestEvaluateBatchMatchesLibrary(t *testing.T) {
+	c := testClient(t, server.Options{})
+	pts := []flexwatts.Point{
+		{PDN: flexwatts.IVR, TDP: 18, Workload: flexwatts.MultiThread, AR: 0.6},
+		{PDN: flexwatts.FlexWatts, TDP: 4, Workload: flexwatts.SingleThread, AR: 0.5},
+		{PDN: flexwatts.LDO, CState: flexwatts.C8},
+	}
+	res, err := c.EvaluateBatch(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(pts) {
+		t.Fatalf("%d results for %d points", len(res), len(pts))
+	}
+	lib, err := flexwatts.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		want, err := lib.Evaluate(ctx, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res[i]
+		if got.PDN != pt.PDN.String() {
+			t.Errorf("point %d: PDN %q, want %q", i, got.PDN, pt.PDN)
+		}
+		if got.ETEE != want.ETEE || got.PNom != float64(want.PNomTotal) || got.PIn != float64(want.PIn) {
+			t.Errorf("point %d: served (etee %g, pnom %g, pin %g) != library (%g, %g, %g)",
+				i, got.ETEE, got.PNom, got.PIn, want.ETEE, float64(want.PNomTotal), float64(want.PIn))
+		}
+	}
+}
+
+func TestBatchTooLargeSentinel(t *testing.T) {
+	c := testClient(t, server.Options{MaxBatch: 2})
+	pts := make([]flexwatts.Point, 3)
+	for i := range pts {
+		pts[i] = flexwatts.Point{PDN: flexwatts.IVR, TDP: 18, Workload: flexwatts.MultiThread, AR: 0.6}
+	}
+	_, err := c.EvaluateBatch(ctx, pts)
+	if !errors.Is(err, api.ErrBatchTooLarge) {
+		t.Errorf("err = %v, want ErrBatchTooLarge", err)
+	}
+}
+
+func TestInvalidPointSentinelNamesIndex(t *testing.T) {
+	c := testClient(t, server.Options{})
+	_, err := c.EvaluateBatch(ctx, []flexwatts.Point{
+		{PDN: flexwatts.IVR, TDP: 18, Workload: flexwatts.MultiThread, AR: 7},
+	})
+	if !errors.Is(err, api.ErrInvalidPoint) {
+		t.Fatalf("err = %v, want ErrInvalidPoint", err)
+	}
+	if !strings.Contains(err.Error(), "point 0") {
+		t.Errorf("error %q does not name the failing index", err)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	c := testClient(t, server.Options{})
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Health(cctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Health err = %v, want context.Canceled", err)
+	}
+	pts := []flexwatts.Point{{PDN: flexwatts.IVR, TDP: 18, Workload: flexwatts.MultiThread, AR: 0.6}}
+	if _, err := c.EvaluateBatch(cctx, pts); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvaluateBatch err = %v, want context.Canceled", err)
+	}
+}

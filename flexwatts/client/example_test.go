@@ -1,0 +1,67 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/flexwatts"
+	"repro/flexwatts/api"
+	"repro/flexwatts/client"
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+// The SDK quick start: point a client at a flexwattsd base URL and
+// evaluate typed points over HTTP. The example stands the daemon up
+// in-process; in production pass the daemon's listen address, e.g.
+// client.New("http://localhost:8080").
+func ExampleClient_EvaluateBatch() {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(env, server.Options{}).Handler())
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.EvaluateBatch(context.Background(), []flexwatts.Point{
+		{PDN: flexwatts.IVR, TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6},
+		{PDN: flexwatts.FlexWatts, TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Printf("%-9s ETEE %.1f%%\n", r.PDN, r.ETEE*100)
+	}
+	// Output:
+	// IVR       ETEE 65.0%
+	// FlexWatts ETEE 74.0%
+}
+
+// Errors are typed sentinels shared with the server through the api
+// package, so callers branch with errors.Is instead of string-matching
+// status text.
+func ExampleClient_Experiment() {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(env, server.Options{}).Handler())
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Experiment(context.Background(), "fig99", "ascii"); errors.Is(err, api.ErrUnknownExperiment) {
+		fmt.Println("fig99 is not a registered experiment")
+	}
+	// Output: fig99 is not a registered experiment
+}

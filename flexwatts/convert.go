@@ -1,0 +1,261 @@
+package flexwatts
+
+// This file is the single home of the conversion shims between the public
+// vocabulary and the repro/internal/* model types. Nothing else in the
+// public packages may name an internal type; the public-surface guard test
+// at the repository root enforces that the exported API stays
+// self-contained.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/workload"
+)
+
+// internalKind maps a public PDN kind to the internal enum.
+func internalKind(k Kind) (pdn.Kind, error) {
+	switch k {
+	case FlexWatts:
+		return pdn.FlexWatts, nil
+	case IVR:
+		return pdn.IVR, nil
+	case MBVR:
+		return pdn.MBVR, nil
+	case LDO:
+		return pdn.LDO, nil
+	case IMBVR:
+		return pdn.IMBVR, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown PDN kind %v", ErrInvalidPoint, k)
+	}
+}
+
+// kindFromInternal maps the internal PDN enum back to the public one.
+func kindFromInternal(k pdn.Kind) Kind {
+	switch k {
+	case pdn.IVR:
+		return IVR
+	case pdn.MBVR:
+		return MBVR
+	case pdn.LDO:
+		return LDO
+	case pdn.IMBVR:
+		return IMBVR
+	default:
+		return FlexWatts
+	}
+}
+
+// internalWorkloadType maps a public workload class to the internal enum;
+// WorkloadUnset has no internal counterpart and must be screened out by
+// Point.Validate before conversion.
+func internalWorkloadType(t WorkloadType) workload.Type {
+	switch t {
+	case SingleThread:
+		return workload.SingleThread
+	case Graphics:
+		return workload.Graphics
+	case BatteryLife:
+		return workload.BatteryLife
+	default:
+		return workload.MultiThread
+	}
+}
+
+// workloadTypeFromInternal maps the internal workload enum to the public
+// one.
+func workloadTypeFromInternal(t workload.Type) WorkloadType {
+	switch t {
+	case workload.SingleThread:
+		return SingleThread
+	case workload.Graphics:
+		return Graphics
+	case workload.BatteryLife:
+		return BatteryLife
+	default:
+		return MultiThread
+	}
+}
+
+// internalCState maps a public package state to the internal enum. The two
+// enums share ordering, but the mapping is explicit so neither side can
+// drift silently.
+func internalCState(c CState) domain.CState {
+	switch c {
+	case C0MIN:
+		return domain.C0MIN
+	case C2:
+		return domain.C2
+	case C3:
+		return domain.C3
+	case C6:
+		return domain.C6
+	case C7:
+		return domain.C7
+	case C8:
+		return domain.C8
+	default:
+		return domain.C0
+	}
+}
+
+// cstateFromInternal maps the internal package-state enum to the public
+// one.
+func cstateFromInternal(c domain.CState) CState {
+	switch c {
+	case domain.C0MIN:
+		return C0MIN
+	case domain.C2:
+		return C2
+	case domain.C3:
+		return C3
+	case domain.C6:
+		return C6
+	case domain.C7:
+		return C7
+	case domain.C8:
+		return C8
+	default:
+		return C0
+	}
+}
+
+// internalMode maps a public hybrid mode to the internal enum; ModeNone
+// has no internal counterpart.
+func internalMode(m Mode) (core.Mode, error) {
+	switch m {
+	case IVRMode:
+		return core.IVRMode, nil
+	case LDOMode:
+		return core.LDOMode, nil
+	default:
+		return 0, fmt.Errorf("flexwatts: mode %v is not a hybrid mode", m)
+	}
+}
+
+// modeFromInternal maps the internal hybrid mode to the public one.
+func modeFromInternal(m core.Mode) Mode {
+	if m == core.LDOMode {
+		return LDOMode
+	}
+	return IVRMode
+}
+
+// breakdownFromInternal converts a loss breakdown.
+func breakdownFromInternal(b pdn.Breakdown) Breakdown {
+	return Breakdown{
+		Guardband:   Watt(b.Guardband),
+		PowerGate:   Watt(b.PowerGate),
+		OnChipVR:    Watt(b.OnChipVR),
+		OffChipVR:   Watt(b.OffChipVR),
+		CondCompute: Watt(b.CondCompute),
+		CondUncore:  Watt(b.CondUncore),
+	}
+}
+
+// resultFromInternal converts an internal evaluation result. The mode is
+// ModeNone unless the caller evaluated the hybrid.
+func resultFromInternal(r pdn.Result, mode Mode) Result {
+	return Result{
+		PDN:              kindFromInternal(r.PDN),
+		Mode:             mode,
+		PNomTotal:        Watt(r.PNomTotal),
+		PIn:              Watt(r.PIn),
+		ETEE:             r.ETEE,
+		ChipInputCurrent: r.ChipInputCurrent,
+		Breakdown:        breakdownFromInternal(r.Breakdown),
+	}
+}
+
+// defaultInternalParams exposes the Table 2 calibration to params.go
+// without it importing internal packages directly.
+func defaultInternalParams() pdn.Params { return pdn.DefaultParams() }
+
+// internalParams converts the public parameter set to the internal one.
+// The two structs are field-for-field identical, so this is a plain struct
+// conversion: adding a field to one without the other fails to compile —
+// exactly the drift protection we want.
+func internalParams(p Params) pdn.Params { return pdn.Params(p) }
+
+// paramsFromInternal converts the internal parameter set to the public
+// one.
+func paramsFromInternal(p pdn.Params) Params { return Params(p) }
+
+// internalWorkload converts a public benchmark description.
+func internalWorkload(w Workload) workload.Workload {
+	return workload.Workload{
+		Name:        w.Name,
+		Type:        internalWorkloadType(w.Type),
+		AR:          w.AR,
+		Scalability: w.Scalability,
+	}
+}
+
+// workloadFromInternal converts an internal benchmark description.
+func workloadFromInternal(w workload.Workload) Workload {
+	return Workload{
+		Name:        w.Name,
+		Type:        workloadTypeFromInternal(w.Type),
+		AR:          w.AR,
+		Scalability: w.Scalability,
+	}
+}
+
+// internalBatteryWorkloads exposes the §7.1 battery-life scenarios to
+// battery.go without it importing internal packages directly.
+func internalBatteryWorkloads() []workload.BatteryWorkload { return workload.BatteryLifeWorkloads() }
+
+// internalBatteryWorkload converts a public battery-life scenario.
+func internalBatteryWorkload(w BatteryWorkload) workload.BatteryWorkload {
+	out := workload.BatteryWorkload{
+		Name:      w.Name,
+		Residency: make(map[domain.CState]float64, len(w.Residency)),
+	}
+	for c, res := range w.Residency {
+		out.Residency[internalCState(c)] = res
+	}
+	return out
+}
+
+// batteryWorkloadFromInternal converts an internal battery-life scenario.
+func batteryWorkloadFromInternal(w workload.BatteryWorkload) BatteryWorkload {
+	out := BatteryWorkload{
+		Name:      w.Name,
+		Residency: make(map[CState]float64, len(w.Residency)),
+	}
+	for c, res := range w.Residency {
+		out.Residency[cstateFromInternal(c)] = res
+	}
+	return out
+}
+
+// internalTrace converts a public phase trace.
+func internalTrace(tr Trace) workload.Trace {
+	out := workload.Trace{Name: tr.Name, Phases: make([]workload.Phase, len(tr.Phases))}
+	for i, ph := range tr.Phases {
+		out.Phases[i] = workload.Phase{
+			Duration: ph.Duration,
+			Type:     internalWorkloadType(ph.Workload),
+			CState:   internalCState(ph.CState),
+			AR:       ph.AR,
+		}
+	}
+	return out
+}
+
+// traceFromInternal converts an internal phase trace.
+func traceFromInternal(tr workload.Trace) Trace {
+	out := Trace{Name: tr.Name, Phases: make([]Phase, len(tr.Phases))}
+	for i, ph := range tr.Phases {
+		out.Phases[i] = Phase{
+			Duration: ph.Duration,
+			Workload: workloadTypeFromInternal(ph.Type),
+			CState:   cstateFromInternal(ph.CState),
+			AR:       ph.AR,
+		}
+	}
+	return out
+}

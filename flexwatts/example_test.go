@@ -1,0 +1,78 @@
+package flexwatts_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"repro/flexwatts"
+)
+
+// The 30-second tour: build a Client, evaluate one operating point, read
+// the hybrid mode Algorithm 1 selected.
+func ExampleClient_Evaluate() {
+	c, err := flexwatts.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A 4 W tablet running a multi-threaded workload at 60 % application
+	// ratio. The zero PDN is FlexWatts.
+	res, err := c.Evaluate(context.Background(), flexwatts.Point{
+		TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s selected, ETEE %.1f%%\n", res.Mode, res.ETEE*100)
+	// Output: LDO-Mode selected, ETEE 74.0%
+}
+
+// EvaluateBatch fans a batch out over the deterministic concurrent sweep
+// engine; results come back in input order and a cancelled context aborts
+// the batch.
+func ExampleClient_EvaluateBatch() {
+	c, err := flexwatts.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts := []flexwatts.Point{
+		{PDN: flexwatts.IVR, TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6},
+		{PDN: flexwatts.LDO, TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6},
+		{TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6}, // zero PDN = FlexWatts
+	}
+	res, err := c.EvaluateBatch(context.Background(), pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range res {
+		fmt.Printf("%-9s ETEE %.1f%%\n", pts[i].PDN, r.ETEE*100)
+	}
+	// Output:
+	// IVR       ETEE 65.0%
+	// LDO       ETEE 74.0%
+	// FlexWatts ETEE 74.0%
+}
+
+// Point speaks the same JSON vocabulary as the flexwattsd wire: enums
+// encode as their paper names and unset fields are omitted.
+func ExamplePoint() {
+	b, err := json.Marshal(flexwatts.Point{
+		PDN: flexwatts.LDO, TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(b))
+	// Output: {"pdn":"LDO","tdp":4,"workload":"Multi-Thread","ar":0.6}
+}
+
+// The vocabulary parses the way the paper spells it, case-insensitively.
+func ExampleParseKind() {
+	k, err := flexwatts.ParseKind("i+mbvr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(k)
+	// Output: I+MBVR
+}

@@ -1,133 +1,78 @@
-// Package flexwatts is the public API of the FlexWatts hybrid adaptive PDN
-// (the paper's contribution): a PDN whose compute domains sit behind hybrid
-// voltage regulators that switch between an IVR-Mode (efficient at high
-// power) and an LDO-Mode (efficient at low power), driven by a runtime
-// ETEE-prediction algorithm (Algorithm 1) and a voltage-noise-free mode
-// switching flow through package C6.
+// Package flexwatts is the public API of the FlexWatts artifact: a
+// validated architectural model of client-processor power delivery
+// networks (PDNspot) and the paper's contribution built on it — a hybrid
+// adaptive PDN whose compute domains sit behind hybrid voltage regulators
+// that switch between an IVR-Mode (efficient at high power) and an
+// LDO-Mode (efficient at low power), driven by a runtime ETEE-prediction
+// algorithm (Algorithm 1).
+//
+// The package is self-contained: every type an evaluation consumes or
+// returns (Watt, WorkloadType, CState, Mode, Kind, Point, Result, Params,
+// …) is defined here, with String, Parse* and JSON round-tripping, so
+// external modules can construct every request and name every result
+// without reaching into the repository's internal packages.
 //
 // Quick start:
 //
-//	fw, _ := flexwatts.New()
-//	res, _ := fw.Evaluate(flexwatts.Point{TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6})
+//	c, _ := flexwatts.NewClient()
+//	res, _ := c.Evaluate(ctx, flexwatts.Point{TDP: 4, Workload: flexwatts.MultiThread, AR: 0.6})
 //	fmt.Println(res.Mode, res.ETEE)
+//
+// Evaluate entry points take a context.Context and honor cancellation;
+// EvaluateBatch fans a batch out over the deterministic concurrent sweep
+// engine. For the paper's full evaluation as typed datasets, see Suite;
+// for the HTTP service and its SDK, see the sibling packages
+// flexwatts/api and flexwatts/client.
 package flexwatts
 
 import (
-	"repro/internal/activity"
-	"repro/internal/core"
-	"repro/internal/domain"
-	"repro/internal/pdn"
-	"repro/internal/sim"
-	"repro/internal/units"
+	"errors"
+
 	"repro/internal/workload"
 )
 
-// Mode re-exports the hybrid modes.
-const (
-	IVRMode = core.IVRMode
-	LDOMode = core.LDOMode
+// Sentinel errors of the evaluation API, checked with errors.Is.
+var (
+	// ErrInvalidPoint wraps every rejection of a malformed evaluation
+	// point (missing workload, out-of-range AR or TDP, contradictory
+	// idle-state parameters).
+	ErrInvalidPoint = errors.New("flexwatts: invalid point")
 )
 
-// Workload type identifiers.
-const (
-	SingleThread = workload.SingleThread
-	MultiThread  = workload.MultiThread
-	Graphics     = workload.Graphics
-)
-
-// Point mirrors pdnspot.Point.
-type Point struct {
-	TDP      units.Watt
-	Workload workload.Type
-	AR       float64
-	// CState optionally evaluates a battery-life package state instead of
-	// an active point (leave zero, i.e. C0, for active evaluation).
-	CState domain.CState
+// SPECCPU2006 returns the 29 SPEC CPU2006 benchmarks in Fig 7's order
+// (ascending average performance-scalability).
+func SPECCPU2006() []Workload {
+	return workloadsFromInternal(workload.SPECCPU2006().Workloads)
 }
 
-// Result is a FlexWatts evaluation outcome: the PDN result plus the mode
-// Algorithm 1 selected.
-type Result struct {
-	pdn.Result
-	Mode core.Mode
+// ThreeDMark06 returns the 3DMark06 graphics subtests (§7.1).
+func ThreeDMark06() []Workload {
+	return workloadsFromInternal(workload.ThreeDMark06().Workloads)
 }
 
-// FlexWatts is the adaptive hybrid PDN with its predictor.
-type FlexWatts struct {
-	platform  *domain.Platform
-	model     *core.Model
-	predictor *core.Predictor
+// PowerVirus returns the synthetic maximum-power workload (AR = 1) used to
+// size guardbands and Iccmax (§2.4).
+func PowerVirus(t WorkloadType) Workload {
+	return workloadFromInternal(workload.PowerVirus(internalWorkloadType(t)))
 }
 
-// New constructs FlexWatts with the paper's calibration and characterizes
-// the predictor's firmware ETEE tables.
-func New() (*FlexWatts, error) {
-	return NewWithParams(pdn.DefaultParams())
-}
-
-// NewWithParams constructs FlexWatts with custom PDNspot parameters.
-func NewWithParams(p pdn.Params) (*FlexWatts, error) {
-	plat := domain.NewClientPlatform()
-	m := core.NewModel(p)
-	pred, err := core.NewPredictor(plat, m, core.DefaultPredictorConfig())
-	if err != nil {
-		return nil, err
+// StandardTDPs returns the TDP grid of the paper's evaluation (Fig 4:
+// 4, 10, 18, 25, 36, 50 W), covering the client segments from fanless
+// tablets to performance laptops.
+func StandardTDPs() []Watt {
+	itdps := workload.StandardTDPs()
+	out := make([]Watt, len(itdps))
+	for i, t := range itdps {
+		out[i] = Watt(t)
 	}
-	return &FlexWatts{platform: plat, model: m, predictor: pred}, nil
+	return out
 }
 
-// Platform exposes the modeled client SoC.
-func (f *FlexWatts) Platform() *domain.Platform { return f.platform }
-
-// Model exposes the internal hybrid model (for mode-forced evaluation).
-func (f *FlexWatts) Model() *core.Model { return f.model }
-
-// Predictor exposes the Algorithm 1 predictor.
-func (f *FlexWatts) Predictor() *core.Predictor { return f.predictor }
-
-// scenario builds the evaluation scenario for a point.
-func (f *FlexWatts) scenario(pt Point) (pdn.Scenario, error) {
-	if pt.CState != domain.C0 {
-		return workload.CStateScenario(f.platform, pt.CState), nil
+// workloadsFromInternal converts a benchmark list.
+func workloadsFromInternal(ws []workload.Workload) []Workload {
+	out := make([]Workload, len(ws))
+	for i, w := range ws {
+		out[i] = workloadFromInternal(w)
 	}
-	return workload.TDPScenario(f.platform, pt.TDP, pt.Workload, pt.AR)
-}
-
-// Evaluate predicts the best mode for the point (Algorithm 1) and evaluates
-// the hybrid PDN in it.
-func (f *FlexWatts) Evaluate(pt Point) (Result, error) {
-	s, err := f.scenario(pt)
-	if err != nil {
-		return Result{}, err
-	}
-	mode := f.predictor.Predict(core.Inputs{
-		TDP: pt.TDP, AR: pt.AR, Type: pt.Workload, CState: pt.CState,
-	})
-	r, err := f.model.EvaluateMode(s, mode)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Result: r, Mode: mode}, nil
-}
-
-// EvaluateMode forces a specific hybrid mode (for mode-comparison studies).
-func (f *FlexWatts) EvaluateMode(pt Point, mode core.Mode) (Result, error) {
-	s, err := f.scenario(pt)
-	if err != nil {
-		return Result{}, err
-	}
-	r, err := f.model.EvaluateMode(s, mode)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Result: r, Mode: mode}, nil
-}
-
-// SimulateTrace runs a workload phase trace with the mode controller in the
-// loop, accounting for every 94 µs mode switch. Pass a nil sensor for
-// oracle AR estimation or an activity sensor for realistic noisy inputs.
-func (f *FlexWatts) SimulateTrace(tdp units.Watt, tr workload.Trace, sensor *activity.Sensor) (sim.Report, error) {
-	cfg := sim.Config{Platform: f.platform, TDP: tdp, Sensor: sensor}
-	ctrl := core.NewController(f.predictor, core.DefaultSwitchFlow())
-	return sim.RunFlexWatts(cfg, f.model, ctrl, tr)
+	return out
 }

@@ -1,0 +1,67 @@
+package flexwatts
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/pmu"
+)
+
+// Allocation is the outcome of one power-budget-management (PBM) evaluation
+// (§3.4, §6): the DVFS points and nominal-power budgets the PMU grants for
+// a workload under the current TDP, with the PDN's conversion loss reserved
+// at its estimated ETEE.
+type Allocation struct {
+	// CoreFreq and GfxFreq are the selected DVFS points in hertz.
+	CoreFreq float64 `json:"core_freq_hz"`
+	GfxFreq  float64 `json:"gfx_freq_hz"`
+	// CoreBudget and GfxBudget are the nominal-power budgets granted.
+	CoreBudget Watt `json:"core_budget"`
+	GfxBudget  Watt `json:"gfx_budget"`
+	// UncoreBudget covers SA+IO (fixed per state).
+	UncoreBudget Watt `json:"uncore_budget"`
+	// PDNLossBudget is the input power reserved for conversion loss at the
+	// PDN's estimated ETEE.
+	PDNLossBudget Watt `json:"pdn_loss_budget"`
+	// ETEE is the PDN efficiency estimate used for the reservation.
+	ETEE float64 `json:"etee"`
+	// PIn is the resulting total platform input power (≤ the TDP, unless
+	// even the DVFS floor overshoots it).
+	PIn Watt `json:"p_in"`
+}
+
+// Allocate runs one PBM evaluation for the PDN named by k: find the highest
+// DVFS points whose end-to-end platform power fits the TDP for the given
+// workload type and AR, mirroring how real PMUs resolve budget overshoot
+// (they throttle, they don't model). Calling Allocate with different TDPs
+// models runtime cTDP reconfiguration — the paper's motivation for one PDN
+// serving a whole product family. A higher-ETEE PDN sustains measurably
+// higher clocks from the same TDP (§3.3).
+func (c *Client) Allocate(ctx context.Context, k Kind, tdp Watt, t WorkloadType, ar float64) (Allocation, error) {
+	if err := ctx.Err(); err != nil {
+		return Allocation{}, context.Cause(ctx)
+	}
+	switch t {
+	case SingleThread, MultiThread, Graphics:
+	default:
+		return Allocation{}, fmt.Errorf("%w: cannot budget workload type %q", ErrInvalidPoint, t)
+	}
+	m, err := c.model(k, float64(tdp))
+	if err != nil {
+		return Allocation{}, err
+	}
+	a, err := pmu.NewManager(c.platform, m, float64(tdp)).Allocate(internalWorkloadType(t), ar)
+	if err != nil {
+		return Allocation{}, fmt.Errorf("%w: %v", ErrInvalidPoint, err)
+	}
+	return Allocation{
+		CoreFreq:      a.CoreFreq,
+		GfxFreq:       a.GfxFreq,
+		CoreBudget:    Watt(a.CoreBudget),
+		GfxBudget:     Watt(a.GfxBudget),
+		UncoreBudget:  Watt(a.UncoreBudget),
+		PDNLossBudget: Watt(a.PDNLossBudget),
+		ETEE:          a.ETEE,
+		PIn:           Watt(a.PIn),
+	}, nil
+}

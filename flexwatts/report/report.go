@@ -1,7 +1,8 @@
-// Package report models experiment results as typed datasets — titled
-// tables of typed cells (string / float / percentage) plus per-experiment
-// metadata — and renders them as aligned ASCII (the paper's figures as
-// text), JSON (machine-readable, served by flexwattsd) and CSV.
+// Package report is the public dataset model of the FlexWatts artifact: it
+// models experiment results as typed datasets — titled tables of typed
+// cells (string / float / percentage) plus per-experiment metadata — and
+// renders them as aligned ASCII (the paper's figures as text), JSON
+// (machine-readable, served by flexwattsd) and CSV.
 //
 // The split matters architecturally: experiment drivers build Datasets and
 // never touch an io.Writer, so the same evaluation can feed the CLI, the

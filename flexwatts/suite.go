@@ -3,8 +3,8 @@ package flexwatts
 import (
 	"io"
 
+	"repro/flexwatts/report"
 	"repro/internal/experiments"
-	"repro/internal/report"
 )
 
 // Typed experiment results, re-exported so API consumers work with the

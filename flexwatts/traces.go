@@ -1,0 +1,43 @@
+package flexwatts
+
+import (
+	"repro/internal/workload"
+)
+
+// SteadyTrace returns a single-phase trace at a fixed operating condition —
+// the simplest input to SimulateTrace.
+func SteadyTrace(name string, t WorkloadType, ar, duration float64) Trace {
+	return traceFromInternal(workload.SteadyTrace(name, internalWorkloadType(t), ar, duration))
+}
+
+// BatteryTrace expands a battery-life workload into a per-frame phase
+// trace: each frame cycles through the workload's resident package states
+// (active burst, memory fetch, panel self-refresh) for the given number of
+// frames at the given frame period in seconds.
+func BatteryTrace(w BatteryWorkload, frames int, period float64) Trace {
+	return traceFromInternal(workload.BatteryTrace(internalBatteryWorkload(w), frames, period))
+}
+
+// TraceGenerator produces randomized synthetic workload traces with a
+// deterministic seed, mirroring the variety of the paper's ~5000 measured
+// benchmark traces (§4.1). The zero value is not usable; construct with
+// NewTraceGenerator. A generator is not safe for concurrent use (it carries
+// RNG state), but distinct generators are independent.
+type TraceGenerator struct {
+	g *workload.Generator
+}
+
+// NewTraceGenerator returns a generator seeded deterministically: equal
+// seeds produce equal traces.
+func NewTraceGenerator(seed int64) *TraceGenerator {
+	return &TraceGenerator{g: workload.NewGenerator(seed)}
+}
+
+// Mixed returns a trace of n phases of the given workload type whose AR
+// performs a bounded random walk in [arLo, arHi], with an idlePct fraction
+// of phases spent in package idle states. Phase durations are 5–20 ms,
+// matching the paper's 10 ms evaluation interval scale. It panics on AR
+// bounds outside (0,1] or inverted.
+func (g *TraceGenerator) Mixed(name string, t WorkloadType, n int, arLo, arHi, idlePct float64) Trace {
+	return traceFromInternal(g.g.Mixed(name, internalWorkloadType(t), n, arLo, arHi, idlePct))
+}

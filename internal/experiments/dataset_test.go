@@ -8,7 +8,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/report"
+	"repro/flexwatts/report"
 )
 
 // TestDatasetsWellFormed checks the typed layer's invariants for every

@@ -13,10 +13,10 @@ import (
 	"sort"
 	"strings"
 
+	"repro/flexwatts/report"
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/pdn"
-	"repro/internal/report"
 	"repro/internal/sweep"
 )
 

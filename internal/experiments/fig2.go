@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"repro/flexwatts/report"
 	"repro/internal/domain"
 	"repro/internal/pdn"
 	"repro/internal/perf"
-	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"

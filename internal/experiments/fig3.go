@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/report"
+	"repro/flexwatts/report"
 	"repro/internal/sweep"
 	"repro/internal/vr"
 )

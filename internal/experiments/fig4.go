@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"repro/flexwatts/report"
 	"repro/internal/domain"
 	"repro/internal/pdn"
 	"repro/internal/refmodel"
-	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"repro/flexwatts/report"
 	"repro/internal/pdn"
-	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"repro/flexwatts/report"
 	"repro/internal/pdn"
 	"repro/internal/perf"
-	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )

@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"repro/flexwatts/report"
 	"repro/internal/cost"
 	"repro/internal/domain"
 	"repro/internal/pdn"
 	"repro/internal/perf"
-	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )

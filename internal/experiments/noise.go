@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"repro/flexwatts/report"
 	"repro/internal/core"
-	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"

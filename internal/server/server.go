@@ -6,6 +6,13 @@
 // themselves are computed at most once per process and re-rendered per
 // request.
 //
+// The wire vocabulary — request/response bodies, endpoint paths, typed
+// sentinel errors and their status mapping — lives in repro/flexwatts/api,
+// shared with the flexwatts/client SDK so the two can never drift. Errors
+// become statuses in exactly one place (writeErr via api.StatusFor), and
+// /v1/evaluate batches run on the request's context, so a disconnected or
+// cancelled client aborts the in-flight sweep instead of burning the pool.
+//
 // Endpoints:
 //
 //	GET  /healthz                          liveness + cache statistics
@@ -24,11 +31,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/flexwatts"
+	"repro/flexwatts/api"
+	"repro/flexwatts/report"
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/experiments"
 	"repro/internal/pdn"
-	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -79,10 +88,10 @@ func New(env *experiments.Env, opts Options) *Server {
 // matching) so it works identically on every supported Go version.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/experiments", s.handleList)
-	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
-	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc(api.PathHealthz, s.handleHealthz)
+	mux.HandleFunc(api.PathExperiments, s.handleList)
+	mux.HandleFunc(api.PathExperiments+"/", s.handleExperiment)
+	mux.HandleFunc(api.PathEvaluate, s.handleEvaluate)
 	return mux
 }
 
@@ -116,33 +125,33 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	enc.Encode(v) //nolint:errcheck // response already committed
 }
 
-// errorBody is the uniform error response shape.
-type errorBody struct {
-	Error string `json:"error"`
+// writeErr is the single place where errors become HTTP statuses: the api
+// sentinels map to their contract statuses, anything else is a 500.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, api.StatusFor(err), api.Error{Message: err.Error()})
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
-}
-
-// healthBody is the /healthz response.
-type healthBody struct {
-	Status      string `json:"status"`
-	UptimeS     int64  `json:"uptime_s"`
-	Experiments int    `json:"experiments"`
-	Workers     int    `json:"workers"`
-	CacheKeys   int    `json:"cache_keys"`
-	CacheHits   int64  `json:"cache_hits"`
-	CacheMisses int64  `json:"cache_misses"`
+// allow enforces an endpoint's method set. On a mismatch it answers 405
+// with an Allow header naming the permitted methods (RFC 9110 §15.5.6)
+// and reports false.
+func allow(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	allowed := strings.Join(methods, ", ")
+	w.Header().Set("Allow", allowed)
+	writeErr(w, fmt.Errorf("%w: %s %s (use %s)", api.ErrMethodNotAllowed, r.Method, r.URL.Path, allowed))
+	return false
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
 	hits, misses := s.env.Cache.Stats()
-	writeJSON(w, http.StatusOK, healthBody{
+	writeJSON(w, http.StatusOK, api.Health{
 		Status:      "ok",
 		UptimeS:     int64(time.Since(s.start).Seconds()),
 		Experiments: len(experiments.IDs()),
@@ -153,50 +162,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// experimentInfo is one entry of the /v1/experiments listing.
-type experimentInfo struct {
-	ID  string `json:"id"`
-	URL string `json:"url"`
-}
-
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
 	ids := experiments.IDs()
-	infos := make([]experimentInfo, len(ids))
+	infos := make([]api.ExperimentInfo, len(ids))
 	for i, id := range ids {
-		infos[i] = experimentInfo{ID: id, URL: "/v1/experiments/" + id}
+		infos[i] = api.ExperimentInfo{ID: id, URL: api.PathExperiments + "/" + id}
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Experiments []experimentInfo `json:"experiments"`
-		Formats     []report.Format  `json:"formats"`
-	}{infos, report.Formats()})
+	writeJSON(w, http.StatusOK, api.ExperimentList{Experiments: infos, Formats: report.Formats()})
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
-	id := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+	id := strings.TrimPrefix(r.URL.Path, api.PathExperiments+"/")
 	if id == "" || strings.Contains(id, "/") {
-		writeError(w, http.StatusNotFound, "experiment path must be /v1/experiments/{id}")
+		writeErr(w, fmt.Errorf("%w: experiment path must be %s/{id}", api.ErrUnknownExperiment, api.PathExperiments))
 		return
 	}
 	if !experiments.Known(id) {
-		writeError(w, http.StatusNotFound, "unknown experiment %q (try GET /v1/experiments)", id)
+		writeErr(w, fmt.Errorf("%w %q (try GET %s)", api.ErrUnknownExperiment, id, api.PathExperiments))
 		return
 	}
 	format, err := report.ParseFormat(r.URL.Query().Get("format"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, fmt.Errorf("%w: %v", api.ErrInvalidPoint, err))
 		return
 	}
 	ds, err := s.dataset(id)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	// Render to a buffer first so a renderer error can still become a 500
@@ -210,45 +208,11 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		renderErr = ds.Write(&b, format)
 	}
 	if renderErr != nil {
-		writeError(w, http.StatusInternalServerError, "%v", renderErr)
+		writeErr(w, renderErr)
 		return
 	}
 	w.Header().Set("Content-Type", format.ContentType())
 	b.WriteTo(w) //nolint:errcheck // client gone, nothing to do
-}
-
-// EvalPoint is one /v1/evaluate request entry: a PDN kind plus either an
-// active operating point (tdp, workload, ar) or a package idle state
-// (cstate C2 and deeper). For FlexWatts points, Algorithm 1 predicts the
-// hybrid mode from the point itself; a zero TDP on an idle-state point
-// defaults to 4 W (battery-life evaluation is TDP-independent, §7.1).
-type EvalPoint struct {
-	PDN      string  `json:"pdn"`
-	TDP      float64 `json:"tdp,omitempty"`
-	Workload string  `json:"workload,omitempty"`
-	AR       float64 `json:"ar,omitempty"`
-	CState   string  `json:"cstate,omitempty"`
-}
-
-// EvalRequest is the /v1/evaluate request body.
-type EvalRequest struct {
-	Points []EvalPoint `json:"points"`
-}
-
-// EvalResult is one evaluated point: the headline PDNspot quantities.
-type EvalResult struct {
-	PDN    string  `json:"pdn"`
-	CState string  `json:"cstate"`
-	ETEE   float64 `json:"etee"`
-	PNom   float64 `json:"p_nom"`
-	PIn    float64 `json:"p_in"`
-	Loss   float64 `json:"loss"`
-}
-
-// EvalResponse is the /v1/evaluate response body.
-type EvalResponse struct {
-	Results []EvalResult `json:"results"`
-	Workers int          `json:"workers"`
 }
 
 // evalJob is a validated point ready for the sweep pool.
@@ -258,41 +222,43 @@ type evalJob struct {
 	tdp      units.Watt
 }
 
-// buildJob validates one request point into an evaluable job.
-func (s *Server) buildJob(p EvalPoint) (evalJob, error) {
-	kind, err := pdn.ParseKind(p.PDN)
+// buildJob validates one request point into an evaluable job. Parsing and
+// validation are the library's: the wire point becomes a typed
+// flexwatts.Point (api.EvalPoint.Point) and Point.Validate applies the one
+// set of rules, so the daemon can never drift from what the library
+// considers a valid point; only the scenario construction is local.
+func (s *Server) buildJob(p api.EvalPoint) (evalJob, error) {
+	pt, err := p.Point()
 	if err != nil {
 		return evalJob{}, err
 	}
-	cstate := domain.C0
-	if p.CState != "" {
-		cstate, err = domain.ParseCState(p.CState)
-		if err != nil {
-			return evalJob{}, err
-		}
+	if err := pt.Validate(); err != nil {
+		return evalJob{}, err
 	}
-	tdp := p.TDP
-	if cstate != domain.C0 {
+	// The typed and internal enums share the paper's spelling, so the
+	// String/Parse round trip is the conversion.
+	kind, err := pdn.ParseKind(pt.PDN.String())
+	if err != nil {
+		return evalJob{}, err
+	}
+	tdp := float64(pt.TDP)
+	if pt.CState != flexwatts.C0 {
 		// Battery-life states (C0MIN and package C2…C8) evaluate the
 		// fig4j/fig8c scenarios; the TDP only steers FlexWatts' predictor.
-		// Active-point parameters would be silently ignored here, so a
-		// point carrying both is contradictory and rejected.
-		if p.Workload != "" || p.AR != 0 {
-			return evalJob{}, fmt.Errorf("cstate %s is an idle-state evaluation: workload and ar must be unset", cstate)
+		cstate, err := domain.ParseCState(pt.CState.String())
+		if err != nil {
+			return evalJob{}, err
 		}
 		if tdp == 0 {
 			tdp = 4 // battery-life evaluation is TDP-independent (§7.1)
 		}
 		return evalJob{kind: kind, scenario: workload.CStateScenario(s.env.Platform, cstate), tdp: tdp}, nil
 	}
-	if p.Workload == "" {
-		return evalJob{}, fmt.Errorf("an active (C0) point requires tdp, workload and ar; for idle states set cstate to C0MIN or C2…C8")
-	}
-	wt, err := workload.ParseType(p.Workload)
+	wt, err := workload.ParseType(pt.Workload.String())
 	if err != nil {
 		return evalJob{}, err
 	}
-	sc, err := workload.TDPScenario(s.env.Platform, tdp, wt, p.AR)
+	sc, err := workload.TDPScenario(s.env.Platform, tdp, wt, pt.AR)
 	if err != nil {
 		return evalJob{}, err
 	}
@@ -300,44 +266,45 @@ func (s *Server) buildJob(p EvalPoint) (evalJob, error) {
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+	if !allow(w, r, http.MethodPost) {
 		return
 	}
-	var req EvalRequest
+	var req api.EvalRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErr(w, fmt.Errorf("%w: bad request body: %v", api.ErrInvalidPoint, err))
 		return
 	}
 	if len(req.Points) == 0 {
-		writeError(w, http.StatusBadRequest, "request has no points")
+		writeErr(w, fmt.Errorf("%w: request has no points", api.ErrInvalidPoint))
 		return
 	}
 	if len(req.Points) > s.opts.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			"%d points exceeds the %d-point batch cap", len(req.Points), s.opts.MaxBatch)
+		writeErr(w, fmt.Errorf("%w: %d points exceeds the %d-point batch cap",
+			api.ErrBatchTooLarge, len(req.Points), s.opts.MaxBatch))
 		return
 	}
 	jobs := make([]evalJob, len(req.Points))
 	for i, p := range req.Points {
 		job, err := s.buildJob(p)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
+			writeErr(w, fmt.Errorf("point %d: %w: %v", i, api.ErrInvalidPoint, err))
 			return
 		}
 		jobs[i] = job
 	}
 
-	// Batch through the sweep engine with the request-scoped worker bound;
-	// baseline evaluations dedupe through the shared env cache, so a hot
-	// scenario costs one evaluation per process, not per request.
+	// Batch through the sweep engine on the request's context with the
+	// request-scoped worker bound; baseline evaluations dedupe through the
+	// shared env cache, so a hot scenario costs one evaluation per
+	// process, not per request. A cancelled request (client disconnect,
+	// deadline) stops the sweep mid-batch: workers pull no further points.
 	workers := s.workers()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	results, err := sweep.Map(workers, len(jobs), func(i int) (EvalResult, error) {
+	results, err := sweep.MapCtx(r.Context(), workers, len(jobs), func(i int) (api.EvalResult, error) {
 		job := jobs[i]
 		var (
 			res pdn.Result
@@ -349,9 +316,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			res, err = s.env.Eval(job.kind, job.scenario)
 		}
 		if err != nil {
-			return EvalResult{}, fmt.Errorf("point %d: %w", i, err)
+			return api.EvalResult{}, fmt.Errorf("%w: point %d: %v", api.ErrEvaluation, i, err)
 		}
-		return EvalResult{
+		return api.EvalResult{
 			PDN:    job.kind.String(),
 			CState: job.scenario.CState.String(),
 			ETEE:   res.ETEE,
@@ -361,8 +328,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		if r.Context().Err() != nil {
+			// The client is gone (disconnect or deadline): there is no one
+			// to answer. The aborted sweep already freed the pool.
+			return
+		}
+		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EvalResponse{Results: results, Workers: workers})
+	writeJSON(w, http.StatusOK, api.EvalResponse{Results: results, Workers: workers})
 }

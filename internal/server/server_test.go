@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,10 +13,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/flexwatts/api"
+	"repro/flexwatts/report"
 	"repro/internal/experiments"
 	"repro/internal/pdn"
-	"repro/internal/report"
 	"repro/internal/workload"
 )
 
@@ -58,7 +61,7 @@ func TestHealthz(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, body)
 	}
-	var h healthBody
+	var h api.Health
 	if err := json.Unmarshal([]byte(body), &h); err != nil {
 		t.Fatal(err)
 	}
@@ -74,8 +77,8 @@ func TestListExperiments(t *testing.T) {
 		t.Fatalf("status %d: %s", code, body)
 	}
 	var listing struct {
-		Experiments []experimentInfo `json:"experiments"`
-		Formats     []report.Format  `json:"formats"`
+		Experiments []api.ExperimentInfo `json:"experiments"`
+		Formats     []report.Format      `json:"formats"`
 	}
 	if err := json.Unmarshal([]byte(body), &listing); err != nil {
 		t.Fatal(err)
@@ -233,7 +236,7 @@ func TestEvaluateBatch(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, body)
 	}
-	var resp EvalResponse
+	var resp api.EvalResponse
 	if err := json.Unmarshal([]byte(body), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -342,5 +345,82 @@ func TestEvaluateC0WithoutWorkloadExplains(t *testing.T) {
 	}
 	if !strings.Contains(body, "requires tdp, workload and ar") {
 		t.Errorf("error does not explain the active-point fields: %s", body)
+	}
+}
+
+// TestMethodNotAllowed is the wrong-method table: every endpoint must
+// answer 405 with an Allow header naming its permitted methods (RFC 9110
+// §15.5.6) and the uniform JSON error envelope — not fall through to a
+// handler or a bare 404.
+func TestMethodNotAllowed(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodDelete, "/healthz", "GET"},
+		{http.MethodPost, "/v1/experiments", "GET"},
+		{http.MethodPut, "/v1/experiments", "GET"},
+		{http.MethodPost, "/v1/experiments/tab1", "GET"},
+		{http.MethodDelete, "/v1/experiments/tab1", "GET"},
+		{http.MethodGet, "/v1/evaluate", "POST"},
+		{http.MethodPut, "/v1/evaluate", "POST"},
+		{http.MethodDelete, "/v1/evaluate", "POST"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method+" "+tc.path, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("status %d, want 405: %s", resp.StatusCode, body)
+			}
+			if got := resp.Header.Get("Allow"); got != tc.allow {
+				t.Errorf("Allow header %q, want %q", got, tc.allow)
+			}
+			var e api.Error
+			if err := json.Unmarshal(body, &e); err != nil || e.Message == "" {
+				t.Errorf("body is not the error envelope: %s", body)
+			}
+		})
+	}
+}
+
+// TestEvaluateCancelledRequest pins the cancellation contract of the
+// serving layer: a /v1/evaluate whose request context is already done must
+// abort the sweep promptly and write nothing (there is no client left to
+// answer), instead of evaluating the full batch.
+func TestEvaluateCancelledRequest(t *testing.T) {
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	srv := New(envVal, Options{})
+	var pts []string
+	for i := 0; i < DefaultMaxBatch; i++ {
+		// Spread the batch over the AR axis so a runaway evaluation could
+		// not be served from a single cached cell.
+		pts = append(pts, fmt.Sprintf(`{"pdn":"MBVR","tdp":18,"workload":"multi-thread","ar":%.6f}`, 0.40+0.5*float64(i)/DefaultMaxBatch))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/evaluate",
+		strings.NewReader(fmt.Sprintf(`{"points":[%s]}`, strings.Join(pts, ",")))).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	srv.Handler().ServeHTTP(rec, req)
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancelled evaluate took %v, want prompt abort", d)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("cancelled evaluate wrote a body: %.120s", rec.Body.String())
 	}
 }

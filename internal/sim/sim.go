@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/activity"
@@ -139,11 +140,14 @@ func RunFlexWatts(cfg Config, m *core.Model, ctrl *core.Controller, tr workload.
 // configured activity sensor carries RNG state from read to read, so a
 // non-nil cfg.Sensor forces the batch serial to keep its read stream — and
 // thus the reports — identical to looping CompareOnTrace by hand.
-func CompareOnTraces(cfg Config, statics []pdn.Model, fw *core.Model, pred *core.Predictor, traces []workload.Trace, workers int) ([]map[pdn.Kind]Report, error) {
+//
+// Cancelling ctx aborts the batch between traces: no new trace starts once
+// ctx is done and the call returns context.Cause(ctx).
+func CompareOnTraces(ctx context.Context, cfg Config, statics []pdn.Model, fw *core.Model, pred *core.Predictor, traces []workload.Trace, workers int) ([]map[pdn.Kind]Report, error) {
 	if cfg.Sensor != nil {
 		workers = 1
 	}
-	return sweep.Map(workers, len(traces), func(i int) (map[pdn.Kind]Report, error) {
+	return sweep.MapCtx(ctx, workers, len(traces), func(i int) (map[pdn.Kind]Report, error) {
 		out, err := CompareOnTrace(cfg, statics, fw, pred, traces[i])
 		if err != nil {
 			return nil, fmt.Errorf("sim: trace %q: %w", traces[i].Name, err)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -182,7 +183,7 @@ func TestCompareOnTracesMatchesSerial(t *testing.T) {
 		want[i] = rep
 	}
 
-	got, err := CompareOnTraces(cfg, statics, fw, pred, traces, 4)
+	got, err := CompareOnTraces(context.Background(), cfg, statics, fw, pred, traces, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestCompareOnTracesSensorStaysDeterministic(t *testing.T) {
 	}
 
 	cfg.Sensor = activity.NewSensor(activity.DefaultWeights(), 42)
-	got, err := CompareOnTraces(cfg, statics, fw, pred, traces, 8)
+	got, err := CompareOnTraces(context.Background(), cfg, statics, fw, pred, traces, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestCompareOnTracesSensorStaysDeterministic(t *testing.T) {
 
 func TestCompareOnTracesEmpty(t *testing.T) {
 	cfg, statics, fw, pred := testSetup(t)
-	got, err := CompareOnTraces(cfg, statics, fw, pred, nil, 4)
+	got, err := CompareOnTraces(context.Background(), cfg, statics, fw, pred, nil, 4)
 	if err != nil || got != nil {
 		t.Errorf("empty batch = (%v, %v), want (nil, nil)", got, err)
 	}

@@ -13,6 +13,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,7 +28,21 @@ import (
 // error of the lowest failing index — the same error the serial loop would
 // stop on — and points beyond the first observed failure may be skipped.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cancellation: workers stop pulling new grid points as
+// soon as ctx is done, and the sweep returns context.Cause(ctx) without
+// waiting for the untouched remainder of the grid. Cancellation wins over
+// per-point errors — a cancelled sweep's partial results are meaningless,
+// so reporting which point failed first would be noise. In-flight fn calls
+// are not interrupted (they are pure CPU-bound evaluations); a sweep
+// returns at worst one evaluation after cancellation per worker.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		return nil, nil
 	}
 	if workers <= 0 {
@@ -36,9 +51,15 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return nil, context.Cause(ctx)
+			default:
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -58,6 +79,11 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
@@ -81,6 +107,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	if i := firstErr.Load(); i < int64(n) {
 		return nil, errs[i]
 	}
@@ -90,7 +119,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // Each is Map for functions that produce no value: it runs fn over the
 // index grid and returns the lowest-index error, if any.
 func Each(workers, n int, fn func(i int) error) error {
-	_, err := Map(workers, n, func(i int) (struct{}, error) {
+	return EachCtx(context.Background(), workers, n, fn)
+}
+
+// EachCtx is Each with cancellation, with MapCtx's semantics.
+func EachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	_, err := MapCtx(ctx, workers, n, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err

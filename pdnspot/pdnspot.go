@@ -4,196 +4,177 @@
 // breakdowns, performance impact, bill of materials and board area for the
 // commonly-used PDN architectures (MBVR, IVR, LDO, I+MBVR).
 //
+// The package is a baseline-focused veneer over the repro/flexwatts front
+// door: every type is the flexwatts vocabulary (defined types with String,
+// Parse* and JSON round-tripping), so consumers of either package speak
+// the same language and never touch the repository's internal model
+// packages. The adaptive hybrid PDN itself lives in flexwatts; pdnspot
+// deliberately serves only the four static baselines.
+//
 // Quick start:
 //
 //	ps, _ := pdnspot.New()
-//	res, _ := ps.Evaluate(pdnspot.IVR, pdnspot.Point{
+//	res, _ := ps.Evaluate(ctx, pdnspot.IVR, pdnspot.Point{
 //		TDP: 4, Workload: pdnspot.MultiThread, AR: 0.6,
 //	})
 //	fmt.Println(res.ETEE)
-//
-// See the examples/ directory and the FlexWatts companion package
-// (repro/flexwatts) for the adaptive hybrid PDN the paper proposes.
 package pdnspot
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/cost"
-	"repro/internal/domain"
-	"repro/internal/pdn"
-	"repro/internal/perf"
-	"repro/internal/refmodel"
-	"repro/internal/units"
-	"repro/internal/workload"
+	"repro/flexwatts"
 )
 
-// PDN architecture identifiers, re-exported from the internal model.
+// The evaluation vocabulary, shared with package flexwatts.
+type (
+	// Kind identifies a PDN architecture.
+	Kind = flexwatts.Kind
+	// Point is a PDN evaluation point (TDP, workload class, application
+	// ratio — the axes of the paper's Fig 4 — or an idle CState).
+	Point = flexwatts.Point
+	// Result is an evaluation outcome (ETEE, power flow, loss breakdown).
+	Result = flexwatts.Result
+	// Params carries the PDN model constants of Table 2.
+	Params = flexwatts.Params
+	// Workload is one benchmark with its modeling inputs.
+	Workload = flexwatts.Workload
+	// PerfResult is a workload's modeled performance under one PDN.
+	PerfResult = flexwatts.PerfResult
+	// CState identifies a package power state.
+	CState = flexwatts.CState
+	// WorkloadType classifies a workload.
+	WorkloadType = flexwatts.WorkloadType
+	// Watt is a power in watts.
+	Watt = flexwatts.Watt
+)
+
+// PDN architecture identifiers.
 const (
-	IVR   = pdn.IVR
-	MBVR  = pdn.MBVR
-	LDO   = pdn.LDO
-	IMBVR = pdn.IMBVR
+	IVR   = flexwatts.IVR
+	MBVR  = flexwatts.MBVR
+	LDO   = flexwatts.LDO
+	IMBVR = flexwatts.IMBVR
 )
 
 // Workload type identifiers.
 const (
-	SingleThread = workload.SingleThread
-	MultiThread  = workload.MultiThread
-	Graphics     = workload.Graphics
+	SingleThread = flexwatts.SingleThread
+	MultiThread  = flexwatts.MultiThread
+	Graphics     = flexwatts.Graphics
 )
 
 // CState identifiers for battery-life evaluation points.
 const (
-	C0MIN = domain.C0MIN
-	C2    = domain.C2
-	C3    = domain.C3
-	C6    = domain.C6
-	C7    = domain.C7
-	C8    = domain.C8
+	C0MIN = flexwatts.C0MIN
+	C2    = flexwatts.C2
+	C3    = flexwatts.C3
+	C6    = flexwatts.C6
+	C7    = flexwatts.C7
+	C8    = flexwatts.C8
 )
 
-// Kind aliases the internal PDN kind type.
-type Kind = pdn.Kind
+// DefaultParams returns the Table 2 calibration.
+func DefaultParams() Params { return flexwatts.DefaultParams() }
 
-// Result aliases the internal evaluation result (ETEE, PIn, breakdown).
-type Result = pdn.Result
+// SPECCPU2006 returns the 29 SPEC CPU2006 benchmarks in Fig 7's order.
+func SPECCPU2006() []Workload { return flexwatts.SPECCPU2006() }
 
-// Point is a PDN evaluation point: a TDP, a workload class and its
-// application ratio — the axes of the paper's Fig 4.
-type Point struct {
-	// TDP is the thermal design power in watts (4–50).
-	TDP units.Watt
-	// Workload selects the workload class.
-	Workload workload.Type
-	// AR is the application ratio in (0, 1].
-	AR float64
-}
+// ThreeDMark06 returns the 3DMark06 graphics subtests (§7.1).
+func ThreeDMark06() []Workload { return flexwatts.ThreeDMark06() }
 
 // PDNspot is the top-level framework handle. It is safe for concurrent use
 // once constructed.
 type PDNspot struct {
-	platform *domain.Platform
-	params   pdn.Params
-	models   map[pdn.Kind]pdn.Model
+	c *flexwatts.Client
 }
 
 // New constructs the framework with the paper's Table 2 calibration.
 func New() (*PDNspot, error) {
-	return NewWithParams(pdn.DefaultParams())
+	c, err := flexwatts.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &PDNspot{c: c}, nil
 }
 
 // NewWithParams constructs the framework with custom model parameters,
 // enabling the multi-dimensional architecture-space exploration the paper
 // describes (load-lines, tolerance bands, VR sizes).
-func NewWithParams(p pdn.Params) (*PDNspot, error) {
-	models := make(map[pdn.Kind]pdn.Model, 4)
-	for _, k := range pdn.Kinds() {
-		m, err := pdn.New(k, p)
-		if err != nil {
-			return nil, err
-		}
-		models[k] = m
+func NewWithParams(p Params) (*PDNspot, error) {
+	c, err := flexwatts.NewClient(flexwatts.WithParams(p))
+	if err != nil {
+		return nil, err
 	}
-	return &PDNspot{
-		platform: domain.NewClientPlatform(),
-		params:   p,
-		models:   models,
-	}, nil
+	return &PDNspot{c: c}, nil
 }
-
-// Platform exposes the modeled client SoC.
-func (ps *PDNspot) Platform() *domain.Platform { return ps.platform }
 
 // Params returns the model parameters in use.
-func (ps *PDNspot) Params() pdn.Params { return ps.params }
+func (ps *PDNspot) Params() Params { return ps.c.Params() }
 
-// Model returns the internal model for a PDN kind.
-func (ps *PDNspot) Model(k Kind) (pdn.Model, error) {
-	m, ok := ps.models[k]
-	if !ok {
-		return nil, fmt.Errorf("pdnspot: no model for %v (FlexWatts lives in package flexwatts)", k)
+// checkBaseline rejects the adaptive hybrid, which pdnspot deliberately
+// does not serve.
+func checkBaseline(k Kind) error {
+	if k == flexwatts.FlexWatts {
+		return fmt.Errorf("pdnspot: no model for %v (FlexWatts lives in package flexwatts)", k)
 	}
-	return m, nil
+	return nil
 }
 
-// Scenario builds the evaluation scenario for a point, exposing the raw
-// per-domain loads for callers that want to tweak them.
-func (ps *PDNspot) Scenario(pt Point) (pdn.Scenario, error) {
-	return workload.TDPScenario(ps.platform, pt.TDP, pt.Workload, pt.AR)
-}
-
-// Evaluate computes the end-to-end power flow of a PDN at a point.
-func (ps *PDNspot) Evaluate(k Kind, pt Point) (Result, error) {
-	m, err := ps.Model(k)
-	if err != nil {
+// Evaluate computes the end-to-end power flow of a baseline PDN at a
+// point.
+func (ps *PDNspot) Evaluate(ctx context.Context, k Kind, pt Point) (Result, error) {
+	if err := checkBaseline(k); err != nil {
 		return Result{}, err
 	}
-	s, err := ps.Scenario(pt)
-	if err != nil {
-		return Result{}, err
-	}
-	return m.Evaluate(s)
+	return ps.c.EvaluateKind(ctx, k, pt)
 }
 
 // EvaluateCState computes the power flow in a battery-life package power
 // state (Fig 4(j)).
-func (ps *PDNspot) EvaluateCState(k Kind, c domain.CState) (Result, error) {
-	m, err := ps.Model(k)
-	if err != nil {
+func (ps *PDNspot) EvaluateCState(ctx context.Context, k Kind, c CState) (Result, error) {
+	if err := checkBaseline(k); err != nil {
 		return Result{}, err
 	}
-	return m.Evaluate(workload.CStateScenario(ps.platform, c))
+	return ps.c.EvaluateKind(ctx, k, Point{CState: c})
+}
+
+// EvaluateBatch evaluates every point concurrently on the deterministic
+// sweep engine, honoring each point's own PDN field (results in input
+// order; cancelling ctx aborts the batch).
+func (ps *PDNspot) EvaluateBatch(ctx context.Context, pts []Point) ([]Result, error) {
+	for i, pt := range pts {
+		if err := checkBaseline(pt.PDN); err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	return ps.c.EvaluateBatch(ctx, pts)
 }
 
 // ValidateAgainstReference runs the time-stepped reference simulator on the
 // same point and returns (predicted ETEE, measured ETEE, accuracy) — the
 // §4.3 validation.
-func (ps *PDNspot) ValidateAgainstReference(k Kind, pt Point, seed int64) (predicted, measured, accuracy float64, err error) {
-	m, err := ps.Model(k)
-	if err != nil {
+func (ps *PDNspot) ValidateAgainstReference(ctx context.Context, k Kind, pt Point, seed int64) (predicted, measured, accuracy float64, err error) {
+	if err := checkBaseline(k); err != nil {
 		return 0, 0, 0, err
 	}
-	s, err := ps.Scenario(pt)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	r, err := m.Evaluate(s)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	cfg := refmodel.DefaultConfig()
-	cfg.Seed = seed
-	meas, err := refmodel.Measure(m, s, cfg)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	return r.ETEE, meas.ETEE, refmodel.Accuracy(r.ETEE, meas.ETEE), nil
+	return ps.c.ValidateAgainstReference(ctx, k, pt, seed)
 }
 
 // RelativePerformance returns the performance of each candidate PDN on a
 // workload, normalized to the IVR baseline (the Fig 7/8 presentation).
-func (ps *PDNspot) RelativePerformance(tdp units.Watt, w workload.Workload, kinds []Kind) (map[Kind]perf.Result, error) {
-	base, err := ps.Model(IVR)
-	if err != nil {
-		return nil, err
-	}
-	candidates := make([]pdn.Model, 0, len(kinds))
+func (ps *PDNspot) RelativePerformance(ctx context.Context, tdp Watt, w Workload, kinds []Kind) (map[Kind]PerfResult, error) {
 	for _, k := range kinds {
-		if k == IVR {
-			continue
-		}
-		m, err := ps.Model(k)
-		if err != nil {
+		if err := checkBaseline(k); err != nil {
 			return nil, err
 		}
-		candidates = append(candidates, m)
 	}
-	return perf.NewEvaluator(ps.platform, base).Compare(tdp, w, candidates)
+	return ps.c.RelativePerformance(ctx, tdp, w, kinds)
 }
 
 // CostAndArea returns BOM and board area of every PDN at a TDP, normalized
 // to IVR (Fig 8(d,e)).
-func (ps *PDNspot) CostAndArea(tdp units.Watt) (bom, area map[Kind]float64, err error) {
-	return cost.Normalized(ps.platform, tdp)
+func (ps *PDNspot) CostAndArea(ctx context.Context, tdp Watt) (bom, area map[Kind]float64, err error) {
+	return ps.c.CostAndArea(ctx, tdp)
 }

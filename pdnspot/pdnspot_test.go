@@ -1,12 +1,13 @@
 package pdnspot_test
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/pdn"
-	"repro/internal/workload"
 	"repro/pdnspot"
 )
+
+var ctx = context.Background()
 
 func TestEvaluateAllKinds(t *testing.T) {
 	ps, err := pdnspot.New()
@@ -15,33 +16,58 @@ func TestEvaluateAllKinds(t *testing.T) {
 	}
 	pt := pdnspot.Point{TDP: 18, Workload: pdnspot.MultiThread, AR: 0.6}
 	for _, k := range []pdnspot.Kind{pdnspot.IVR, pdnspot.MBVR, pdnspot.LDO, pdnspot.IMBVR} {
-		r, err := ps.Evaluate(k, pt)
+		r, err := ps.Evaluate(ctx, k, pt)
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}
 		if !(r.ETEE > 0.5 && r.ETEE < 0.95) {
 			t.Errorf("%v: implausible ETEE %g", k, r.ETEE)
 		}
+		if r.PDN != k {
+			t.Errorf("result kind %v, want %v", r.PDN, k)
+		}
 	}
-	if _, err := ps.Model(pdn.FlexWatts); err == nil {
-		t.Error("FlexWatts model should not be served by pdnspot")
+	if _, err := ps.Evaluate(ctx, pdnspot.Kind(0) /* FlexWatts */, pt); err == nil {
+		t.Error("FlexWatts should not be served by pdnspot")
 	}
 }
 
 func TestEvaluateCState(t *testing.T) {
 	ps, _ := pdnspot.New()
-	r, err := ps.EvaluateCState(pdnspot.LDO, pdnspot.C8)
+	r, err := ps.EvaluateCState(ctx, pdnspot.LDO, pdnspot.C8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !(r.PNomTotal > 0.1 && r.PNomTotal < 0.2) {
 		t.Errorf("C8 nominal %g, want ~0.13W", r.PNomTotal)
 	}
+	if r.CState != pdnspot.C8 {
+		t.Errorf("result cstate %v", r.CState)
+	}
+}
+
+func TestEvaluateBatch(t *testing.T) {
+	ps, _ := pdnspot.New()
+	pts := []pdnspot.Point{
+		{PDN: pdnspot.IVR, TDP: 18, Workload: pdnspot.MultiThread, AR: 0.6},
+		{PDN: pdnspot.LDO, CState: pdnspot.C6},
+	}
+	res, err := ps.EvaluateBatch(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].PDN != pdnspot.IVR || res[1].CState != pdnspot.C6 {
+		t.Errorf("batch results %+v", res)
+	}
+	// A batch naming the hybrid is rejected before evaluation.
+	if _, err := ps.EvaluateBatch(ctx, []pdnspot.Point{{TDP: 4, Workload: pdnspot.MultiThread, AR: 0.6}}); err == nil {
+		t.Error("batch with a FlexWatts point should be rejected")
+	}
 }
 
 func TestValidateAgainstReference(t *testing.T) {
 	ps, _ := pdnspot.New()
-	pred, meas, acc, err := ps.ValidateAgainstReference(pdnspot.MBVR,
+	pred, meas, acc, err := ps.ValidateAgainstReference(ctx, pdnspot.MBVR,
 		pdnspot.Point{TDP: 18, Workload: pdnspot.SingleThread, AR: 0.5}, 9)
 	if err != nil {
 		t.Fatal(err)
@@ -53,8 +79,11 @@ func TestValidateAgainstReference(t *testing.T) {
 
 func TestRelativePerformance(t *testing.T) {
 	ps, _ := pdnspot.New()
-	w := workload.SPECCPU2006().Workloads[28] // 416.gamess, fully scalable
-	res, err := ps.RelativePerformance(4, w, []pdnspot.Kind{pdnspot.MBVR, pdnspot.LDO})
+	w := pdnspot.SPECCPU2006()[28] // 416.gamess, fully scalable
+	if w.Name != "416.gamess" {
+		t.Fatalf("suite order changed: %q", w.Name)
+	}
+	res, err := ps.RelativePerformance(ctx, 4, w, []pdnspot.Kind{pdnspot.MBVR, pdnspot.LDO})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +97,7 @@ func TestRelativePerformance(t *testing.T) {
 
 func TestCostAndArea(t *testing.T) {
 	ps, _ := pdnspot.New()
-	bom, area, err := ps.CostAndArea(18)
+	bom, area, err := ps.CostAndArea(ctx, 18)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +110,7 @@ func TestCostAndArea(t *testing.T) {
 }
 
 func TestCustomParams(t *testing.T) {
-	p := pdn.DefaultParams()
+	p := pdnspot.DefaultParams()
 	p.CoresLL *= 4
 	ps, err := pdnspot.NewWithParams(p)
 	if err != nil {
@@ -89,8 +118,8 @@ func TestCustomParams(t *testing.T) {
 	}
 	base, _ := pdnspot.New()
 	pt := pdnspot.Point{TDP: 50, Workload: pdnspot.MultiThread, AR: 0.6}
-	r1, _ := ps.Evaluate(pdnspot.MBVR, pt)
-	r0, _ := base.Evaluate(pdnspot.MBVR, pt)
+	r1, _ := ps.Evaluate(ctx, pdnspot.MBVR, pt)
+	r0, _ := base.Evaluate(ctx, pdnspot.MBVR, pt)
 	if !(r1.ETEE < r0.ETEE) {
 		t.Error("quadrupled load-line should reduce MBVR ETEE")
 	}

@@ -1,0 +1,155 @@
+// TestPublicSurfaceSelfContained is the public-surface guard: the exported
+// identifiers of the public packages must not reference any repro/internal
+// type, so an external module importing them can construct every request
+// and name every returned value. PRs 1–3 shipped "public" packages that
+// were alias facades over internal types — compiling inside this repo but
+// unusable outside it; this test makes that regression impossible.
+package repro_test
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// publicPackages is the self-contained API surface contract. flexwatts/report
+// rides along because flexwatts and flexwatts/api expose its Dataset/Format
+// types.
+var publicPackages = []string{
+	"repro/flexwatts",
+	"repro/flexwatts/api",
+	"repro/flexwatts/client",
+	"repro/flexwatts/report",
+	"repro/pdnspot",
+}
+
+func TestPublicSurfaceSelfContained(t *testing.T) {
+	// Resolve the packages through the go tool first: a typo or a deleted
+	// package should fail loudly, not silently shrink the guard.
+	out, err := exec.Command("go", append([]string{"list"}, publicPackages...)...).Output()
+	if err != nil {
+		t.Fatalf("go list %v: %v", publicPackages, err)
+	}
+	listed := strings.Fields(string(out))
+	if len(listed) != len(publicPackages) {
+		t.Fatalf("go list returned %v, want %v", listed, publicPackages)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	for _, path := range listed {
+		pkg, err := imp.Import(path)
+		if err != nil {
+			t.Fatalf("type-check %s: %v", path, err)
+		}
+		g := &leakGuard{t: t, pkg: path, seen: map[types.Type]bool{}}
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			g.checkObject(obj)
+		}
+	}
+}
+
+// leakGuard walks the reachable exported type graph of one package and
+// reports every internal named type it can see.
+type leakGuard struct {
+	t    *testing.T
+	pkg  string
+	seen map[types.Type]bool
+}
+
+// checkObject inspects one exported package-scope object.
+func (g *leakGuard) checkObject(obj types.Object) {
+	where := g.pkg + "." + obj.Name()
+	switch o := obj.(type) {
+	case *types.Const, *types.Var:
+		g.check(where, obj.Type())
+	case *types.Func:
+		g.check(where, o.Type())
+	case *types.TypeName:
+		if o.IsAlias() {
+			// An alias IS the aliased type: aliasing an internal type is the
+			// exact leak this guard exists for.
+			g.check(where, types.Unalias(o.Type()))
+			return
+		}
+		named, ok := o.Type().(*types.Named)
+		if !ok {
+			return
+		}
+		g.check(where, named.Underlying())
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Exported() {
+				g.check(where+"."+m.Name(), m.Type())
+			}
+		}
+	}
+}
+
+// check reports internal named types reachable from typ through exported
+// structure: struct walks only exported fields (an unexported field holding
+// an internal handle is the intended encapsulation pattern), signatures walk
+// parameters and results, interfaces walk exported methods.
+func (g *leakGuard) check(where string, typ types.Type) {
+	typ = types.Unalias(typ)
+	if g.seen[typ] {
+		return
+	}
+	g.seen[typ] = true
+	switch tt := typ.(type) {
+	case *types.Named:
+		if p := tt.Obj().Pkg(); p != nil && isInternal(p.Path()) {
+			g.t.Errorf("%s references internal type %s.%s", where, p.Path(), tt.Obj().Name())
+		}
+		if args := tt.TypeArgs(); args != nil {
+			for i := 0; i < args.Len(); i++ {
+				g.check(where, args.At(i))
+			}
+		}
+	case *types.Pointer:
+		g.check(where, tt.Elem())
+	case *types.Slice:
+		g.check(where, tt.Elem())
+	case *types.Array:
+		g.check(where, tt.Elem())
+	case *types.Chan:
+		g.check(where, tt.Elem())
+	case *types.Map:
+		g.check(where, tt.Key())
+		g.check(where, tt.Elem())
+	case *types.Signature:
+		for i := 0; i < tt.Params().Len(); i++ {
+			g.check(fmt.Sprintf("%s(param %d)", where, i), tt.Params().At(i).Type())
+		}
+		for i := 0; i < tt.Results().Len(); i++ {
+			g.check(fmt.Sprintf("%s(result %d)", where, i), tt.Results().At(i).Type())
+		}
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if f := tt.Field(i); f.Exported() {
+				g.check(where+"."+f.Name(), f.Type())
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < tt.NumMethods(); i++ {
+			if m := tt.Method(i); m.Exported() {
+				g.check(where+"."+m.Name(), m.Type())
+			}
+		}
+	}
+}
+
+// isInternal reports whether an import path is shielded by a Go "internal"
+// path element.
+func isInternal(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/") ||
+		strings.HasSuffix(path, "/internal")
+}
