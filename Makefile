@@ -5,14 +5,17 @@ GO ?= go
 BENCHES ?= BenchmarkEvaluateETEE|BenchmarkReferenceSim|BenchmarkPredictor$$|BenchmarkSuiteSerial|BenchmarkSuiteParallel|BenchmarkTraceSim|BenchmarkCompareOnTraces
 BENCHTIME ?= 1s
 BENCH_LABEL ?= current
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
+# The slo target records under its own label so daemon SLO numbers and
+# root benchmarks coexist in one BENCH_<pr>.json.
+SLO_LABEL ?= slo
 
 # Pinned analysis-tool versions, installed on demand by `go run` (CI) —
 # bump deliberately, not implicitly.
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench bench-json lint fmt ci smoke staticcheck govulncheck
+.PHONY: all build test race bench bench-json lint fmt ci smoke slo staticcheck govulncheck
 
 all: build test
 
@@ -46,6 +49,14 @@ bench-json:
 # and diff the served ASCII bodies against the committed goldens.
 smoke:
 	bash scripts/smoke_flexwattsd.sh
+
+# Measure what the daemon sustains: boot it (race-built), drive both
+# evaluate endpoints with cmd/loadgen at a fixed rate, assert the SLO
+# floor (non-zero throughput, zero 5xx / zero shed at low load), and
+# record evals/s + p50/p95/p99 into $(BENCH_JSON). Tune with SLO_RPS,
+# SLO_BATCH, SLO_DURATION.
+slo:
+	BENCH_JSON=$(BENCH_JSON) BENCH_LABEL=$(SLO_LABEL) bash scripts/slo_flexwattsd.sh
 
 lint:
 	$(GO) vet ./...

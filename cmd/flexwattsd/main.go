@@ -12,9 +12,17 @@
 // Endpoints:
 //
 //	GET  /healthz                     liveness + cache statistics
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /debug/pprof/                profiling surface
 //	GET  /v1/experiments              experiment ids
 //	GET  /v1/experiments/{id}         one experiment; ?format=ascii|json|csv
 //	POST /v1/evaluate                 batch of evaluation points
+//	POST /v1/evaluate/stream          same batch, streamed back as NDJSON
+//
+// Admission control is tuned with -rate/-burst (per-client token bucket,
+// shed with 429) and -max-inflight-points (server-wide budget, shed with
+// 503); both shed paths set Retry-After. -access-log turns on one JSON
+// line per request on stderr.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get -grace (default 10s) to complete before the listener closes hard.
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -50,6 +59,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		"maximum points accepted by one /v1/evaluate request")
 	grace := fs.Duration("grace", 10*time.Second,
 		"graceful shutdown window for in-flight requests")
+	maxInflight := fs.Int("max-inflight-points", 0,
+		"server-wide inflight-points budget; excess batches shed with 503 (0 = 16×max-batch)")
+	rate := fs.Float64("rate", 0,
+		"per-client request rate limit in requests/second; excess shed with 429 (0 = unlimited)")
+	burst := fs.Float64("burst", 0,
+		"per-client burst allowance for -rate (0 = max(1, rate))")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes,
+		"maximum request body size in bytes")
+	streamWindow := fs.Int("stream-window", 0,
+		"reorder window for /v1/evaluate/stream (0 = 4×workers)")
+	retryAfter := fs.Duration("retry-after", server.DefaultRetryAfter,
+		"Retry-After hint sent with 503 shed responses")
+	accessLog := fs.Bool("access-log", false,
+		"log one JSON line per request to stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -62,7 +85,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "flexwattsd:", err)
 		return 1
 	}
-	srv := server.New(env, server.Options{Workers: *parallel, MaxBatch: *maxBatch})
+	opts := server.Options{
+		Workers:           *parallel,
+		MaxBatch:          *maxBatch,
+		MaxBodyBytes:      *maxBody,
+		MaxInflightPoints: *maxInflight,
+		RatePerClient:     *rate,
+		BurstPerClient:    *burst,
+		RetryAfter:        *retryAfter,
+		StreamWindow:      *streamWindow,
+	}
+	if *accessLog {
+		opts.AccessLog = log.New(stderr, "", 0)
+	}
+	srv := server.New(env, opts)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *experiments.Env
+	envErr  error
+)
+
+func daemon(t *testing.T, opts server.Options) *httptest.Server {
+	t.Helper()
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	ts := httptest.NewServer(server.New(envVal, opts).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h returned %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-rps") {
+		t.Errorf("help text %q does not describe -rps", errOut.String())
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-rps", "0"}, &out, &errOut); code != 2 {
+		t.Errorf("-rps 0 returned %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "ftp://x"}, &out, &errOut); code != 2 {
+		t.Errorf("bad addr returned %d, want 2", code)
+	}
+}
+
+// TestLoadgenAgainstDaemon drives both endpoints against a real handler
+// for a short burst and checks the benchjson-compatible report line.
+func TestLoadgenAgainstDaemon(t *testing.T) {
+	ts := daemon(t, server.Options{})
+	for _, mode := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"buffered", nil, "BenchmarkLoadgenBuffered "},
+		{"stream", []string{"-stream"}, "BenchmarkLoadgenStream "},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			args := append([]string{
+				"-addr", ts.URL, "-rps", "200", "-batch", "8", "-duration", "500ms",
+			}, mode.args...)
+			if code := run(context.Background(), args, &out, &errOut); code != 0 {
+				t.Fatalf("exit %d; stderr: %s", code, errOut.String())
+			}
+			line := out.String()
+			if !strings.HasPrefix(line, mode.want) {
+				t.Fatalf("report %q does not start with %q", line, mode.want)
+			}
+			// benchjson's contract: even field count, value/unit pairs.
+			fields := strings.Fields(line)
+			if len(fields)%2 != 0 {
+				t.Errorf("report has %d fields (odd): %q", len(fields), line)
+			}
+			for _, unit := range []string{"ns/op", "evals/s", "p50_s", "p95_s", "p99_s", "shed"} {
+				if !strings.Contains(line, " "+unit) {
+					t.Errorf("report %q missing unit %s", line, unit)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadgenNoSuccessExitsOne: a daemon that sheds everything yields
+// exit 1, so the SLO gate fails loudly instead of recording nothing.
+func TestLoadgenNoSuccessExitsOne(t *testing.T) {
+	ts := daemon(t, server.Options{RatePerClient: 0.0001, BurstPerClient: 1})
+	var out, errOut strings.Builder
+	// Consume the single burst token so every loadgen request is shed.
+	args := []string{"-addr", ts.URL, "-rps", "50", "-batch", "4", "-duration", "300ms"}
+	if code := run(context.Background(), args, &out, &errOut); code == 0 {
+		// The first request may win the burst token; tolerate exit 0 only
+		// if at least one success was recorded.
+		if !strings.Contains(out.String(), "Benchmark") {
+			t.Errorf("exit 0 with no report line; stderr: %s", errOut.String())
+		}
+		return
+	}
+	if !strings.Contains(errOut.String(), "no successful requests") {
+		t.Errorf("stderr %q does not explain the failure", errOut.String())
+	}
+}

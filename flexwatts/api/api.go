@@ -23,11 +23,18 @@ import (
 const (
 	// PathHealthz is the liveness endpoint (GET).
 	PathHealthz = "/healthz"
+	// PathMetrics exposes operational metrics in Prometheus text format
+	// (GET).
+	PathMetrics = "/metrics"
 	// PathExperiments lists experiment ids (GET); one experiment is
 	// PathExperiments + "/{id}".
 	PathExperiments = "/v1/experiments"
 	// PathEvaluate evaluates a batch of points (POST).
 	PathEvaluate = "/v1/evaluate"
+	// PathEvaluateStream evaluates a batch of points and streams the
+	// results back incrementally as NDJSON, one EvalStreamResult per line
+	// in point order (POST).
+	PathEvaluateStream = "/v1/evaluate/stream"
 )
 
 // Sentinel errors of the HTTP API. The server maps them to statuses with
@@ -46,52 +53,98 @@ var (
 	ErrMethodNotAllowed = errors.New("method not allowed")
 	// ErrEvaluation: a well-formed point failed to evaluate (422).
 	ErrEvaluation = errors.New("evaluation failed")
+	// ErrRateLimited: this client exceeded its request rate and should
+	// retry after the Retry-After delay (429).
+	ErrRateLimited = errors.New("rate limited")
+	// ErrOverloaded: the server's inflight-points budget is exhausted and
+	// the request was shed; retry after the Retry-After delay (503).
+	ErrOverloaded = errors.New("server overloaded")
 )
+
+// mapping is the single errors ↔ status ↔ wire-code table. Every view of
+// the error contract — StatusFor, FromStatus, CodeFor, FromCode — derives
+// from this one slice, so the mappings cannot drift apart (the round-trip
+// test walks the table).
+var mapping = []struct {
+	err    error
+	status int
+	code   string
+}{
+	{ErrUnknownExperiment, http.StatusNotFound, "unknown_experiment"},
+	{ErrInvalidPoint, http.StatusBadRequest, "invalid_point"},
+	{ErrBatchTooLarge, http.StatusRequestEntityTooLarge, "batch_too_large"},
+	{ErrMethodNotAllowed, http.StatusMethodNotAllowed, "method_not_allowed"},
+	{ErrEvaluation, http.StatusUnprocessableEntity, "evaluation_failed"},
+	{ErrRateLimited, http.StatusTooManyRequests, "rate_limited"},
+	{ErrOverloaded, http.StatusServiceUnavailable, "overloaded"},
+}
 
 // StatusFor returns the HTTP status the API maps err to: the sentinel
 // statuses above, 500 for anything unrecognized, and 0 for nil. This is
 // the single place where errors become statuses.
 func StatusFor(err error) int {
-	switch {
-	case err == nil:
+	if err == nil {
 		return 0
-	case errors.Is(err, ErrUnknownExperiment):
-		return http.StatusNotFound
-	case errors.Is(err, ErrInvalidPoint):
-		return http.StatusBadRequest
-	case errors.Is(err, ErrBatchTooLarge):
-		return http.StatusRequestEntityTooLarge
-	case errors.Is(err, ErrMethodNotAllowed):
-		return http.StatusMethodNotAllowed
-	case errors.Is(err, ErrEvaluation):
-		return http.StatusUnprocessableEntity
-	default:
-		return http.StatusInternalServerError
 	}
+	for _, m := range mapping {
+		if errors.Is(err, m.err) {
+			return m.status
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// CodeFor returns the stable machine-readable wire code for err — the
+// Error.Code value the server emits — "internal" for an unmapped error,
+// and "" for nil.
+func CodeFor(err error) string {
+	if err == nil {
+		return ""
+	}
+	for _, m := range mapping {
+		if errors.Is(err, m.err) {
+			return m.code
+		}
+	}
+	return "internal"
 }
 
 // FromStatus returns the sentinel a response status maps to, or nil for a
 // status the API assigns no sentinel (the caller falls back to a generic
 // error). It is StatusFor's inverse, used by the client SDK.
 func FromStatus(status int) error {
-	switch status {
-	case http.StatusNotFound:
-		return ErrUnknownExperiment
-	case http.StatusBadRequest:
-		return ErrInvalidPoint
-	case http.StatusRequestEntityTooLarge:
-		return ErrBatchTooLarge
-	case http.StatusMethodNotAllowed:
-		return ErrMethodNotAllowed
-	case http.StatusUnprocessableEntity:
-		return ErrEvaluation
-	default:
-		return nil
+	for _, m := range mapping {
+		if m.status == status {
+			return m.err
+		}
 	}
+	return nil
 }
 
-// Error is the uniform error response body.
+// FromCode returns the sentinel a wire code maps to, or nil for an
+// unrecognized code. It is CodeFor's inverse.
+func FromCode(code string) error {
+	for _, m := range mapping {
+		if m.code == code {
+			return m.err
+		}
+	}
+	return nil
+}
+
+// Retryable reports whether err is a shed-load condition (ErrRateLimited
+// or ErrOverloaded) that a client may transparently retry after the
+// server's Retry-After delay. Everything else is either a caller bug or a
+// server bug; retrying would repeat it.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRateLimited) || errors.Is(err, ErrOverloaded)
+}
+
+// Error is the uniform error response body. Code is the stable
+// machine-readable identifier from the sentinel table (CodeFor); Message
+// is human-readable detail.
 type Error struct {
+	Code    string `json:"code,omitempty"`
 	Message string `json:"error"`
 }
 
@@ -195,4 +248,31 @@ type EvalResult struct {
 type EvalResponse struct {
 	Results []EvalResult `json:"results"`
 	Workers int          `json:"workers"`
+}
+
+// EvalStreamResult is one NDJSON line of the POST /v1/evaluate/stream
+// response: the result of exactly one request point, tagged with its index
+// in the request, carrying either the evaluated result or that point's
+// error (never both). Lines arrive in index order; a per-point failure
+// does not end the stream — later points still arrive — so a consumer
+// keeps every result that made it even when some points fail.
+type EvalStreamResult struct {
+	Index  int         `json:"index"`
+	Result *EvalResult `json:"result,omitempty"`
+	// Error is the point's failure, rendered with CodeFor's vocabulary in
+	// Code for machine handling.
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Err returns the stream line's error as a typed error — the sentinel for
+// its wire code wrapping the message — or nil for a successful line.
+func (r EvalStreamResult) Err() error {
+	if r.Error == "" && r.Code == "" {
+		return nil
+	}
+	if sentinel := FromCode(r.Code); sentinel != nil {
+		return fmt.Errorf("point %d: %w: %s", r.Index, sentinel, r.Error)
+	}
+	return fmt.Errorf("point %d: %s", r.Index, r.Error)
 }

@@ -3,6 +3,7 @@ package api_test
 import (
 	"errors"
 	"net/http"
+	"strings"
 	"testing"
 
 	"repro/flexwatts"
@@ -10,40 +11,100 @@ import (
 )
 
 // TestStatusMappingRoundTrips pins the error contract both sides of the
-// wire share: every sentinel maps to its status and back to itself, so
-// errors.Is behaves identically in the server and in the SDK.
+// wire share: every sentinel maps to its status and wire code and back to
+// itself, so errors.Is behaves identically in the server and in the SDK.
 func TestStatusMappingRoundTrips(t *testing.T) {
-	sentinels := map[error]int{
-		api.ErrUnknownExperiment: http.StatusNotFound,
-		api.ErrInvalidPoint:      http.StatusBadRequest,
-		api.ErrBatchTooLarge:     http.StatusRequestEntityTooLarge,
-		api.ErrMethodNotAllowed:  http.StatusMethodNotAllowed,
-		api.ErrEvaluation:        http.StatusUnprocessableEntity,
+	sentinels := map[error]struct {
+		status int
+		code   string
+	}{
+		api.ErrUnknownExperiment: {http.StatusNotFound, "unknown_experiment"},
+		api.ErrInvalidPoint:      {http.StatusBadRequest, "invalid_point"},
+		api.ErrBatchTooLarge:     {http.StatusRequestEntityTooLarge, "batch_too_large"},
+		api.ErrMethodNotAllowed:  {http.StatusMethodNotAllowed, "method_not_allowed"},
+		api.ErrEvaluation:        {http.StatusUnprocessableEntity, "evaluation_failed"},
+		api.ErrRateLimited:       {http.StatusTooManyRequests, "rate_limited"},
+		api.ErrOverloaded:        {http.StatusServiceUnavailable, "overloaded"},
 	}
-	for sentinel, status := range sentinels {
-		if got := api.StatusFor(sentinel); got != status {
-			t.Errorf("StatusFor(%v) = %d, want %d", sentinel, got, status)
+	for sentinel, want := range sentinels {
+		if got := api.StatusFor(sentinel); got != want.status {
+			t.Errorf("StatusFor(%v) = %d, want %d", sentinel, got, want.status)
 		}
-		if back := api.FromStatus(status); !errors.Is(back, sentinel) {
-			t.Errorf("FromStatus(%d) = %v, want %v", status, back, sentinel)
+		if back := api.FromStatus(want.status); !errors.Is(back, sentinel) {
+			t.Errorf("FromStatus(%d) = %v, want %v", want.status, back, sentinel)
+		}
+		if got := api.CodeFor(sentinel); got != want.code {
+			t.Errorf("CodeFor(%v) = %q, want %q", sentinel, got, want.code)
+		}
+		if back := api.FromCode(want.code); !errors.Is(back, sentinel) {
+			t.Errorf("FromCode(%q) = %v, want %v", want.code, back, sentinel)
 		}
 	}
 	if api.StatusFor(nil) != 0 {
 		t.Error("StatusFor(nil) != 0")
 	}
+	if api.CodeFor(nil) != "" {
+		t.Error(`CodeFor(nil) != ""`)
+	}
 	if api.StatusFor(errors.New("boom")) != http.StatusInternalServerError {
 		t.Error("unrecognized error should map to 500")
 	}
+	if api.CodeFor(errors.New("boom")) != "internal" {
+		t.Error(`unrecognized error should map to code "internal"`)
+	}
 	if api.FromStatus(http.StatusTeapot) != nil {
 		t.Error("unmapped status should return nil")
+	}
+	if api.FromCode("made_up") != nil {
+		t.Error("unmapped code should return nil")
 	}
 	// Wrapped sentinels keep their status — the server always wraps.
 	if api.StatusFor(fmtWrap(api.ErrBatchTooLarge)) != http.StatusRequestEntityTooLarge {
 		t.Error("wrapped sentinel lost its status")
 	}
+	if api.CodeFor(fmtWrap(api.ErrOverloaded)) != "overloaded" {
+		t.Error("wrapped sentinel lost its code")
+	}
 }
 
 func fmtWrap(err error) error { return errors.Join(errors.New("context"), err) }
+
+// TestRetryable pins which sentinels a client may transparently retry:
+// exactly the shed-load pair, never the caller-bug family.
+func TestRetryable(t *testing.T) {
+	for _, err := range []error{api.ErrRateLimited, api.ErrOverloaded, fmtWrap(api.ErrOverloaded)} {
+		if !api.Retryable(err) {
+			t.Errorf("Retryable(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{nil, api.ErrInvalidPoint, api.ErrBatchTooLarge, api.ErrEvaluation, errors.New("boom")} {
+		if api.Retryable(err) {
+			t.Errorf("Retryable(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestEvalStreamResultErr pins the NDJSON line's error vocabulary: a
+// result line yields nil, an error line yields the sentinel for its wire
+// code (errors.Is-able) with the index in the message.
+func TestEvalStreamResultErr(t *testing.T) {
+	ok := api.EvalStreamResult{Index: 3, Result: &api.EvalResult{PDN: "IVR"}}
+	if err := ok.Err(); err != nil {
+		t.Errorf("result line Err() = %v", err)
+	}
+	bad := api.EvalStreamResult{Index: 7, Code: "evaluation_failed", Error: "loadline diverged"}
+	err := bad.Err()
+	if !errors.Is(err, api.ErrEvaluation) {
+		t.Errorf("error line Err() = %v, want ErrEvaluation", err)
+	}
+	if !strings.Contains(err.Error(), "point 7") || !strings.Contains(err.Error(), "loadline diverged") {
+		t.Errorf("error line message %q lacks index or detail", err)
+	}
+	unknown := api.EvalStreamResult{Index: 1, Code: "martian", Error: "??"}
+	if err := unknown.Err(); err == nil || errors.Is(err, api.ErrEvaluation) {
+		t.Errorf("unknown code Err() = %v, want plain error", err)
+	}
+}
 
 // TestEvalPointRoundTrips pins the wire conversion: a typed point converted
 // to its wire form and parsed back must be identical, for both active and

@@ -14,9 +14,16 @@
 // Every method takes a context.Context and honors cancellation and
 // deadlines end to end: the request is built with the context, and the
 // server aborts its in-flight sweep when the connection drops.
+//
+// Shed load is retried transparently: when the daemon answers 429
+// (api.ErrRateLimited) or 503 (api.ErrOverloaded), the client honors the
+// server's Retry-After hint and retries a bounded number of times before
+// surfacing the sentinel. Tune with WithRetries and WithMaxRetryWait;
+// WithRetries(0) disables retrying.
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -24,18 +31,29 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/flexwatts"
 	"repro/flexwatts/api"
 	"repro/flexwatts/report"
 )
 
+// Retry defaults: up to DefaultRetries extra attempts on 429/503, waiting
+// the server's Retry-After (capped at DefaultMaxRetryWait) between them.
+const (
+	DefaultRetries      = 2
+	DefaultMaxRetryWait = 5 * time.Second
+)
+
 // Client talks to one flexwattsd base URL. The zero value is not usable;
 // construct with New. Client is safe for concurrent use.
 type Client struct {
-	base *url.URL
-	hc   *http.Client
+	base         *url.URL
+	hc           *http.Client
+	retries      int
+	maxRetryWait time.Duration
 }
 
 // Option customizes a Client.
@@ -51,6 +69,28 @@ func WithHTTPClient(hc *http.Client) Option {
 	}
 }
 
+// WithRetries sets how many times a shed request (429/503) is retried
+// before the sentinel is surfaced; 0 disables retrying, negative values
+// are treated as 0. The default is DefaultRetries.
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n < 0 {
+			n = 0
+		}
+		c.retries = n
+	}
+}
+
+// WithMaxRetryWait caps how long one Retry-After hint can make the client
+// sleep. The default is DefaultMaxRetryWait.
+func WithMaxRetryWait(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.maxRetryWait = d
+		}
+	}
+}
+
 // New returns a client for the daemon at baseURL, e.g.
 // "http://localhost:8080".
 func New(baseURL string, opts ...Option) (*Client, error) {
@@ -61,38 +101,102 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
 	}
-	c := &Client{base: u, hc: http.DefaultClient}
+	c := &Client{
+		base:         u,
+		hc:           http.DefaultClient,
+		retries:      DefaultRetries,
+		maxRetryWait: DefaultMaxRetryWait,
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c, nil
 }
 
-// apiError converts a non-2xx response into a typed error: the api
-// sentinel for the status (when one exists) wrapping the server's message.
+// apiError converts a non-2xx response into a typed error: the sentinel
+// for the body's wire code when present (the richer signal), else the
+// sentinel for the status, wrapping the server's message.
 func apiError(resp *http.Response, body []byte) error {
 	msg := strings.TrimSpace(string(body))
 	var e api.Error
+	sentinel := api.FromStatus(resp.StatusCode)
 	if json.Unmarshal(body, &e) == nil && e.Message != "" {
 		msg = e.Message
+		if s := api.FromCode(e.Code); s != nil {
+			sentinel = s
+		}
 	}
-	if sentinel := api.FromStatus(resp.StatusCode); sentinel != nil {
+	if sentinel != nil {
 		return fmt.Errorf("%w: %s", sentinel, msg)
 	}
 	return fmt.Errorf("client: %s: %s", resp.Status, msg)
 }
 
+// retryWait extracts the server's Retry-After hint (whole seconds per the
+// shed contract), falling back to one second and capped by the client's
+// maximum.
+func (c *Client) retryWait(resp *http.Response) time.Duration {
+	wait := time.Second
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+		wait = time.Duration(s) * time.Second
+	}
+	if wait > c.maxRetryWait {
+		wait = c.maxRetryWait
+	}
+	return wait
+}
+
+// sleep waits d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// send issues one request per attempt, transparently retrying shed
+// responses (429/503) after the server's Retry-After hint, up to the
+// configured retry budget. The caller owns resp.Body on success. body is
+// a byte slice, not a Reader, so every attempt replays the same bytes.
+func (c *Client) send(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		var r io.Reader
+		if body != nil {
+			r = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base.String()+path, r)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		shed := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !shed || attempt >= c.retries {
+			return resp, nil
+		}
+		wait := c.retryWait(resp)
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for reuse
+		resp.Body.Close()
+		if err := sleep(ctx, wait); err != nil {
+			return nil, err
+		}
+	}
+}
+
 // do issues the request and returns the response body, mapping non-2xx
 // statuses to typed errors.
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.base.String()+path, body)
-	if err != nil {
-		return nil, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	resp, err := c.send(ctx, method, path, body)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +267,7 @@ func (c *Client) Evaluate(ctx context.Context, req api.EvalRequest) (api.EvalRes
 	if err != nil {
 		return out, err
 	}
-	b, err := c.do(ctx, http.MethodPost, api.PathEvaluate, bytes.NewReader(body))
+	b, err := c.do(ctx, http.MethodPost, api.PathEvaluate, body)
 	if err != nil {
 		return out, err
 	}
@@ -187,4 +291,71 @@ func (c *Client) EvaluateBatch(ctx context.Context, pts []flexwatts.Point) ([]ap
 		return nil, err
 	}
 	return resp.Results, nil
+}
+
+// EvaluateStream evaluates typed points through POST /v1/evaluate/stream
+// and delivers each result incrementally: fn is called once per point, in
+// point order, as lines arrive off the wire — a million-point grid costs
+// O(1) client memory, and the first results land while the server is still
+// sweeping the rest.
+//
+// The stream's vocabulary carries per-point failures: a line for a point
+// that failed to evaluate has res.Err() != nil, and the stream continues —
+// fn decides whether to keep consuming. Returning a non-nil error from fn
+// stops the stream (the server's sweep is cancelled via the dropped
+// connection) and EvaluateStream returns that error.
+//
+// Every result delivered before a mid-stream transport failure has
+// already reached fn — partial progress is kept, and the returned error
+// says how many lines made it. Shed responses (429/503) are retried like
+// every other request; once the stream has begun there is no retry (the
+// server has started answering).
+func (c *Client) EvaluateStream(ctx context.Context, pts []flexwatts.Point, fn func(api.EvalStreamResult) error) error {
+	req := api.EvalRequest{Points: make([]api.EvalPoint, len(pts))}
+	for i, p := range pts {
+		req.Points[i] = api.EvalPointFromPoint(p)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.send(ctx, http.MethodPost, api.PathEvaluateStream, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		return apiError(resp, b)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	delivered := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var res api.EvalStreamResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return fmt.Errorf("client: stream line %d: %w", delivered, err)
+		}
+		if err := fn(res); err != nil {
+			return err
+		}
+		delivered++
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		return fmt.Errorf("client: stream interrupted after %d results: %w", delivered, err)
+	}
+	if delivered != len(pts) {
+		return fmt.Errorf("client: stream ended after %d of %d results", delivered, len(pts))
+	}
+	return nil
 }

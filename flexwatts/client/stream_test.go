@@ -1,0 +1,279 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/flexwatts"
+	"repro/flexwatts/api"
+	"repro/flexwatts/client"
+	"repro/internal/server"
+)
+
+// arPoints builds n typed points spread across the AR axis.
+func arPoints(n int) []flexwatts.Point {
+	pts := make([]flexwatts.Point, n)
+	for i := range pts {
+		pts[i] = flexwatts.Point{
+			PDN: flexwatts.MBVR, TDP: 18, Workload: flexwatts.MultiThread,
+			AR: 0.40 + 0.5*float64(i)/float64(n),
+		}
+	}
+	return pts
+}
+
+// TestEvaluateStreamMatchesBatch pins the SDK-level parity contract: the
+// streaming method delivers the same results as the buffered one, in
+// order, one callback per point.
+func TestEvaluateStreamMatchesBatch(t *testing.T) {
+	c := testClient(t, server.Options{})
+	pts := arPoints(150)
+
+	want, err := c.EvaluateBatch(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []api.EvalStreamResult
+	if err := c.EvaluateStream(ctx, pts, func(r api.EvalStreamResult) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream delivered %d results, batch %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Fatalf("callback %d carries index %d", i, r.Index)
+		}
+		if r.Err() != nil {
+			t.Fatalf("callback %d: unexpected error %v", i, r.Err())
+		}
+		if *r.Result != want[i] {
+			t.Errorf("point %d: stream %+v != batch %+v", i, *r.Result, want[i])
+		}
+	}
+}
+
+// TestEvaluateStreamCallbackStops: a non-nil error from fn ends the
+// stream immediately and is returned verbatim; no further callbacks run.
+func TestEvaluateStreamCallbackStops(t *testing.T) {
+	c := testClient(t, server.Options{})
+	stop := errors.New("enough")
+	calls := 0
+	err := c.EvaluateStream(ctx, arPoints(100), func(r api.EvalStreamResult) error {
+		calls++
+		if calls == 3 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+	if calls != 3 {
+		t.Errorf("%d callbacks ran after the stop", calls-3)
+	}
+}
+
+// TestEvaluateStreamValidation: whole-request failures surface as the
+// usual sentinels, before any callback runs.
+func TestEvaluateStreamValidation(t *testing.T) {
+	c := testClient(t, server.Options{MaxBatch: 2})
+	called := false
+	err := c.EvaluateStream(ctx, arPoints(3), func(api.EvalStreamResult) error {
+		called = true
+		return nil
+	})
+	if !errors.Is(err, api.ErrBatchTooLarge) {
+		t.Errorf("err = %v, want ErrBatchTooLarge", err)
+	}
+	if called {
+		t.Error("callback ran for a rejected request")
+	}
+}
+
+// TestEvaluateStreamPartialResults pins the partial-progress contract: a
+// mid-stream transport failure keeps every callback that already ran and
+// returns an error naming how far the stream got.
+func TestEvaluateStreamPartialResults(t *testing.T) {
+	// A fake server that streams a few valid lines then drops the
+	// connection mid-body.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != api.PathEvaluateStream {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(w, `{"index":%d,"result":{"pdn":"MBVR","etee":0.9}}`+"\n", i)
+		}
+		w.(http.Flusher).Flush()
+		// Hijack and sever the TCP connection without a terminating chunk,
+		// so the client sees an unexpected EOF mid-stream.
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	err = c.EvaluateStream(ctx, arPoints(50), func(r api.EvalStreamResult) error {
+		if r.Index != delivered {
+			t.Fatalf("callback %d carries index %d", delivered, r.Index)
+		}
+		delivered++
+		return nil
+	})
+	if delivered != 5 {
+		t.Errorf("delivered %d results before the failure, want 5", delivered)
+	}
+	if err == nil {
+		t.Fatal("mid-stream disconnect reported success")
+	}
+}
+
+// TestEvaluateStreamErrorLines: per-point error lines reach the callback
+// as Err() != nil with the evaluation sentinel, and the stream continues.
+func TestEvaluateStreamErrorLines(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"index":0,"result":{"pdn":"MBVR","etee":0.9}}`)
+		fmt.Fprintln(w, `{"index":1,"code":"evaluation_failed","error":"predictor diverged"}`)
+		fmt.Fprintln(w, `{"index":2,"result":{"pdn":"MBVR","etee":0.8}}`)
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs, oks int
+	if err := c.EvaluateStream(ctx, arPoints(3), func(r api.EvalStreamResult) error {
+		if e := r.Err(); e != nil {
+			if !errors.Is(e, api.ErrEvaluation) {
+				t.Errorf("line %d: err = %v, want ErrEvaluation", r.Index, e)
+			}
+			errs++
+		} else {
+			oks++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if errs != 1 || oks != 2 {
+		t.Errorf("saw %d error lines and %d results, want 1 and 2", errs, oks)
+	}
+}
+
+// shedServer answers the first n requests with status (plus Retry-After),
+// then delegates to ok.
+func shedServer(t *testing.T, n int, status int, ok http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			w.Header().Set("Retry-After", "1")
+			code := "overloaded"
+			if status == http.StatusTooManyRequests {
+				code = "rate_limited"
+			}
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"code":%q,"error":"shed"}`, code)
+			return
+		}
+		ok(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// TestRetryOnShed pins the transparent-retry contract: 429 and 503 are
+// retried after the Retry-After hint, and the request then succeeds
+// without the caller seeing the shed.
+func TestRetryOnShed(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		ts, calls := shedServer(t, 1, status, func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, `{"status":"ok","experiments":4,"workers":1}`)
+		})
+		c, err := client.New(ts.URL, client.WithMaxRetryWait(10*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := c.Health(ctx)
+		if err != nil {
+			t.Fatalf("status %d not retried: %v", status, err)
+		}
+		if h.Status != "ok" {
+			t.Errorf("health %+v", h)
+		}
+		if got := calls.Load(); got != 2 {
+			t.Errorf("status %d: server saw %d requests, want 2", status, got)
+		}
+	}
+}
+
+// TestRetryBudgetExhausted: a server that never recovers surfaces the
+// shed sentinel after the configured number of retries.
+func TestRetryBudgetExhausted(t *testing.T) {
+	ts, calls := shedServer(t, 1000, http.StatusTooManyRequests, nil)
+	c, err := client.New(ts.URL,
+		client.WithRetries(2), client.WithMaxRetryWait(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Health(ctx)
+	if !errors.Is(err, api.ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestRetryDisabled: WithRetries(0) surfaces the sentinel on the first
+// shed response.
+func TestRetryDisabled(t *testing.T) {
+	ts, calls := shedServer(t, 1000, http.StatusServiceUnavailable, nil)
+	c, err := client.New(ts.URL, client.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Health(ctx); !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1", got)
+	}
+}
+
+// TestRetryHonorsContext: cancellation during the retry wait returns
+// promptly with the context's error.
+func TestRetryHonorsContext(t *testing.T) {
+	ts, _ := shedServer(t, 1000, http.StatusTooManyRequests, nil)
+	c, err := client.New(ts.URL) // Retry-After: 1s, default cap 5s
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Health(cctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("cancellation did not interrupt the retry wait")
+	}
+}

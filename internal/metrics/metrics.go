@@ -1,0 +1,342 @@
+// Package metrics is the dependency-free observability core of the
+// flexwattsd serving tier: counters, gauges, and latency histograms with
+// Prometheus text exposition (format 0.0.4), so a fleet scheduler can
+// scrape the daemon without the repository importing a metrics client.
+//
+// The design constraint is the hot path: Observe/Add/Inc are a handful of
+// atomic operations with no locks and no allocations, safe for concurrent
+// use from every request goroutine. Exposition (WritePrometheus) is the
+// cold path — it snapshots the atomics and renders deterministically
+// (metrics sorted by name, label sets sorted by value) so scrapes and
+// tests see a stable byte layout.
+//
+// Labeled families (e.g. requests by route and status) pre-register their
+// label combinations at construction: the route table of an HTTP server is
+// small and static, which buys label lookups that are a map read with no
+// lock and keeps cardinality bounded by design — a stray client cannot
+// mint new time series.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing value (requests served, points
+// evaluated). The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is ignored (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// A Gauge is a value that goes up and down (in-flight sweeps, inflight
+// points). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// A Histogram counts observations into cumulative buckets plus a sum, the
+// Prometheus histogram contract. Buckets are fixed at construction;
+// observations are two atomic adds.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64
+	sum    atomicFloat
+	total  atomic.Int64
+}
+
+// atomicFloat accumulates a float64 with compare-and-swap on its bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+// A final +Inf bucket is always present and need not be listed.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// LatencyBuckets is the default request-latency bucket layout: 100µs to
+// ~100s in roughly 1-2.5-5 steps, wide enough for both a cache hit and a
+// 100k-point streamed sweep.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Quantile returns an estimate of quantile q (0..1) from the bucket
+// layout: the upper bound of the bucket the q-th observation falls in
+// (+Inf observations report the largest finite bound). Coarse by
+// construction, but monotone and cheap — good enough for a load report.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, b := range h.bounds {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return b
+		}
+	}
+	if len(h.bounds) == 0 {
+		return math.Inf(1)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// kind tags a registered family for the exposition TYPE line.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCallback
+	kindCounterCallback
+)
+
+// series is one labeled time series inside a family.
+type series struct {
+	labels string // rendered {a="b",c="d"} fragment, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family is one metric name: its help text, type, and series.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Register* methods are for setup time (they take a lock);
+// the returned instruments are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// renderLabels renders an even-length key-value list as a deterministic
+// label fragment.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: odd label key-value list")
+	}
+	parts := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// register adds a series to (or creates) the named family.
+func (r *Registry) register(name, help string, k kind, s series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as two different types", name))
+	}
+	for _, existing := range f.series {
+		if existing.labels == s.labels {
+			panic(fmt.Sprintf("metrics: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter series; labels is an even
+// key-value list.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, series{labels: renderLabels(labels), c: c})
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, series{labels: renderLabels(labels), g: g})
+	return g
+}
+
+// Histogram registers and returns a histogram series over bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	h := NewHistogram(bounds...)
+	r.register(name, help, kindHistogram, series{labels: renderLabels(labels), h: h})
+	return h
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// the bridge for state owned elsewhere (cache statistics, goroutine
+// counts). fn must be safe for concurrent calls.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, kindCallback, series{labels: renderLabels(labels), fn: fn})
+}
+
+// CounterFunc is GaugeFunc for monotone values owned elsewhere (e.g. the
+// sweep cache's hit counter): exposed with TYPE counter. fn must be safe
+// for concurrent calls and never decrease.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, kindCounterCallback, series{labels: renderLabels(labels), fn: fn})
+}
+
+// formatValue renders a sample value the way Prometheus text format
+// expects (integers without exponents, floats shortest-round-trip).
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered family in text format 0.0.4:
+// HELP and TYPE lines, then samples. Families sort by name and series by
+// label fragment, so the output is byte-deterministic for a fixed set of
+// values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		typ := map[kind]string{
+			kindCounter:         "counter",
+			kindGauge:           "gauge",
+			kindHistogram:       "histogram",
+			kindCallback:        "gauge",
+			kindCounterCallback: "counter",
+		}[f.kind]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, typ)
+		ss := append([]series(nil), f.series...)
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.g.Value())
+			case kindCallback, kindCounterCallback:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.fn()))
+			case kindHistogram:
+				writeHistogram(&b, f.name, s.labels, s.h)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative le buckets,
+// +Inf, then _sum and _count.
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	// Splice the le label into the existing fragment.
+	withLE := func(le string) string {
+		if labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return strings.TrimSuffix(labels, "}") + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(formatValue(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	// Bucket counts: le=0.1 -> 1, le=1 -> 2, le=10 -> 1, +Inf -> 1.
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.2, 0.1}, // 1st of 5
+		{0.5, 1},   // 3rd of 5 falls in the le=1 bucket
+		{0.8, 10},
+		{1.0, 10}, // +Inf observation reports the largest finite bound
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("q%.2f = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram(1, 1)
+}
+
+// TestWritePrometheus pins the exposition layout: HELP/TYPE lines,
+// deterministic family and series order, cumulative histogram buckets with
+// +Inf, _sum and _count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("app_requests_total", "Requests served.", "route", "/a", "status", "200")
+	reqs2 := r.Counter("app_requests_total", "Requests served.", "route", "/a", "status", "500")
+	inflight := r.Gauge("app_inflight", "In-flight requests.")
+	lat := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.01, 0.1})
+	r.GaugeFunc("app_cache_ratio", "Cache hit ratio.", func() float64 { return 0.75 })
+
+	reqs.Add(3)
+	reqs2.Inc()
+	inflight.Set(2)
+	lat.Observe(0.005)
+	lat.Observe(0.05)
+	lat.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_cache_ratio Cache hit ratio.
+# TYPE app_cache_ratio gauge
+app_cache_ratio 0.75
+# HELP app_inflight In-flight requests.
+# TYPE app_inflight gauge
+app_inflight 2
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.01"} 1
+app_latency_seconds_bucket{le="0.1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 5.055
+app_latency_seconds_count 3
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{route="/a",status="200"} 3
+app_requests_total{route="/a",status="500"} 1
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestRegistryPanicsOnDuplicateSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.", "a", "1")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate series did not panic")
+		}
+	}()
+	r.Counter("x_total", "X.", "a", "1")
+}
+
+func TestRegistryPanicsOnTypeConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("y_total", "Y.")
+	defer func() {
+		if recover() == nil {
+			t.Error("type conflict did not panic")
+		}
+	}()
+	r.Gauge("y_total", "Y.")
+}
+
+// TestConcurrentObservations is the hot-path race gate: all instruments
+// must tolerate concurrent writers (run under -race in CI) and lose no
+// updates.
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h_seconds", "H.", LatencyBuckets())
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*each)
+	}
+	if g.Value() != workers*each {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*each)
+	}
+	if got, want := h.Sum(), float64(workers*each)*0.001; math.Abs(got-want) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/flexwatts/api"
+)
+
+// pointBudget is the server-wide inflight-points cap: the sum of batch
+// sizes currently inside the evaluate handlers may not exceed max. It is
+// the backstop that keeps a stampede of big batches from queueing
+// unbounded work — when the budget is spent, new batches are shed with
+// 503 + Retry-After instead of piling onto the worker pool.
+type pointBudget struct {
+	mu    sync.Mutex
+	max   int64
+	used  int64
+	gauge interface{ Set(int64) }
+}
+
+// tryAcquire admits n points, reporting false when the budget would
+// overflow. A single batch larger than the whole budget is still admitted
+// when the server is idle (used == 0) — MaxBatch and the budget are tuned
+// independently, and rejecting it forever would deadlock the caller.
+func (b *pointBudget) tryAcquire(n int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.used > 0 && b.used+n > b.max {
+		return false
+	}
+	b.used += n
+	if b.gauge != nil {
+		b.gauge.Set(b.used)
+	}
+	return true
+}
+
+func (b *pointBudget) release(n int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.used -= n
+	if b.gauge != nil {
+		b.gauge.Set(b.used)
+	}
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a per-client token bucket: each client key accrues rate
+// tokens per second up to burst, and each request spends one. It is the
+// fairness half of admission control — one chatty client exhausts its own
+// bucket, not the server.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	clients map[string]*bucket
+	now     func() time.Time // injectable for tests
+}
+
+// newRateLimiter returns a limiter granting rate requests/second with the
+// given burst; rate <= 0 disables limiting (allow always reports ok).
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if burst < 1 {
+		burst = math.Max(1, rate)
+	}
+	return &rateLimiter{rate: rate, burst: burst, clients: map[string]*bucket{}, now: time.Now}
+}
+
+// maxClients bounds the limiter's memory: when the table is full, stale
+// buckets (a full refill interval old, i.e. indistinguishable from a new
+// client) are evicted first.
+const maxClients = 8192
+
+// allow spends one token for key. When the bucket is dry it reports
+// ok=false and how long until the next token accrues.
+func (l *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, found := l.clients[key]
+	if !found {
+		if len(l.clients) >= maxClients {
+			l.evictStale(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictStale drops buckets that have fully refilled (their owner has been
+// idle at least burst/rate seconds); if none qualify, the table is
+// cleared — correctness (bounded memory) beats a momentarily generous
+// bucket for returning clients.
+func (l *rateLimiter) evictStale(now time.Time) {
+	full := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.clients {
+		if now.Sub(b.last) >= full {
+			delete(l.clients, k)
+		}
+	}
+	if len(l.clients) >= maxClients {
+		l.clients = map[string]*bucket{}
+	}
+}
+
+// clientKey identifies the requesting client for rate limiting: the host
+// part of RemoteAddr (flexwattsd terminates its own connections; a
+// forwarded-for header is spoofable and deliberately ignored).
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// shed refuses a request with the shed-load contract: Retry-After in
+// whole seconds (rounded up, at least 1) plus the uniform error envelope.
+func (s *Server) shed(w http.ResponseWriter, reason string, retryAfter time.Duration, err error) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.metrics.shed[reason].Inc()
+	writeErr(w, err)
+}
+
+// admit runs admission control for an evaluate request of n points: the
+// per-client token bucket first (fairness), then the server-wide inflight
+// budget (self-protection). On success the caller owns release(); on
+// refusal the response (429/503 + Retry-After) has been written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, n int) (release func(), ok bool) {
+	if ok, retry := s.limiter.allow(clientKey(r)); !ok {
+		s.shed(w, shedRateLimited, retry,
+			fmt.Errorf("%w: client %s exceeded %g requests/s (retry after %s)",
+				api.ErrRateLimited, clientKey(r), s.opts.RatePerClient, retry.Round(time.Millisecond)))
+		return nil, false
+	}
+	if !s.budget.tryAcquire(int64(n)) {
+		retry := s.opts.RetryAfter
+		s.shed(w, shedOverloaded, retry,
+			fmt.Errorf("%w: inflight-points budget %d exhausted (retry after %s)",
+				api.ErrOverloaded, s.opts.MaxInflightPoints, retry))
+		return nil, false
+	}
+	return func() { s.budget.release(int64(n)) }, true
+}

@@ -16,16 +16,28 @@
 // Endpoints:
 //
 //	GET  /healthz                          liveness + cache statistics
+//	GET  /metrics                          Prometheus text exposition
 //	GET  /v1/experiments                   registered experiment ids
 //	GET  /v1/experiments/{id}?format=F     one experiment (ascii|json|csv)
 //	POST /v1/evaluate                      batch of arbitrary evaluation points
+//	POST /v1/evaluate/stream               same batch, streamed back as NDJSON
+//	GET  /debug/pprof/...                  runtime profiling
+//
+// The serving tier is observable and self-protecting: every route is
+// instrumented (latency histograms, request counters, structured access
+// logs), and admission control — a per-client token bucket plus a
+// server-wide inflight-points budget — sheds load with 429/503 and a
+// Retry-After header instead of queueing unboundedly.
 package server
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"sync"
@@ -52,19 +64,55 @@ type Options struct {
 	// MaxBatch caps the points accepted by one /v1/evaluate request;
 	// <= 0 means the default of 4096.
 	MaxBatch int
+	// MaxBodyBytes caps an evaluate request body; <= 0 means the default
+	// of 8 MiB. Overflow is shed as api.ErrBatchTooLarge (413).
+	MaxBodyBytes int64
+	// MaxInflightPoints is the server-wide admission budget: the summed
+	// batch sizes inside the evaluate handlers may not exceed it; excess
+	// requests are shed with 503 + Retry-After. <= 0 means the default
+	// of 16× MaxBatch.
+	MaxInflightPoints int
+	// RatePerClient grants each client (remote host) this many evaluate
+	// requests per second through a token bucket; excess is shed with
+	// 429 + Retry-After. <= 0 disables per-client rate limiting.
+	RatePerClient float64
+	// BurstPerClient is the token bucket's capacity; <= 0 means
+	// max(1, RatePerClient).
+	BurstPerClient float64
+	// RetryAfter is the hint written on 503 shed responses; <= 0 means
+	// 1s. (429 responses compute their hint from the bucket's refill.)
+	RetryAfter time.Duration
+	// StreamWindow bounds how many results /v1/evaluate/stream holds for
+	// in-order delivery; <= 0 means 4× the worker count. Memory per
+	// stream is O(window), never O(points).
+	StreamWindow int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request.
+	AccessLog *log.Logger
 }
 
-// DefaultMaxBatch is the /v1/evaluate batch cap when Options.MaxBatch is
-// unset.
-const DefaultMaxBatch = 4096
+// Defaults for the zero Options values.
+const (
+	// DefaultMaxBatch is the /v1/evaluate batch cap when Options.MaxBatch
+	// is unset.
+	DefaultMaxBatch = 4096
+	// DefaultMaxBodyBytes caps evaluate request bodies (8 MiB).
+	DefaultMaxBodyBytes = 8 << 20
+	// DefaultRetryAfter is the 503 Retry-After hint.
+	DefaultRetryAfter = time.Second
+)
 
 // Server is the flexwattsd request handler: one shared evaluation
-// environment, a per-experiment dataset memo, and the HTTP surface.
+// environment, a per-experiment dataset memo, admission control state,
+// the metrics registry, and the HTTP surface.
 type Server struct {
-	env   *experiments.Env
-	opts  Options
-	start time.Time
-	memos sync.Map // experiment id -> *datasetMemo
+	env     *experiments.Env
+	opts    Options
+	start   time.Time
+	memos   sync.Map // experiment id -> *datasetMemo
+	metrics *serverMetrics
+	limiter *rateLimiter
+	budget  *pointBudget
 }
 
 // datasetMemo computes an experiment's dataset exactly once; concurrent
@@ -81,17 +129,43 @@ func New(env *experiments.Env, opts Options) *Server {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = DefaultMaxBatch
 	}
-	return &Server{env: env, opts: opts, start: time.Now()}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.MaxInflightPoints <= 0 {
+		opts.MaxInflightPoints = 16 * opts.MaxBatch
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = DefaultRetryAfter
+	}
+	start := time.Now()
+	m := newServerMetrics(env.Cache, start)
+	return &Server{
+		env:     env,
+		opts:    opts,
+		start:   start,
+		metrics: m,
+		limiter: newRateLimiter(opts.RatePerClient, opts.BurstPerClient),
+		budget:  &pointBudget{max: int64(opts.MaxInflightPoints), gauge: m.inflightPoints},
+	}
 }
 
 // Handler returns the routed HTTP handler. Routing is manual (prefix
-// matching) so it works identically on every supported Go version.
+// matching) so it works identically on every supported Go version; every
+// route passes through instrument for metrics and access logging.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(api.PathHealthz, s.handleHealthz)
-	mux.HandleFunc(api.PathExperiments, s.handleList)
-	mux.HandleFunc(api.PathExperiments+"/", s.handleExperiment)
-	mux.HandleFunc(api.PathEvaluate, s.handleEvaluate)
+	mux.HandleFunc(api.PathHealthz, s.instrument(routeHealthz, s.handleHealthz))
+	mux.HandleFunc(api.PathMetrics, s.instrument(routeMetrics, s.handleMetrics))
+	mux.HandleFunc(api.PathExperiments, s.instrument(routeExperiments, s.handleList))
+	mux.HandleFunc(api.PathExperiments+"/", s.instrument(routeExperiment, s.handleExperiment))
+	mux.HandleFunc(api.PathEvaluate, s.instrument(routeEvaluate, s.handleEvaluate))
+	mux.HandleFunc(api.PathEvaluateStream, s.instrument(routeEvaluateStream, s.handleEvaluateStream))
+	mux.HandleFunc("/debug/pprof/", s.instrument(routePprof, pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", s.instrument(routePprof, pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", s.instrument(routePprof, pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", s.instrument(routePprof, pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", s.instrument(routePprof, pprof.Trace))
 	return mux
 }
 
@@ -125,10 +199,12 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	enc.Encode(v) //nolint:errcheck // response already committed
 }
 
-// writeErr is the single place where errors become HTTP statuses: the api
-// sentinels map to their contract statuses, anything else is a 500.
+// writeErr is the single place where errors become HTTP responses: the api
+// sentinels map to their contract statuses and wire codes, anything else is
+// a 500 — and every failure path, including body-size overflow and
+// malformed JSON, emits the same api.Error envelope.
 func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, api.StatusFor(err), api.Error{Message: err.Error()})
+	writeJSON(w, api.StatusFor(err), api.Error{Code: api.CodeFor(err), Message: err.Error()})
 }
 
 // allow enforces an endpoint's method set. On a mismatch it answers 405
@@ -265,35 +341,80 @@ func (s *Server) buildJob(p api.EvalPoint) (evalJob, error) {
 	return evalJob{kind: kind, scenario: sc, tdp: tdp}, nil
 }
 
-func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	if !allow(w, r, http.MethodPost) {
-		return
-	}
+// decodeEvalRequest reads and validates an evaluate request body into
+// sweep-ready jobs — shared by the buffered and streaming endpoints, so
+// the two accept exactly the same points. On failure the error response
+// (uniform api.Error envelope) has been written and ok is false. A body
+// exceeding MaxBodyBytes is shed as api.ErrBatchTooLarge (413), matching
+// the point-count cap it approximates.
+func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) (jobs []evalJob, ok bool) {
 	var req api.EvalRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, fmt.Errorf("%w: bad request body: %v", api.ErrInvalidPoint, err))
-		return
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, fmt.Errorf("%w: request body exceeds %d bytes", api.ErrBatchTooLarge, tooBig.Limit))
+		} else {
+			writeErr(w, fmt.Errorf("%w: bad request body: %v", api.ErrInvalidPoint, err))
+		}
+		return nil, false
 	}
 	if len(req.Points) == 0 {
 		writeErr(w, fmt.Errorf("%w: request has no points", api.ErrInvalidPoint))
-		return
+		return nil, false
 	}
 	if len(req.Points) > s.opts.MaxBatch {
 		writeErr(w, fmt.Errorf("%w: %d points exceeds the %d-point batch cap",
 			api.ErrBatchTooLarge, len(req.Points), s.opts.MaxBatch))
-		return
+		return nil, false
 	}
-	jobs := make([]evalJob, len(req.Points))
+	jobs = make([]evalJob, len(req.Points))
 	for i, p := range req.Points {
 		job, err := s.buildJob(p)
 		if err != nil {
 			writeErr(w, fmt.Errorf("point %d: %w: %v", i, api.ErrInvalidPoint, err))
-			return
+			return nil, false
 		}
 		jobs[i] = job
 	}
+	return jobs, true
+}
+
+// evalOne evaluates one job, with results flowing through the shared env
+// cache for baseline kinds.
+func (s *Server) evalOne(job evalJob) (pdn.Result, error) {
+	if job.kind == pdn.FlexWatts {
+		return core.NewAutoModel(s.env.Flex, s.env.Predictor, job.tdp).Evaluate(job.scenario)
+	}
+	return s.env.Eval(job.kind, job.scenario)
+}
+
+// wireResult renders an evaluation into its wire form.
+func wireResult(job evalJob, res pdn.Result) api.EvalResult {
+	return api.EvalResult{
+		PDN:    job.kind.String(),
+		CState: job.scenario.CState.String(),
+		ETEE:   res.ETEE,
+		PNom:   res.PNomTotal,
+		PIn:    res.PIn,
+		Loss:   res.PIn - res.PNomTotal,
+	}
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	jobs, ok := s.decodeEvalRequest(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w, r, len(jobs))
+	if !ok {
+		return
+	}
+	defer release()
 
 	// Batch through the sweep engine on the request's context with the
 	// request-scoped worker bound; baseline evaluations dedupe through the
@@ -304,28 +425,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	s.metrics.inflightSweeps.Add(1)
+	defer s.metrics.inflightSweeps.Add(-1)
 	results, err := sweep.MapCtx(r.Context(), workers, len(jobs), func(i int) (api.EvalResult, error) {
-		job := jobs[i]
-		var (
-			res pdn.Result
-			err error
-		)
-		if job.kind == pdn.FlexWatts {
-			res, err = core.NewAutoModel(s.env.Flex, s.env.Predictor, job.tdp).Evaluate(job.scenario)
-		} else {
-			res, err = s.env.Eval(job.kind, job.scenario)
-		}
+		res, err := s.evalOne(jobs[i])
 		if err != nil {
 			return api.EvalResult{}, fmt.Errorf("%w: point %d: %v", api.ErrEvaluation, i, err)
 		}
-		return api.EvalResult{
-			PDN:    job.kind.String(),
-			CState: job.scenario.CState.String(),
-			ETEE:   res.ETEE,
-			PNom:   res.PNomTotal,
-			PIn:    res.PIn,
-			Loss:   res.PIn - res.PNomTotal,
-		}, nil
+		s.metrics.pointsTotal.Inc()
+		return wireResult(jobs[i], res), nil
 	})
 	if err != nil {
 		if r.Context().Err() != nil {

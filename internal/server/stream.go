@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+
+	"repro/flexwatts/api"
+	"repro/internal/pdn"
+	"repro/internal/sweep"
+)
+
+// Streaming write tuning: results are buffered through a bufio.Writer and
+// the chunked response is flushed every flushEvery lines, so a 100k-point
+// stream costs hundreds of flushes, not 100k syscalls, while a client
+// still sees results arrive while the sweep runs.
+const (
+	streamBufBytes = 32 << 10
+	flushEvery     = 64
+)
+
+// handleEvaluateStream is POST /v1/evaluate/stream: the same request body
+// as /v1/evaluate, answered as NDJSON — one api.EvalStreamResult per line,
+// in point order, written incrementally as the sweep produces them.
+//
+// The memory contract is the point of the endpoint: results flow from
+// sweep.StreamCtx through a bounded reorder window straight onto the wire,
+// so the server holds O(workers) results for a grid of any size instead of
+// buffering the full response. Per-point evaluation failures become
+// error lines (index-tagged, with the api wire code) and do not end the
+// stream; a mid-stream client disconnect cancels the sweep via the
+// request context.
+//
+// Validation failures (malformed body, unknown vocabulary, batch cap) are
+// still whole-request errors: they are detected before the first byte is
+// written, while a status line can still say 4xx.
+func (s *Server) handleEvaluateStream(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	jobs, ok := s.decodeEvalRequest(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w, r, len(jobs))
+	if !ok {
+		return
+	}
+	defer release()
+
+	workers := s.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriterSize(w, streamBufBytes)
+	enc := json.NewEncoder(bw)
+
+	s.metrics.inflightSweeps.Add(1)
+	defer s.metrics.inflightSweeps.Add(-1)
+	lines := 0
+	// Errors returned by emit (encode/flush failures) mean the client is
+	// gone; StreamCtx cancels the sweep and we simply stop — there is no
+	// one left to tell, and the status line is long since committed.
+	//nolint:errcheck
+	sweep.StreamCtx(r.Context(), workers, s.opts.StreamWindow, len(jobs),
+		func(i int) (pdn.Result, error) {
+			res, err := s.evalOne(jobs[i])
+			if err == nil {
+				s.metrics.pointsTotal.Inc()
+			}
+			return res, err
+		},
+		func(i int, res pdn.Result, err error) error {
+			line := api.EvalStreamResult{Index: i}
+			if err != nil {
+				line.Code = api.CodeFor(api.ErrEvaluation)
+				line.Error = err.Error()
+			} else {
+				wire := wireResult(jobs[i], res)
+				line.Result = &wire
+			}
+			if err := enc.Encode(&line); err != nil {
+				return err
+			}
+			s.metrics.streamedTotal.Inc()
+			lines++
+			if lines%flushEvery == 0 {
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return nil
+		})
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -116,6 +116,126 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 	return out, nil
 }
 
+// StreamCtx runs fn(0) … fn(n-1) on a pool of workers and delivers every
+// result to emit in strict index order, from the caller's goroutine, while
+// holding at most window results in memory — the streaming counterpart of
+// MapCtx for grids too large to buffer (a million-point evaluate stream is
+// O(window), not O(n)).
+//
+// Semantics differ from MapCtx where streaming demands it:
+//
+//   - Per-point errors do not abort the sweep: they are delivered to
+//     emit(i, zero, err) in order, because a stream's vocabulary carries
+//     per-point failures (the caller decides whether to keep going).
+//   - emit returning a non-nil error cancels the sweep — the signal that
+//     the consumer is gone (client disconnect, write failure). StreamCtx
+//     returns that error.
+//   - ctx cancellation stops workers from claiming new points and StreamCtx
+//     returns context.Cause(ctx).
+//
+// window <= 0 defaults to 4×workers; it is clamped to at least the worker
+// count (a smaller window would idle the pool) and at most n. Workers stay
+// at most window points ahead of the consumer, so a slow consumer
+// backpressures the pool instead of growing a buffer. StreamCtx does not
+// return until every worker goroutine has exited.
+func StreamCtx[T any](ctx context.Context, workers, window, n int, fn func(i int) (T, error), emit func(i int, v T, err error) error) error {
+	if n <= 0 {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if window <= 0 {
+		window = 4 * workers
+	}
+	if window < workers {
+		window = workers
+	}
+	if window > n {
+		window = n
+	}
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	done := sctx.Done()
+
+	// Results flow through a fixed ring of window cells. A worker may only
+	// claim index i after acquiring a token, and the consumer returns the
+	// token when it emits a cell — so at most window claimed-but-unemitted
+	// indices exist, which both bounds memory and guarantees each ring cell
+	// has a single writer between consecutive reads (indices sharing a cell
+	// are window apart, and two unemitted indices can never be).
+	type cell struct {
+		v   T
+		err error
+	}
+	cells := make([]cell, window)
+	ready := make([]chan struct{}, window)
+	for i := range ready {
+		ready[i] = make(chan struct{}, 1)
+	}
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tokens:
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				cells[i%window] = cell{v: v, err: err}
+				ready[i%window] <- struct{}{}
+			}
+		}()
+	}
+
+	var streamErr error
+consume:
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+			streamErr = context.Cause(sctx)
+			break consume
+		case <-ready[i%window]:
+			c := cells[i%window]
+			if err := emit(i, c.v, c.err); err != nil {
+				streamErr = err
+				break consume
+			}
+			tokens <- struct{}{}
+		}
+	}
+	// Release the pool (idempotent on the error paths) and wait for every
+	// worker to exit before returning, so no goroutine outlives the call.
+	cancel(nil)
+	wg.Wait()
+	if streamErr != nil {
+		return streamErr
+	}
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
 // Each is Map for functions that produce no value: it runs fn over the
 // index grid and returns the lowest-index error, if any.
 func Each(workers, n int, fn func(i int) error) error {

@@ -55,7 +55,55 @@ func TestPublicSurfaceSelfContained(t *testing.T) {
 			}
 			g.checkObject(obj)
 		}
+		for _, want := range requiredExports[path] {
+			if !hasExport(scope, want) {
+				t.Errorf("%s no longer exports %s — the wire/SDK contract shrank", path, want)
+			}
+		}
 	}
+}
+
+// requiredExports pins identifiers the public surface has promised:
+// removing or renaming one is a breaking change for external importers
+// and must fail here, not in a consumer's build. Only identifiers other
+// packages are known to depend on are listed — this is a floor, not an
+// inventory.
+var requiredExports = map[string][]string{
+	"repro/flexwatts/api": {
+		"PathEvaluate", "PathEvaluateStream", "PathMetrics",
+		"EvalStreamResult", "Error",
+		"ErrRateLimited", "ErrOverloaded", "ErrBatchTooLarge",
+		"StatusFor", "CodeFor", "FromStatus", "FromCode", "Retryable",
+	},
+	"repro/flexwatts/client": {
+		"Client.EvaluateStream", "Client.EvaluateBatch",
+		"WithRetries", "WithMaxRetryWait", "DefaultRetries",
+	},
+	"repro/flexwatts": {"Point", "Result", "NewClient"},
+}
+
+// hasExport resolves a required-exports entry: a bare name is a
+// package-scope object, "Type.Method" is an exported method on a named
+// type.
+func hasExport(scope *types.Scope, name string) bool {
+	typ, method, ok := strings.Cut(name, ".")
+	if !ok {
+		return scope.Lookup(name) != nil
+	}
+	tn, ok := scope.Lookup(typ).(*types.TypeName)
+	if !ok {
+		return false
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == method {
+			return true
+		}
+	}
+	return false
 }
 
 // leakGuard walks the reachable exported type graph of one package and
