@@ -12,17 +12,28 @@
 // Endpoints:
 //
 //	GET  /healthz                     liveness + cache statistics
+//	GET  /readyz                      readiness (503 until warm-start completes)
 //	GET  /metrics                     Prometheus text exposition
 //	GET  /debug/pprof/                profiling surface
 //	GET  /v1/experiments              experiment ids
 //	GET  /v1/experiments/{id}         one experiment; ?format=ascii|json|csv
 //	POST /v1/evaluate                 batch of evaluation points
 //	POST /v1/evaluate/stream          same batch, streamed back as NDJSON
+//	GET/DELETE /v1/admin/cache        cache tier statistics / flush
 //
 // Admission control is tuned with -rate/-burst (per-client token bucket,
 // shed with 429) and -max-inflight-points (server-wide budget, shed with
 // 503); both shed paths set Retry-After. -access-log turns on one JSON
 // line per request on stderr.
+//
+// -cache-dir enables the crash-safe persistent cache tier: evaluations are
+// written behind to an append-only checksummed log and replayed into the
+// in-memory cache at the next boot. Disk faults degrade the tier (requests
+// keep computing), never a request; /readyz reports degraded:true.
+//
+// The -read-timeout/-write-timeout/-idle-timeout flags harden the listener
+// against slow or stalled clients; /v1/evaluate/stream is exempt from the
+// write timeout, managing its own rolling -stream-write-timeout per chunk.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get -grace (default 10s) to complete before the listener closes hard.
@@ -42,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cachestore"
 	"repro/internal/experiments"
 	"repro/internal/server"
 )
@@ -73,6 +85,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		"Retry-After hint sent with 503 shed responses")
 	accessLog := fs.Bool("access-log", false,
 		"log one JSON line per request to stderr")
+	cacheDir := fs.String("cache-dir", "",
+		"directory for the crash-safe persistent cache tier (empty = memory only)")
+	cacheQueue := fs.Int("cache-queue", 0,
+		"write-behind queue length for the persistent tier (0 = default 4096)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second,
+		"maximum duration for reading an entire request, body included (0 = unlimited)")
+	writeTimeout := fs.Duration("write-timeout", 60*time.Second,
+		"maximum duration for writing a response; /v1/evaluate/stream is exempt (0 = unlimited)")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second,
+		"how long a keep-alive connection may sit idle (0 = read-timeout)")
+	streamWriteTimeout := fs.Duration("stream-write-timeout", server.DefaultStreamWriteTimeout,
+		"rolling per-chunk write deadline on /v1/evaluate/stream")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -86,17 +110,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	opts := server.Options{
-		Workers:           *parallel,
-		MaxBatch:          *maxBatch,
-		MaxBodyBytes:      *maxBody,
-		MaxInflightPoints: *maxInflight,
-		RatePerClient:     *rate,
-		BurstPerClient:    *burst,
-		RetryAfter:        *retryAfter,
-		StreamWindow:      *streamWindow,
+		Workers:            *parallel,
+		MaxBatch:           *maxBatch,
+		MaxBodyBytes:       *maxBody,
+		MaxInflightPoints:  *maxInflight,
+		RatePerClient:      *rate,
+		BurstPerClient:     *burst,
+		RetryAfter:         *retryAfter,
+		StreamWindow:       *streamWindow,
+		StreamWriteTimeout: *streamWriteTimeout,
+		ErrorLog:           log.New(stderr, "", log.LstdFlags),
 	}
 	if *accessLog {
 		opts.AccessLog = log.New(stderr, "", 0)
+	}
+	if *cacheDir != "" {
+		store, err := cachestore.Open(*cacheDir, cachestore.Options{
+			Version:  env.CacheVersion(),
+			QueueLen: *cacheQueue,
+			Logf:     opts.ErrorLog.Printf,
+		})
+		if err != nil {
+			// The only unrecoverable path: the directory cannot be created,
+			// which is operator misconfiguration, not a runtime disk fault.
+			fmt.Fprintln(stderr, "flexwattsd:", err)
+			return 1
+		}
+		opts.Store = store
+		defer store.Close()
 	}
 	srv := server.New(env, opts)
 
@@ -110,6 +151,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds slow-body uploads; WriteTimeout bounds stalled
+		// response writes — the streaming route overrides it with its own
+		// rolling per-chunk deadline, so long sweeps stream to completion
+		// while a dead reader still gets disconnected.
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+		ErrorLog:     log.New(stderr, "", log.LstdFlags),
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)

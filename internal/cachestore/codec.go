@@ -1,0 +1,283 @@
+package cachestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+)
+
+// On-disk format. A segment file is a 16-byte header followed by a
+// sequence of framed records:
+//
+//	header:  8-byte magic "FWCSEG01" + 8-byte store version hash
+//	record:  u32 magic | u32 payload length | u32 CRC-32 (IEEE) of payload |
+//	         payload
+//
+// The payload is a fixed-order little-endian encoding of one cache entry —
+// the (kind, scenario) key and its evaluated result. Floats are stored as
+// their IEEE-754 bits, so a loaded result is bit-identical to the computed
+// one and warm answers can never drift from cold ones.
+//
+// Integrity is per record: the CRC covers the payload, the frame length is
+// bounds-checked before allocation, and decodePayload validates every
+// count it indexes with, so a scan of arbitrary bytes (bit flips, torn
+// writes, garbage files) classifies cleanly instead of panicking — the
+// property FuzzDecodeRecord pins.
+const (
+	headerMagic = "FWCSEG01"
+	headerSize  = 16
+
+	recMagic     = 0xF1EC5E6D
+	frameSize    = 12 // record magic + length + CRC
+	maxPayload   = 1 << 16
+	maxRailName  = 256
+	codecVersion = "cachestore-v1" // mixed into the store version hash
+)
+
+var (
+	errBadMagic    = errors.New("cachestore: bad record magic")
+	errBadLength   = errors.New("cachestore: implausible record length")
+	errBadChecksum = errors.New("cachestore: record checksum mismatch")
+	errBadPayload  = errors.New("cachestore: malformed record payload")
+)
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendRecord frames one cache entry onto buf.
+func appendRecord(buf []byte, kind pdn.Kind, s pdn.Scenario, res pdn.Result) []byte {
+	buf = appendU32(buf, recMagic)
+	lenOff := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + CRC, patched below
+	start := len(buf)
+	buf = appendPayload(buf, kind, s, res)
+	payload := buf[start:]
+	binary.LittleEndian.PutUint32(buf[lenOff:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[lenOff+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+func appendPayload(buf []byte, kind pdn.Kind, s pdn.Scenario, res pdn.Result) []byte {
+	buf = appendU32(buf, uint32(kind))
+	for k := range s.Loads {
+		l := s.Loads[k]
+		buf = appendF64(buf, l.PNom)
+		buf = appendF64(buf, l.VNom)
+		buf = appendF64(buf, l.FL)
+		buf = appendF64(buf, l.AR)
+	}
+	buf = appendU32(buf, uint32(s.CState))
+	buf = appendF64(buf, s.PSU)
+
+	buf = appendU32(buf, uint32(res.PDN))
+	buf = appendF64(buf, res.PNomTotal)
+	buf = appendF64(buf, res.PIn)
+	buf = appendF64(buf, res.ETEE)
+	buf = appendF64(buf, res.Breakdown.Guardband)
+	buf = appendF64(buf, res.Breakdown.PowerGate)
+	buf = appendF64(buf, res.Breakdown.OnChipVR)
+	buf = appendF64(buf, res.Breakdown.OffChipVR)
+	buf = appendF64(buf, res.Breakdown.CondCompute)
+	buf = appendF64(buf, res.Breakdown.CondUncore)
+	buf = appendF64(buf, res.ChipInputCurrent)
+	buf = appendF64(buf, res.ComputeRailR)
+	buf = appendU32(buf, uint32(res.Rails.Len()))
+	for i := 0; i < res.Rails.Len(); i++ {
+		r := res.Rails.At(i)
+		name := r.Name
+		if len(name) > maxRailName {
+			name = name[:maxRailName]
+		}
+		buf = appendU32(buf, uint32(len(name)))
+		buf = append(buf, name...)
+		buf = appendF64(buf, r.VOut)
+		buf = appendF64(buf, r.Current)
+		buf = appendF64(buf, r.Peak)
+	}
+	return buf
+}
+
+// byteReader is a bounds-checked cursor over a payload; any out-of-range
+// read latches fail instead of panicking.
+type byteReader struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (r *byteReader) u32() uint32 {
+	if r.fail || r.off+4 > len(r.b) {
+		r.fail = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) f64() float64 {
+	if r.fail || r.off+8 > len(r.b) {
+		r.fail = true
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) str(n int) string {
+	if r.fail || n < 0 || n > maxRailName || r.off+n > len(r.b) {
+		r.fail = true
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// decodePayload parses one record payload. It accepts exactly the bytes
+// appendPayload produced — trailing garbage, short buffers, or implausible
+// counts all return errBadPayload.
+func decodePayload(b []byte) (kind pdn.Kind, s pdn.Scenario, res pdn.Result, err error) {
+	r := &byteReader{b: b}
+	kind = pdn.Kind(r.u32())
+	for k := range s.Loads {
+		s.Loads[k].PNom = r.f64()
+		s.Loads[k].VNom = r.f64()
+		s.Loads[k].FL = r.f64()
+		s.Loads[k].AR = r.f64()
+	}
+	s.CState = domain.CState(r.u32())
+	s.PSU = r.f64()
+
+	res.PDN = pdn.Kind(r.u32())
+	res.PNomTotal = r.f64()
+	res.PIn = r.f64()
+	res.ETEE = r.f64()
+	res.Breakdown.Guardband = r.f64()
+	res.Breakdown.PowerGate = r.f64()
+	res.Breakdown.OnChipVR = r.f64()
+	res.Breakdown.OffChipVR = r.f64()
+	res.Breakdown.CondCompute = r.f64()
+	res.Breakdown.CondUncore = r.f64()
+	res.ChipInputCurrent = r.f64()
+	res.ComputeRailR = r.f64()
+	n := r.u32()
+	if n > pdn.MaxRails {
+		return 0, pdn.Scenario{}, pdn.Result{}, errBadPayload
+	}
+	for i := uint32(0); i < n && !r.fail; i++ {
+		var rd pdn.RailDraw
+		rd.Name = r.str(int(r.u32()))
+		rd.VOut = r.f64()
+		rd.Current = r.f64()
+		rd.Peak = r.f64()
+		if r.fail {
+			break
+		}
+		res.Rails.Append(rd)
+	}
+	if r.fail || r.off != len(b) {
+		return 0, pdn.Scenario{}, pdn.Result{}, errBadPayload
+	}
+	return kind, s, res, nil
+}
+
+// scanEnd classifies how a record scan stopped.
+type scanEnd int
+
+const (
+	// endClean: the scan consumed the whole byte range.
+	endClean scanEnd = iota
+	// endTruncated: the range ends in a partial record — the signature of
+	// a crash mid-append (SIGKILL, power loss). The good prefix is intact.
+	endTruncated
+	// endCorrupt: a record inside the range failed its magic, length,
+	// checksum, or payload validation — bit rot or an overwritten region.
+	// Nothing after the failure can be trusted.
+	endCorrupt
+)
+
+func (e scanEnd) String() string {
+	switch e {
+	case endClean:
+		return "clean"
+	case endTruncated:
+		return "truncated"
+	default:
+		return "corrupt"
+	}
+}
+
+// scanRecords walks framed records in b, invoking apply for every record
+// that passes checksum and payload validation, and reports how many bytes
+// formed the valid prefix plus how the scan ended. It never fails the scan
+// itself: salvage what is provably good, classify the rest.
+func scanRecords(b []byte, apply func(kind pdn.Kind, s pdn.Scenario, res pdn.Result)) (records int, validBytes int, end scanEnd) {
+	off := 0
+	for {
+		rest := b[off:]
+		if len(rest) == 0 {
+			return records, off, endClean
+		}
+		if len(rest) < frameSize {
+			return records, off, endTruncated
+		}
+		if binary.LittleEndian.Uint32(rest) != recMagic {
+			return records, off, endCorrupt
+		}
+		length := int(binary.LittleEndian.Uint32(rest[4:]))
+		if length <= 0 || length > maxPayload {
+			return records, off, endCorrupt
+		}
+		if len(rest) < frameSize+length {
+			return records, off, endTruncated
+		}
+		payload := rest[frameSize : frameSize+length]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[8:]) {
+			return records, off, endCorrupt
+		}
+		kind, s, res, err := decodePayload(payload)
+		if err != nil {
+			return records, off, endCorrupt
+		}
+		if apply != nil {
+			apply(kind, s, res)
+		}
+		records++
+		off += frameSize + length
+	}
+}
+
+// decodeRecord parses exactly one framed record from the front of b,
+// returning the remaining bytes. Used by tests and fuzzing; the store's
+// scan path is scanRecords.
+func decodeRecord(b []byte) (kind pdn.Kind, s pdn.Scenario, res pdn.Result, rest []byte, err error) {
+	if len(b) < frameSize {
+		return 0, pdn.Scenario{}, pdn.Result{}, b, fmt.Errorf("%w: %d bytes", errBadLength, len(b))
+	}
+	if binary.LittleEndian.Uint32(b) != recMagic {
+		return 0, pdn.Scenario{}, pdn.Result{}, b, errBadMagic
+	}
+	length := int(binary.LittleEndian.Uint32(b[4:]))
+	if length <= 0 || length > maxPayload || len(b) < frameSize+length {
+		return 0, pdn.Scenario{}, pdn.Result{}, b, errBadLength
+	}
+	payload := b[frameSize : frameSize+length]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[8:]) {
+		return 0, pdn.Scenario{}, pdn.Result{}, b, errBadChecksum
+	}
+	kind, s, res, err = decodePayload(payload)
+	if err != nil {
+		return 0, pdn.Scenario{}, pdn.Result{}, b, err
+	}
+	return kind, s, res, b[frameSize+length:], nil
+}

@@ -1,0 +1,191 @@
+package cachestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+)
+
+// testEntry builds a deterministic, fully populated cache entry; i varies
+// the values so distinct entries stay distinct on disk.
+func testEntry(i int) (pdn.Kind, pdn.Scenario, pdn.Result) {
+	var s pdn.Scenario
+	for k := range s.Loads {
+		s.Loads[k].PNom = float64(i) + float64(k)*0.25
+		s.Loads[k].VNom = 1.05 + float64(k)*0.01
+		s.Loads[k].FL = 0.8
+		s.Loads[k].AR = 0.25
+	}
+	s.CState = domain.C0
+	s.PSU = 0.9
+
+	var res pdn.Result
+	res.PDN = pdn.IVR
+	res.PNomTotal = float64(i) * 2
+	res.PIn = float64(i)*2 + 1.125
+	res.ETEE = 0.87
+	res.Breakdown.Guardband = 0.11
+	res.Breakdown.PowerGate = 0.02
+	res.Breakdown.OnChipVR = 0.05
+	res.Breakdown.OffChipVR = 0.03
+	res.Breakdown.CondCompute = 0.01
+	res.Breakdown.CondUncore = 0.005
+	res.ChipInputCurrent = 3.25
+	res.ComputeRailR = 0.0021
+	res.Rails.Append(pdn.RailDraw{Name: "compute", VOut: 1.8, Current: 2.5, Peak: 3.0})
+	res.Rails.Append(pdn.RailDraw{Name: "uncore", VOut: 1.05, Current: 0.5, Peak: 0.75})
+	return pdn.IVR, s, res
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	kind, s, res := testEntry(7)
+	b := appendRecord(nil, kind, s, res)
+	gotKind, gotS, gotRes, rest, err := decodeRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes", len(rest))
+	}
+	if gotKind != kind {
+		t.Errorf("kind = %v, want %v", gotKind, kind)
+	}
+	if gotS != s {
+		t.Errorf("scenario round trip mismatch:\n got %+v\nwant %+v", gotS, s)
+	}
+	// The result must be bit-identical — warm answers may never drift
+	// from cold ones.
+	if !reflect.DeepEqual(gotRes, res) {
+		t.Errorf("result round trip mismatch:\n got %+v\nwant %+v", gotRes, res)
+	}
+}
+
+func TestRecordRoundTripEmptyRails(t *testing.T) {
+	kind, s, res := testEntry(1)
+	res.Rails = pdn.RailSet{}
+	b := appendRecord(nil, kind, s, res)
+	_, _, gotRes, _, err := decodeRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.Rails.Len() != 0 {
+		t.Errorf("rails = %d, want 0", gotRes.Rails.Len())
+	}
+}
+
+// appendN frames n records into one byte range.
+func appendN(n int) []byte {
+	var b []byte
+	for i := 0; i < n; i++ {
+		k, s, r := testEntry(i)
+		b = appendRecord(b, k, s, r)
+	}
+	return b
+}
+
+func TestScanClean(t *testing.T) {
+	b := appendN(5)
+	n, valid, end := scanRecords(b, nil)
+	if n != 5 || valid != len(b) || end != endClean {
+		t.Errorf("scan = (%d, %d, %v), want (5, %d, clean)", n, valid, end, len(b))
+	}
+}
+
+// TestScanTruncated drops bytes off the tail — the on-disk signature of a
+// crash mid-append — and expects the scan to salvage every whole record
+// and classify the end as truncated, whatever the cut point.
+func TestScanTruncated(t *testing.T) {
+	whole := appendN(3)
+	two := appendN(2)
+	for cut := len(two) + 1; cut < len(whole); cut++ {
+		n, valid, end := scanRecords(whole[:cut], nil)
+		if n != 2 || valid != len(two) || end != endTruncated {
+			t.Fatalf("cut %d: scan = (%d, %d, %v), want (2, %d, truncated)",
+				cut, n, valid, end, len(two))
+		}
+	}
+}
+
+func TestScanCorruptMagic(t *testing.T) {
+	b := appendN(3)
+	one := len(appendN(1))
+	// Stomp the second record's magic.
+	binary.LittleEndian.PutUint32(b[one:], 0xDEADBEEF)
+	n, valid, end := scanRecords(b, nil)
+	if n != 1 || valid != one || end != endCorrupt {
+		t.Errorf("scan = (%d, %d, %v), want (1, %d, corrupt)", n, valid, end, one)
+	}
+}
+
+func TestScanCorruptChecksum(t *testing.T) {
+	b := appendN(3)
+	one := len(appendN(1))
+	// Flip one payload bit inside the second record.
+	b[one+frameSize+3] ^= 0x40
+	n, valid, end := scanRecords(b, nil)
+	if n != 1 || valid != one || end != endCorrupt {
+		t.Errorf("scan = (%d, %d, %v), want (1, %d, corrupt)", n, valid, end, one)
+	}
+}
+
+func TestScanImplausibleLength(t *testing.T) {
+	b := appendN(1)
+	binary.LittleEndian.PutUint32(b[4:], maxPayload+1)
+	if _, _, end := scanRecords(b, nil); end != endCorrupt {
+		t.Errorf("end = %v, want corrupt", end)
+	}
+	binary.LittleEndian.PutUint32(b[4:], 0)
+	if _, _, end := scanRecords(b, nil); end != endCorrupt {
+		t.Errorf("zero length: end = %v, want corrupt", end)
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	k, s, r := testEntry(0)
+	good := appendRecord(nil, k, s, r)
+
+	if _, _, _, _, err := decodeRecord(good[:5]); !errors.Is(err, errBadLength) {
+		t.Errorf("short frame: err = %v, want errBadLength", err)
+	}
+
+	bad := bytes.Clone(good)
+	bad[0] ^= 0xFF
+	if _, _, _, _, err := decodeRecord(bad); !errors.Is(err, errBadMagic) {
+		t.Errorf("bad magic: err = %v, want errBadMagic", err)
+	}
+
+	bad = bytes.Clone(good)
+	bad[len(bad)-1] ^= 0x01
+	if _, _, _, _, err := decodeRecord(bad); !errors.Is(err, errBadChecksum) {
+		t.Errorf("flipped payload: err = %v, want errBadChecksum", err)
+	}
+}
+
+// TestDecodePayloadRejectsTrailingGarbage pins that a payload must be
+// consumed exactly: extra bytes after a structurally valid entry are
+// corruption, not padding.
+func TestDecodePayloadRejectsTrailingGarbage(t *testing.T) {
+	k, s, r := testEntry(0)
+	full := appendRecord(nil, k, s, r)
+	payload := append(bytes.Clone(full[frameSize:]), 0x00)
+	if _, _, _, err := decodePayload(payload); !errors.Is(err, errBadPayload) {
+		t.Errorf("err = %v, want errBadPayload", err)
+	}
+}
+
+func TestDecodePayloadRejectsRailOverflow(t *testing.T) {
+	k, s, r := testEntry(0)
+	r.Rails = pdn.RailSet{}
+	full := appendRecord(nil, k, s, r)
+	payload := bytes.Clone(full[frameSize:])
+	// The rail count is the last u32 before the (empty) rail list.
+	binary.LittleEndian.PutUint32(payload[len(payload)-4:], pdn.MaxRails+1)
+	if _, _, _, err := decodePayload(payload); !errors.Is(err, errBadPayload) {
+		t.Errorf("err = %v, want errBadPayload", err)
+	}
+}

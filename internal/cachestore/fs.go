@@ -1,0 +1,70 @@
+package cachestore
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the store performs every disk operation
+// through. The indirection exists for fault tolerance, not portability:
+// internal/faultinject wraps any FS with rule-driven error, latency and
+// torn-write injection, so the chaos suite can prove that no disk failure
+// mode ever propagates into a request. Production uses OSFS.
+type FS interface {
+	// MkdirAll creates the store directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory, sorted by filename (the os contract).
+	ReadDir(path string) ([]os.DirEntry, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create truncates or creates a file for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens a file for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname (POSIX rename).
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+}
+
+// File is the per-file surface the store needs: sequential reads for the
+// warm-start scan, appends for the segment log, Sync for durability points.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage.
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// join is filepath.Join, shared by store paths.
+func join(dir, name string) string { return filepath.Join(dir, name) }

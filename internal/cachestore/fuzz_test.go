@@ -1,0 +1,50 @@
+package cachestore
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pdn"
+)
+
+// FuzzDecodeRecord pins the codec's core robustness property: arbitrary
+// bytes — bit flips, torn writes, hostile garbage — must classify cleanly
+// (decode error or scan end state), never panic or over-read. Any input
+// that decodes successfully must also re-encode to the identical frame, so
+// the decoder cannot accept a frame the encoder would not produce.
+func FuzzDecodeRecord(f *testing.F) {
+	// Seed with real frames so the fuzzer starts at the interesting
+	// boundary: structurally valid records it can mutate.
+	for i := 0; i < 3; i++ {
+		k, s, r := testEntry(i)
+		f.Add(appendRecord(nil, k, s, r))
+	}
+	k, s, r := testEntry(0)
+	r.Rails = pdn.RailSet{}
+	f.Add(appendRecord(nil, k, s, r))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		kind, sc, res, rest, err := decodeRecord(b)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(b) {
+			t.Fatalf("rest grew: %d > %d", len(rest), len(b))
+		}
+		// Canonical re-encode: a frame the decoder accepts must be exactly
+		// what the encoder emits for the decoded values.
+		consumed := b[:len(b)-len(rest)]
+		re := appendRecord(nil, kind, sc, res)
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", consumed, re)
+		}
+
+		// The scan path must agree with the record path on valid input.
+		n, valid, _ := scanRecords(consumed, nil)
+		if n != 1 || valid != len(consumed) {
+			t.Fatalf("scanRecords = (%d, %d) on a valid record of %d bytes", n, valid, len(consumed))
+		}
+	})
+}

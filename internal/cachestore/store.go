@@ -1,0 +1,622 @@
+// Package cachestore is the crash-safe persistent tier under the in-memory
+// sweep.Cache: a content-addressed, append-only segment log of evaluated
+// (PDN kind, scenario) → result entries, so a daemon restart warm-starts
+// from disk instead of re-paying the evaluation suite.
+//
+// Design rules, in priority order:
+//
+//  1. The disk can never fail a request. Every write is write-behind
+//     through a bounded queue (full queue → drop + count, never block);
+//     read problems quarantine data instead of erroring; repeated faults
+//     disable the tier entirely (degraded mode) and the daemon keeps
+//     serving from computation alone.
+//  2. A kill -9 at any instant is recoverable. Appends are framed with
+//     per-record checksums; the warm-start scan treats a partial record at
+//     a segment's tail as the expected signature of a mid-write crash and
+//     salvages the prefix. Compaction writes a fresh segment to a temp
+//     name and renames it into place, so a crash mid-compaction leaves
+//     either the old segments or the new one, never a half state.
+//  3. Stale state cannot resurrect. Every segment header carries a version
+//     hash of the model parameters and codec schema; segments with a
+//     foreign hash are deleted on boot, so a model change invalidates the
+//     cache wholesale.
+//
+// Corrupt segments (bad magic, failed checksum, malformed payload) are
+// quarantined — renamed to *.quarantine and left on disk for post-mortem —
+// after their valid prefix is salvaged into the compacted segment.
+package cachestore
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pdn"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// Version identifies the evaluation semantics producing the cached
+	// results (model parameters, schema). It is hashed into every segment
+	// header together with the codec version; opening a directory written
+	// under a different version discards its segments.
+	Version string
+	// FS is the filesystem implementation; nil means the real one (OSFS).
+	FS FS
+	// QueueLen bounds the write-behind queue; <= 0 means 4096. A full
+	// queue drops entries (counted) instead of blocking the caller.
+	QueueLen int
+	// MaxFaults is how many consecutive disk faults disable the tier;
+	// <= 0 means 8.
+	MaxFaults int
+	// SyncEvery syncs the active segment every N persisted records;
+	// <= 0 means 64. Entries between syncs can be lost to a crash — an
+	// acceptable loss, since every entry is recomputable.
+	SyncEvery int
+	// Logf, when non-nil, receives operational log lines (quarantines,
+	// degradation). The store never logs per-entry.
+	Logf func(format string, args ...any)
+}
+
+const (
+	defaultQueueLen  = 4096
+	defaultMaxFaults = 8
+	defaultSyncEvery = 64
+	segSuffix        = ".seg"
+	quarantineSuffix = ".quarantine"
+)
+
+// entry is one queued write.
+type entry struct {
+	kind pdn.Kind
+	s    pdn.Scenario
+	res  pdn.Result
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Dir is the store directory.
+	Dir string
+	// Degraded reports whether repeated disk faults disabled the tier.
+	Degraded bool
+	// WarmStarted reports whether the boot scan has completed.
+	WarmStarted bool
+	// Loaded counts records replayed into the memory tier at warm start.
+	Loaded int64
+	// WarmStartSeconds is the boot scan + compaction duration.
+	WarmStartSeconds float64
+	// Persisted counts records appended to the log since boot.
+	Persisted int64
+	// Dropped counts entries discarded because the queue was full or the
+	// tier was degraded.
+	Dropped int64
+	// QueueDepth and QueueCap describe the write-behind queue.
+	QueueDepth int
+	QueueCap   int
+	// QuarantinedFiles counts segments set aside for corruption;
+	// QuarantinedRecords counts the corruption events that caused it.
+	QuarantinedFiles   int64
+	QuarantinedRecords int64
+	// TruncatedTails counts segments that ended mid-record (crash
+	// signature); their good prefix was salvaged.
+	TruncatedTails int64
+	// StaleFiles counts segments deleted for a version-hash mismatch.
+	StaleFiles int64
+	// Faults counts disk operations that failed.
+	Faults int64
+}
+
+// Store is the persistent cache tier. Create with Open, start with
+// WarmStart, feed with Put (it satisfies sweep.Tier), stop with Close.
+type Store struct {
+	dir       string
+	fs        FS
+	ver       [8]byte
+	queue     chan entry
+	stopc     chan struct{}
+	donec     chan struct{}
+	started   atomic.Bool
+	closing   atomic.Bool
+	degraded  atomic.Bool
+	warmDone  atomic.Bool
+	logf      func(string, ...any)
+	maxFaults int
+	syncEvery int
+
+	loaded      atomic.Int64
+	persisted   atomic.Int64
+	dropped     atomic.Int64
+	quarFiles   atomic.Int64
+	quarRecords atomic.Int64
+	truncTails  atomic.Int64
+	staleFiles  atomic.Int64
+	faults      atomic.Int64
+	warmNanos   atomic.Int64
+
+	// fileMu guards the active segment handle and everything that swaps
+	// it (writer appends, Purge, degradation). The request path never
+	// takes it — Put only touches the queue.
+	fileMu      sync.Mutex
+	active      File
+	activeName  string
+	consecutive int
+	unsynced    int
+	buf         []byte
+}
+
+// versionHash folds the caller's version string and the codec version into
+// the 8-byte header field.
+func versionHash(version string) [8]byte {
+	sum := sha256.Sum256([]byte(codecVersion + "\x00" + version))
+	var h [8]byte
+	copy(h[:], sum[:8])
+	return h
+}
+
+// Open prepares a store over dir, creating it if needed. Open is cheap and
+// validates only that the directory is creatable — a boot-time
+// misconfiguration (bad path, no permission) should fail loudly, while
+// everything after Open degrades instead of failing. No scan happens until
+// WarmStart.
+func Open(dir string, opts Options) (*Store, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = defaultQueueLen
+	}
+	if opts.MaxFaults <= 0 {
+		opts.MaxFaults = defaultMaxFaults
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = defaultSyncEvery
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cachestore: open %s: %w", dir, err)
+	}
+	return &Store{
+		dir:       dir,
+		fs:        fs,
+		ver:       versionHash(opts.Version),
+		queue:     make(chan entry, opts.QueueLen),
+		stopc:     make(chan struct{}),
+		donec:     make(chan struct{}),
+		logf:      logf,
+		maxFaults: opts.MaxFaults,
+		syncEvery: opts.SyncEvery,
+	}, nil
+}
+
+// segments lists the store's segment files in name order (names embed a
+// monotone sequence number, so name order is write order).
+func (st *Store) segments() ([]string, error) {
+	ents, err := st.fs.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// segName renders the canonical segment filename for a sequence number.
+func segName(seq int) string { return fmt.Sprintf("seg-%06d%s", seq, segSuffix) }
+
+// seqOf parses a segment filename's sequence number; unparseable names
+// sort as 0 (they still participate in scans by name order).
+func seqOf(name string) int {
+	var seq int
+	fmt.Sscanf(name, "seg-%06d", &seq) //nolint:errcheck // 0 on mismatch is fine
+	return seq
+}
+
+// header renders a segment header for this store's version.
+func (st *Store) header() []byte {
+	h := make([]byte, 0, headerSize)
+	h = append(h, headerMagic...)
+	h = append(h, st.ver[:]...)
+	return h
+}
+
+// readAll slurps one file through the FS.
+func (st *Store) readAll(name string) ([]byte, error) {
+	f, err := st.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var b []byte
+	chunk := make([]byte, 64<<10)
+	for {
+		n, err := f.Read(chunk)
+		b = append(b, chunk[:n]...)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return b, nil
+			}
+			return b, err
+		}
+	}
+}
+
+// quarantine sets a segment aside under the .quarantine suffix; if even
+// the rename fails the file is left in place (the next boot retries).
+func (st *Store) quarantine(name string) {
+	st.quarFiles.Add(1)
+	if err := st.fs.Rename(join(st.dir, name), join(st.dir, name+quarantineSuffix)); err != nil {
+		st.fault(err)
+	} else {
+		st.logf("cachestore: quarantined corrupt segment %s", name)
+	}
+}
+
+// WarmStart scans every segment, replays each valid record into apply,
+// compacts the survivors into a single fresh segment, and starts the
+// write-behind goroutine. It returns the number of records replayed.
+//
+// WarmStart never fails the boot: any disk problem is counted, the
+// affected data is quarantined or skipped, and at worst the store comes up
+// degraded (accepting and dropping writes) — the daemon serves either way.
+// Call it exactly once, before or concurrently with traffic; Puts issued
+// before WarmStart simply wait in (or overflow) the queue.
+func (st *Store) WarmStart(apply func(kind pdn.Kind, s pdn.Scenario, res pdn.Result)) int {
+	if st.started.Swap(true) {
+		panic("cachestore: WarmStart called twice")
+	}
+	begin := time.Now()
+	names, err := st.segments()
+	if err != nil {
+		st.fault(err)
+		names = nil
+	}
+
+	// Salvage pass: collect every segment's valid byte range, replaying
+	// records into apply as they verify.
+	var keep []salvaged
+	maxSeq := 0
+	loaded := 0
+	for _, name := range names {
+		if s := seqOf(name); s > maxSeq {
+			maxSeq = s
+		}
+		data, err := st.readAll(join(st.dir, name))
+		if err != nil {
+			st.fault(err)
+			st.quarantine(name)
+			continue
+		}
+		if len(data) < headerSize || string(data[:8]) != headerMagic {
+			st.quarRecords.Add(1)
+			st.quarantine(name)
+			continue
+		}
+		if !versionMatch(data[8:headerSize], st.ver) {
+			st.staleFiles.Add(1)
+			st.logf("cachestore: dropping stale segment %s (version mismatch)", name)
+			if err := st.fs.Remove(join(st.dir, name)); err != nil {
+				st.fault(err)
+			}
+			continue
+		}
+		body := data[headerSize:]
+		n, valid, end := scanRecords(body, apply)
+		loaded += n
+		switch end {
+		case endClean:
+			keep = append(keep, salvaged{name: name, data: body[:valid], drop: true})
+		case endTruncated:
+			st.truncTails.Add(1)
+			st.logf("cachestore: segment %s ends mid-record (crash tail); salvaged %d records", name, n)
+			keep = append(keep, salvaged{name: name, data: body[:valid], drop: true})
+		case endCorrupt:
+			st.quarRecords.Add(1)
+			keep = append(keep, salvaged{name: name, data: body[:valid]})
+			st.quarantine(name)
+		}
+	}
+	st.loaded.Store(int64(loaded))
+
+	// Compaction: rewrite all salvaged bytes into one fresh segment via
+	// temp file + rename, then retire the sources. A crash anywhere in
+	// here leaves a scannable state: records may appear in both an old
+	// segment and the compacted one, which the next boot dedupes by
+	// virtue of identical content (the memory tier keys them).
+	st.fileMu.Lock()
+	defer st.fileMu.Unlock()
+	compacted := false
+	if len(keep) > 0 {
+		tmp := join(st.dir, "compact.tmp")
+		name := segName(maxSeq + 1)
+		if err := st.writeCompactLocked(tmp, keep); err != nil {
+			st.fault(err)
+		} else if err := st.fs.Rename(tmp, join(st.dir, name)); err != nil {
+			st.fault(err)
+		} else {
+			compacted = true
+			for _, s := range keep {
+				if !s.drop {
+					continue // already quarantined
+				}
+				if err := st.fs.Remove(join(st.dir, s.name)); err != nil {
+					st.fault(err)
+				}
+			}
+			st.activeName = name
+		}
+	}
+	if !compacted {
+		st.activeName = segName(maxSeq + 1)
+	}
+	st.openActiveLocked(compacted)
+
+	st.warmNanos.Store(time.Since(begin).Nanoseconds())
+	st.warmDone.Store(true)
+	go st.writer()
+	return loaded
+}
+
+// salvaged is one segment's recovered byte range awaiting compaction.
+type salvaged struct {
+	name string
+	data []byte // valid record bytes (header stripped)
+	drop bool   // remove after compaction (quarantined files were renamed already)
+}
+
+// writeCompactLocked writes header + salvaged ranges to tmp and syncs it.
+func (st *Store) writeCompactLocked(tmp string, keep []salvaged) error {
+	f, err := st.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(st.header()); err != nil {
+		f.Close()
+		return err
+	}
+	for _, s := range keep {
+		if len(s.data) == 0 {
+			continue
+		}
+		if _, err := f.Write(s.data); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// openActiveLocked opens the active segment for appending, writing the
+// header when the file is new. Failure degrades the store.
+func (st *Store) openActiveLocked(exists bool) {
+	f, err := st.fs.OpenAppend(join(st.dir, st.activeName))
+	if err != nil {
+		st.fault(err)
+		st.degrade("open active segment: " + err.Error())
+		return
+	}
+	if !exists {
+		if _, err := f.Write(st.header()); err != nil {
+			st.fault(err)
+			f.Close()
+			st.degrade("write segment header: " + err.Error())
+			return
+		}
+	}
+	st.active = f
+}
+
+// versionMatch compares a header's version-hash field.
+func versionMatch(field []byte, ver [8]byte) bool {
+	if len(field) < 8 {
+		return false
+	}
+	return string(field[:8]) == string(ver[:])
+}
+
+// Put enqueues one evaluated entry for persistence. It never blocks and
+// never fails: with the queue full or the tier degraded the entry is
+// dropped (counted) — the disk is an optimization, not a dependency.
+// Put satisfies sweep.Tier.
+func (st *Store) Put(kind pdn.Kind, s pdn.Scenario, res pdn.Result) {
+	if st.degraded.Load() || st.closing.Load() {
+		st.dropped.Add(1)
+		return
+	}
+	select {
+	case st.queue <- entry{kind: kind, s: s, res: res}:
+	default:
+		st.dropped.Add(1)
+	}
+}
+
+// writer drains the queue onto the active segment until Close.
+func (st *Store) writer() {
+	defer close(st.donec)
+	for {
+		select {
+		case e := <-st.queue:
+			st.append(e)
+		case <-st.stopc:
+			for {
+				select {
+				case e := <-st.queue:
+					st.append(e)
+				default:
+					st.fileMu.Lock()
+					st.syncLocked()
+					st.fileMu.Unlock()
+					return
+				}
+			}
+		}
+	}
+}
+
+// append writes one framed record to the active segment.
+func (st *Store) append(e entry) {
+	st.fileMu.Lock()
+	defer st.fileMu.Unlock()
+	if st.active == nil {
+		st.dropped.Add(1)
+		return
+	}
+	st.buf = appendRecord(st.buf[:0], e.kind, e.s, e.res)
+	if _, err := st.active.Write(st.buf); err != nil {
+		// The tail may now hold a torn record; the next boot's scan
+		// salvages up to it. Drop this entry and count the fault.
+		st.dropped.Add(1)
+		st.faultLocked(err)
+		return
+	}
+	st.consecutive = 0
+	st.persisted.Add(1)
+	st.unsynced++
+	if st.unsynced >= st.syncEvery {
+		st.syncLocked()
+	}
+}
+
+// syncLocked flushes the active segment to stable storage.
+func (st *Store) syncLocked() {
+	if st.active == nil || st.unsynced == 0 {
+		return
+	}
+	if err := st.active.Sync(); err != nil {
+		st.faultLocked(err)
+		return
+	}
+	st.unsynced = 0
+}
+
+// fault counts a disk fault observed outside the append path (no
+// consecutive-fault tracking; scans classify per file).
+func (st *Store) fault(err error) {
+	st.faults.Add(1)
+	st.logf("cachestore: disk fault: %v", err)
+}
+
+// faultLocked counts an append-path fault and degrades the tier after
+// maxFaults consecutive ones.
+func (st *Store) faultLocked(err error) {
+	st.faults.Add(1)
+	st.consecutive++
+	st.logf("cachestore: disk fault (%d consecutive): %v", st.consecutive, err)
+	if st.consecutive >= st.maxFaults {
+		st.degrade(fmt.Sprintf("%d consecutive disk faults, last: %v", st.consecutive, err))
+	}
+}
+
+// degrade disables the tier: the active segment is closed, future Puts are
+// dropped, and /readyz reports degraded. Requests are unaffected — they
+// compute. fileMu must be held.
+func (st *Store) degrade(why string) {
+	if st.degraded.Swap(true) {
+		return
+	}
+	st.logf("cachestore: tier degraded (%s); serving from computation only", why)
+	if st.active != nil {
+		st.active.Close()
+		st.active = nil
+	}
+}
+
+// Purge removes every segment (including quarantined ones) and starts a
+// fresh active segment, clearing a degraded state if the disk cooperates
+// again. It returns the number of files removed.
+func (st *Store) Purge() int {
+	st.fileMu.Lock()
+	defer st.fileMu.Unlock()
+	if st.active != nil {
+		st.active.Close()
+		st.active = nil
+	}
+	removed := 0
+	maxSeq := 0
+	ents, err := st.fs.ReadDir(st.dir)
+	if err != nil {
+		st.fault(err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !(strings.HasSuffix(name, segSuffix) || strings.HasSuffix(name, quarantineSuffix) || name == "compact.tmp") {
+			continue
+		}
+		if s := seqOf(name); s > maxSeq {
+			maxSeq = s
+		}
+		if err := st.fs.Remove(join(st.dir, name)); err != nil {
+			st.fault(err)
+			continue
+		}
+		removed++
+	}
+	st.degraded.Store(false)
+	st.consecutive = 0
+	st.unsynced = 0
+	st.activeName = segName(maxSeq + 1)
+	st.openActiveLocked(false)
+	return removed
+}
+
+// Close stops the writer, drains the queue to disk, syncs and closes the
+// active segment. Puts after Close are dropped.
+func (st *Store) Close() {
+	if st.closing.Swap(true) {
+		return
+	}
+	if st.started.Load() {
+		close(st.stopc)
+		<-st.donec
+	}
+	st.fileMu.Lock()
+	defer st.fileMu.Unlock()
+	if st.active != nil {
+		st.active.Close()
+		st.active = nil
+	}
+}
+
+// Degraded reports whether the tier has been disabled by disk faults.
+func (st *Store) Degraded() bool { return st.degraded.Load() }
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Stats snapshots the store's counters.
+func (st *Store) Stats() Stats {
+	return Stats{
+		Dir:                st.dir,
+		Degraded:           st.degraded.Load(),
+		WarmStarted:        st.warmDone.Load(),
+		Loaded:             st.loaded.Load(),
+		WarmStartSeconds:   time.Duration(st.warmNanos.Load()).Seconds(),
+		Persisted:          st.persisted.Load(),
+		Dropped:            st.dropped.Load(),
+		QueueDepth:         len(st.queue),
+		QueueCap:           cap(st.queue),
+		QuarantinedFiles:   st.quarFiles.Load(),
+		QuarantinedRecords: st.quarRecords.Load(),
+		TruncatedTails:     st.truncTails.Load(),
+		StaleFiles:         st.staleFiles.Load(),
+		Faults:             st.faults.Load(),
+	}
+}

@@ -1,0 +1,333 @@
+package cachestore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/pdn"
+)
+
+// collect returns an apply callback appending into entries (mutex-guarded;
+// WarmStart is single-goroutine but the helper is reused under -race).
+func collect() (*[]entry, func(pdn.Kind, pdn.Scenario, pdn.Result)) {
+	var mu sync.Mutex
+	var got []entry
+	return &got, func(k pdn.Kind, s pdn.Scenario, r pdn.Result) {
+		mu.Lock()
+		got = append(got, entry{kind: k, s: s, res: r})
+		mu.Unlock()
+	}
+}
+
+// openStore opens a store over dir with test-friendly small batching.
+func openStore(t *testing.T, dir, version string) *Store {
+	t.Helper()
+	st, err := Open(dir, Options{Version: version, SyncEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// putN persists n entries and drains them to disk via Close.
+func putN(t *testing.T, st *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k, s, r := testEntry(i)
+		st.Put(k, s, r)
+	}
+	st.Close()
+	if got := st.Stats().Persisted; got != int64(n) {
+		t.Fatalf("persisted %d of %d entries", got, n)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, "v1")
+	if n := st.WarmStart(nil); n != 0 {
+		t.Fatalf("fresh dir loaded %d records", n)
+	}
+	putN(t, st, 10)
+
+	st2 := openStore(t, dir, "v1")
+	got, apply := collect()
+	if n := st2.WarmStart(apply); n != 10 {
+		t.Fatalf("loaded %d records, want 10", n)
+	}
+	defer st2.Close()
+	seen := map[pdn.Scenario]pdn.Result{}
+	for _, e := range *got {
+		seen[e.s] = e.res
+	}
+	for i := 0; i < 10; i++ {
+		_, s, want := testEntry(i)
+		res, ok := seen[s]
+		if !ok {
+			t.Fatalf("entry %d missing after restart", i)
+		}
+		if res != want {
+			t.Fatalf("entry %d not bit-identical after restart", i)
+		}
+	}
+	if st2.Degraded() {
+		t.Error("store degraded after clean round trip")
+	}
+}
+
+// segFiles lists dir's entries matching suffix.
+func segFiles(t *testing.T, dir, suffix string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), suffix) {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// truncateTail chops n bytes off the largest segment file, simulating a
+// SIGKILL mid-append.
+func truncateTail(t *testing.T, dir string, n int64) {
+	t.Helper()
+	segs := segFiles(t, dir, segSuffix)
+	if len(segs) == 0 {
+		t.Fatal("no segment files")
+	}
+	path := filepath.Join(dir, segs[len(segs)-1])
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCrashTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, "v1")
+	st.WarmStart(nil)
+	putN(t, st, 5)
+	truncateTail(t, dir, 7) // mid-record: the last entry is torn
+
+	st2 := openStore(t, dir, "v1")
+	if n := st2.WarmStart(nil); n != 4 {
+		t.Fatalf("loaded %d records after torn tail, want 4", n)
+	}
+	stats := st2.Stats()
+	if stats.TruncatedTails != 1 {
+		t.Errorf("TruncatedTails = %d, want 1", stats.TruncatedTails)
+	}
+	if stats.Degraded {
+		t.Error("torn tail degraded the store; it is the normal crash signature")
+	}
+	st2.Close()
+
+	// The boot compacted the salvage: a third boot sees a clean log with
+	// the 4 surviving records and no truncation.
+	st3 := openStore(t, dir, "v1")
+	defer st3.Close()
+	if n := st3.WarmStart(nil); n != 4 {
+		t.Fatalf("third boot loaded %d, want 4", n)
+	}
+	if s := st3.Stats(); s.TruncatedTails != 0 || s.QuarantinedFiles != 0 {
+		t.Errorf("third boot not clean: %+v", s)
+	}
+}
+
+func TestStoreBitFlipQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, "v1")
+	st.WarmStart(nil)
+	putN(t, st, 6)
+
+	// Flip a bit inside the fourth record's payload: records 0-2 stay
+	// salvageable, the file is quarantined for post-mortem.
+	segs := segFiles(t, dir, segSuffix)
+	path := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := (len(data) - headerSize) / 6
+	data[headerSize+3*recLen+frameSize+5] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, "v1")
+	if n := st2.WarmStart(nil); n != 3 {
+		t.Fatalf("loaded %d records after bit flip, want 3 salvaged", n)
+	}
+	stats := st2.Stats()
+	if stats.QuarantinedFiles != 1 || stats.QuarantinedRecords != 1 {
+		t.Errorf("quarantine stats = files %d records %d, want 1/1",
+			stats.QuarantinedFiles, stats.QuarantinedRecords)
+	}
+	if stats.Degraded {
+		t.Error("bit flip degraded the store; it must quarantine and continue")
+	}
+	if q := segFiles(t, dir, quarantineSuffix); len(q) != 1 {
+		t.Errorf("quarantine files on disk = %v, want exactly one", q)
+	}
+	// The store keeps working after quarantine.
+	k, s, r := testEntry(100)
+	st2.Put(k, s, r)
+	st2.Close()
+
+	st3 := openStore(t, dir, "v1")
+	defer st3.Close()
+	if n := st3.WarmStart(nil); n != 4 {
+		t.Fatalf("after quarantine + new write: loaded %d, want 4", n)
+	}
+}
+
+func TestStoreStaleVersionInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, "params-v1")
+	st.WarmStart(nil)
+	putN(t, st, 5)
+
+	// A model-parameter change must invalidate every on-disk record.
+	st2 := openStore(t, dir, "params-v2")
+	if n := st2.WarmStart(nil); n != 0 {
+		t.Fatalf("loaded %d stale records, want 0", n)
+	}
+	if s := st2.Stats(); s.StaleFiles != 1 {
+		t.Errorf("StaleFiles = %d, want 1", s.StaleFiles)
+	}
+	putN(t, st2, 3)
+
+	// And the old version can no longer see the new records either.
+	st3 := openStore(t, dir, "params-v1")
+	defer st3.Close()
+	if n := st3.WarmStart(nil); n != 0 {
+		t.Fatalf("old version resurrected %d records", n)
+	}
+}
+
+func TestStoreGarbageFileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-000001.seg"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := openStore(t, dir, "v1")
+	defer st.Close()
+	if n := st.WarmStart(nil); n != 0 {
+		t.Fatalf("loaded %d from garbage", n)
+	}
+	if s := st.Stats(); s.QuarantinedFiles != 1 || s.Degraded {
+		t.Errorf("stats = %+v, want 1 quarantined file and no degradation", s)
+	}
+}
+
+func TestStorePurge(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, "v1")
+	st.WarmStart(nil)
+	putN(t, st, 4)
+
+	st2 := openStore(t, dir, "v1")
+	st2.WarmStart(nil)
+	removed := st2.Purge()
+	if removed == 0 {
+		t.Error("purge removed nothing")
+	}
+	// Purged state survives a restart: nothing comes back.
+	k, s, r := testEntry(50)
+	st2.Put(k, s, r)
+	st2.Close()
+
+	st3 := openStore(t, dir, "v1")
+	defer st3.Close()
+	if n := st3.WarmStart(nil); n != 1 {
+		t.Fatalf("after purge + one write: loaded %d, want 1", n)
+	}
+}
+
+func TestStoreDropsWhenQueueFull(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{Version: "v1", QueueLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before WarmStart no writer drains the queue, so the third Put must
+	// drop, not block — the evaluation path cannot be back-pressured.
+	for i := 0; i < 5; i++ {
+		k, s, r := testEntry(i)
+		st.Put(k, s, r)
+	}
+	if d := st.Stats().Dropped; d != 3 {
+		t.Errorf("Dropped = %d, want 3", d)
+	}
+	st.WarmStart(nil)
+	st.Close()
+}
+
+func TestStorePutAfterCloseDrops(t *testing.T) {
+	st := openStore(t, t.TempDir(), "v1")
+	st.WarmStart(nil)
+	st.Close()
+	k, s, r := testEntry(0)
+	st.Put(k, s, r)
+	if d := st.Stats().Dropped; d != 1 {
+		t.Errorf("Dropped = %d, want 1", d)
+	}
+}
+
+// TestStoreConcurrentPut hammers Put from many goroutines while the writer
+// drains — the -race run proves the queue handoff is clean.
+func TestStoreConcurrentPut(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Version: "v1", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.WarmStart(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k, s, r := testEntry(g*200 + i)
+				st.Put(k, s, r)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st.Close()
+	stats := st.Stats()
+	if stats.Persisted+stats.Dropped != 1600 {
+		t.Errorf("persisted %d + dropped %d != 1600", stats.Persisted, stats.Dropped)
+	}
+
+	st2, err := Open(dir, Options{Version: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if n := st2.WarmStart(nil); int64(n) != stats.Persisted {
+		t.Errorf("reloaded %d records, want %d", n, stats.Persisted)
+	}
+}
+
+func TestWarmStartTwicePanics(t *testing.T) {
+	st := openStore(t, t.TempDir(), "v1")
+	st.WarmStart(nil)
+	defer st.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("second WarmStart did not panic")
+		}
+	}()
+	st.WarmStart(nil)
+}

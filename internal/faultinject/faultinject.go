@@ -1,0 +1,250 @@
+// Package faultinject wraps a cachestore.FS with rule-driven fault
+// injection — errors, latency, and torn (partial) writes — so the chaos
+// suite can prove the serving stack degrades instead of failing when the
+// disk misbehaves. Rules are deterministic: they match by operation and
+// path substring, can skip the first N matches and cap how often they
+// fire, so a test injects exactly the failure it means to.
+package faultinject
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cachestore"
+)
+
+// Op names one filesystem operation class for rule matching.
+type Op string
+
+// The injectable operation classes.
+const (
+	OpMkdirAll Op = "mkdirall"
+	OpReadDir  Op = "readdir"
+	OpOpen     Op = "open"
+	OpCreate   Op = "create"
+	OpAppend   Op = "append"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	// OpAny matches every operation.
+	OpAny Op = "*"
+)
+
+// Rule describes one injected fault. The zero Path matches every path.
+type Rule struct {
+	// Op selects the operation class (OpAny for all).
+	Op Op
+	// Path, when non-empty, requires the operation's path to contain it.
+	Path string
+	// After skips the first After matching operations before firing.
+	After int
+	// Count caps how many times the rule fires; 0 means unlimited.
+	Count int
+	// Delay sleeps the operation before it proceeds (latency injection).
+	// A Delay with a nil Err injects latency only.
+	Delay time.Duration
+	// Err, when non-nil, is returned by the operation.
+	Err error
+	// TornBytes, for write operations with a non-nil Err, writes that
+	// many bytes of the buffer through to the real file before failing —
+	// a torn write, the on-disk signature of a crash mid-append.
+	TornBytes int
+
+	mu    sync.Mutex
+	seen  int
+	fired int
+}
+
+// match decides whether the rule fires for (op, path) and advances its
+// counters.
+func (r *Rule) match(op Op, path string) bool {
+	if r.Op != OpAny && r.Op != op {
+		return false
+	}
+	if r.Path != "" && !strings.Contains(path, r.Path) {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if r.seen <= r.After {
+		return false
+	}
+	if r.Count > 0 && r.fired >= r.Count {
+		return false
+	}
+	r.fired++
+	return true
+}
+
+// Fired reports how many times the rule has injected its fault.
+func (r *Rule) Fired() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fired
+}
+
+// FS wraps a base filesystem with the configured rules. It implements
+// cachestore.FS.
+type FS struct {
+	base  cachestore.FS
+	rules []*Rule
+	count int64
+	mu    sync.Mutex
+}
+
+// New wraps base (nil means the real filesystem) with rules.
+func New(base cachestore.FS, rules ...*Rule) *FS {
+	if base == nil {
+		base = cachestore.OSFS{}
+	}
+	return &FS{base: base, rules: rules}
+}
+
+// Injected reports the total number of faults injected (errors and torn
+// writes; latency-only matches count too).
+func (f *FS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// check runs the rule table for (op, path): applies the first matching
+// rule's delay and returns its error (which may be nil for latency-only
+// rules). The torn-write variant is handled by the file wrapper.
+func (f *FS) check(op Op, path string) (*Rule, error) {
+	for _, r := range f.rules {
+		if !r.match(op, path) {
+			continue
+		}
+		f.mu.Lock()
+		f.count++
+		f.mu.Unlock()
+		if r.Delay > 0 {
+			time.Sleep(r.Delay)
+		}
+		return r, r.Err
+	}
+	return nil, nil
+}
+
+// MkdirAll implements cachestore.FS.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := f.check(OpMkdirAll, path); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+// ReadDir implements cachestore.FS.
+func (f *FS) ReadDir(path string) ([]os.DirEntry, error) {
+	if _, err := f.check(OpReadDir, path); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(path)
+}
+
+// Open implements cachestore.FS.
+func (f *FS) Open(name string) (cachestore.File, error) {
+	if _, err := f.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, name: name, file: file}, nil
+}
+
+// Create implements cachestore.FS.
+func (f *FS) Create(name string) (cachestore.File, error) {
+	if _, err := f.check(OpCreate, name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, name: name, file: file}, nil
+}
+
+// OpenAppend implements cachestore.FS.
+func (f *FS) OpenAppend(name string) (cachestore.File, error) {
+	if _, err := f.check(OpAppend, name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, name: name, file: file}, nil
+}
+
+// Rename implements cachestore.FS.
+func (f *FS) Rename(oldname, newname string) error {
+	if _, err := f.check(OpRename, oldname); err != nil {
+		return err
+	}
+	return f.base.Rename(oldname, newname)
+}
+
+// Remove implements cachestore.FS.
+func (f *FS) Remove(name string) error {
+	if _, err := f.check(OpRemove, name); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+// injectFile applies read/write/sync/close rules with the file's path.
+type injectFile struct {
+	fs   *FS
+	name string
+	file cachestore.File
+}
+
+func (f *injectFile) Read(p []byte) (int, error) {
+	if _, err := f.fs.check(OpRead, f.name); err != nil {
+		return 0, err
+	}
+	return f.file.Read(p)
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	rule, err := f.fs.check(OpWrite, f.name)
+	if err != nil {
+		if rule != nil && rule.TornBytes > 0 {
+			n := rule.TornBytes
+			if n > len(p) {
+				n = len(p)
+			}
+			wrote, werr := f.file.Write(p[:n])
+			if werr != nil {
+				return wrote, werr
+			}
+			return wrote, err
+		}
+		return 0, err
+	}
+	return f.file.Write(p)
+}
+
+func (f *injectFile) Sync() error {
+	if _, err := f.fs.check(OpSync, f.name); err != nil {
+		return err
+	}
+	return f.file.Sync()
+}
+
+func (f *injectFile) Close() error {
+	if _, err := f.fs.check(OpClose, f.name); err != nil {
+		f.file.Close() //nolint:errcheck // injected close error wins
+		return err
+	}
+	return f.file.Close()
+}

@@ -1,0 +1,193 @@
+package faultinject_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cachestore"
+	"repro/internal/domain"
+	"repro/internal/faultinject"
+	"repro/internal/pdn"
+)
+
+var errBoom = errors.New("injected disk fault")
+
+// testEntry mirrors the cachestore test fixture: one fully populated
+// (kind, scenario, result) triple, varied by i.
+func testEntry(i int) (pdn.Kind, pdn.Scenario, pdn.Result) {
+	var s pdn.Scenario
+	s.Loads[0].PNom = float64(i) + 0.5
+	s.Loads[0].VNom = 1.05
+	s.Loads[0].FL = 0.8
+	s.Loads[0].AR = 0.25
+	s.CState = domain.C0
+	s.PSU = 0.9
+	var res pdn.Result
+	res.PDN = pdn.IVR
+	res.PNomTotal = float64(i) * 2
+	res.PIn = float64(i)*2 + 1
+	res.ETEE = 0.87
+	res.Rails.Append(pdn.RailDraw{Name: "compute", VOut: 1.8, Current: 2.5, Peak: 3.0})
+	return pdn.IVR, s, res
+}
+
+func TestRuleMatching(t *testing.T) {
+	r := &faultinject.Rule{Op: faultinject.OpWrite, Path: "seg-", After: 1, Count: 2, Err: errBoom}
+	fs := faultinject.New(nil, r)
+	dir := t.TempDir()
+	f, err := fs.Create(dir + "/seg-000001.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Write 1 is skipped (After), writes 2-3 fire (Count), write 4 passes.
+	for i, wantErr := range []bool{false, true, true, false} {
+		_, err := f.Write([]byte("x"))
+		if gotErr := err != nil; gotErr != wantErr {
+			t.Errorf("write %d: err = %v, want error %v", i+1, err, wantErr)
+		}
+	}
+	if r.Fired() != 2 {
+		t.Errorf("Fired = %d, want 2", r.Fired())
+	}
+	// Wrong op and wrong path never match.
+	if err := f.Sync(); err != nil {
+		t.Errorf("sync hit a write rule: %v", err)
+	}
+	g, err := fs.Create(dir + "/other.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Write([]byte("x")); err != nil {
+		t.Errorf("unmatched path injected: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	r := &faultinject.Rule{Op: faultinject.OpMkdirAll, Delay: 30 * time.Millisecond, Count: 1}
+	fs := faultinject.New(nil, r)
+	begin := time.Now()
+	if err := fs.MkdirAll(t.TempDir()+"/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(begin); d < 30*time.Millisecond {
+		t.Errorf("MkdirAll returned after %v, want >= 30ms", d)
+	}
+	if fs.Injected() != 1 {
+		t.Errorf("Injected = %d, want 1", fs.Injected())
+	}
+}
+
+// waitFor polls cond for up to 5s — fault handling runs on the store's
+// writer goroutine, so observation is asynchronous.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestStoreDegradesAfterRepeatedFaults drives the full degradation
+// contract: every write fails, the store absorbs MaxFaults of them, then
+// disables itself — and Put keeps being a harmless no-op throughout.
+func TestStoreDegradesAfterRepeatedFaults(t *testing.T) {
+	fs := faultinject.New(nil, &faultinject.Rule{Op: faultinject.OpWrite, Path: ".seg", After: 1, Err: errBoom})
+	st, err := cachestore.Open(t.TempDir(), cachestore.Options{
+		Version: "v1", FS: fs, MaxFaults: 3, SyncEvery: 1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.WarmStart(nil) // header write passes (After: 1)
+
+	for i := 0; i < 10; i++ {
+		k, s, r := testEntry(i)
+		st.Put(k, s, r)
+	}
+	waitFor(t, "degradation", st.Degraded)
+	stats := st.Stats()
+	if stats.Faults < 3 {
+		t.Errorf("Faults = %d, want >= 3", stats.Faults)
+	}
+	if stats.Persisted != 0 {
+		t.Errorf("Persisted = %d through a failing disk", stats.Persisted)
+	}
+	// Degraded Puts drop immediately.
+	before := st.Stats().Dropped
+	k, s, r := testEntry(99)
+	st.Put(k, s, r)
+	if st.Stats().Dropped != before+1 {
+		t.Error("degraded Put did not drop")
+	}
+}
+
+// TestStoreSurvivesTotalDiskFailure fails every single filesystem
+// operation from the first moment: Open must still succeed-or-error
+// cleanly, WarmStart must not panic, and the store must come up degraded
+// but alive.
+func TestStoreSurvivesTotalDiskFailure(t *testing.T) {
+	fs := faultinject.New(nil, &faultinject.Rule{Op: faultinject.OpAny, After: 1, Err: errBoom})
+	// MkdirAll passes (After: 1) so Open succeeds; everything after fails.
+	st, err := cachestore.Open(t.TempDir(), cachestore.Options{
+		Version: "v1", FS: fs, MaxFaults: 2, SyncEvery: 1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if n := st.WarmStart(nil); n != 0 {
+		t.Errorf("loaded %d from a dead disk", n)
+	}
+	if !st.Degraded() {
+		t.Error("store not degraded with every disk op failing")
+	}
+	for i := 0; i < 5; i++ {
+		k, s, r := testEntry(i)
+		st.Put(k, s, r) // must not block or panic
+	}
+}
+
+// TestTornWriteSalvage injects a torn append — the crash signature — and
+// proves the next boot salvages everything before the tear.
+func TestTornWriteSalvage(t *testing.T) {
+	dir := t.TempDir()
+	// Writes to the active segment: 1 = header, 2-3 = records, 4 = torn.
+	rule := &faultinject.Rule{Op: faultinject.OpWrite, Path: ".seg", After: 3, Count: 1, TornBytes: 9, Err: errBoom}
+	fs := faultinject.New(nil, rule)
+	st, err := cachestore.Open(dir, cachestore.Options{Version: "v1", FS: fs, SyncEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.WarmStart(nil)
+	for i := 0; i < 3; i++ {
+		k, s, r := testEntry(i)
+		st.Put(k, s, r)
+	}
+	waitFor(t, "torn write", func() bool { return rule.Fired() == 1 })
+	st.Close()
+	if got := st.Stats().Persisted; got != 2 {
+		t.Fatalf("persisted %d records, want 2 whole ones", got)
+	}
+
+	// Reboot on the real filesystem: the 9 torn bytes are a partial record
+	// at the tail, classified as a crash and salvaged around.
+	st2, err := cachestore.Open(dir, cachestore.Options{Version: "v1", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if n := st2.WarmStart(nil); n != 2 {
+		t.Fatalf("loaded %d records after torn write, want 2", n)
+	}
+	if s := st2.Stats(); s.TruncatedTails != 1 || s.Degraded {
+		t.Errorf("stats after torn write = %+v, want 1 truncated tail, no degradation", s)
+	}
+}

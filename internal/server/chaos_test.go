@@ -1,0 +1,410 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/flexwatts/api"
+	"repro/internal/cachestore"
+	"repro/internal/experiments"
+	"repro/internal/faultinject"
+)
+
+// evalBody is the chaos suite's canonical request: baseline kinds only, so
+// every point flows through the shared cache (and thus the disk tier).
+const evalBody = `{"points":[
+	{"pdn":"IVR","tdp":18,"workload":"multi-thread","ar":0.6},
+	{"pdn":"MBVR","tdp":12,"workload":"single-thread","ar":0.5},
+	{"pdn":"LDO","cstate":"C6"},
+	{"pdn":"IMBVR","tdp":28,"workload":"graphics","ar":0.7}
+]}`
+
+// tierServer builds a server over a fresh environment (tier tests must not
+// pollute the shared envVal cache) with the given store.
+func tierServer(t *testing.T, store *cachestore.Store) *httptest.Server {
+	t.Helper()
+	env, err := experiments.NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(env, Options{Store: store}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// waitReady polls /readyz until it answers 200.
+func waitReady(t *testing.T, ts *httptest.Server) api.Ready {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body, _ := get(t, ts, "/readyz")
+		if code == http.StatusOK {
+			var r api.Ready
+			if err := json.Unmarshal([]byte(body), &r); err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+	return api.Ready{}
+}
+
+func TestReadyzWithoutStore(t *testing.T) {
+	ts := testServer(t)
+	code, body, _ := get(t, ts, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var r api.Ready
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != "ready" || r.Degraded {
+		t.Errorf("ready = %+v, want status ready, not degraded", r)
+	}
+}
+
+// TestReadyzGatesOnWarmStart delays the warm-start scan and pins the
+// readiness contract: 503 while the replay runs, 200 after — while
+// /healthz (liveness) answers 200 throughout.
+func TestReadyzGatesOnWarmStart(t *testing.T) {
+	fs := faultinject.New(nil, &faultinject.Rule{Op: faultinject.OpReadDir, Delay: 400 * time.Millisecond, Count: 1})
+	store, err := cachestore.Open(t.TempDir(), cachestore.Options{Version: "v1", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	ts := tierServer(t, store)
+
+	code, body, _ := get(t, ts, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during warm start: status %d: %s", code, body)
+	}
+	var r api.Ready
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != "starting" {
+		t.Errorf("status %q during warm start, want starting", r.Status)
+	}
+	if code, _, _ := get(t, ts, "/healthz"); code != http.StatusOK {
+		t.Errorf("liveness failed during warm start: %d", code)
+	}
+	if r := waitReady(t, ts); r.Status != "ready" {
+		t.Errorf("post-warm-start status = %q, want ready", r.Status)
+	}
+}
+
+// TestDegradedTierNeverFailsARequest is the central chaos invariant: with
+// every disk operation failing, evaluation responses must be byte-identical
+// to a storeless server's — the tier degrades, requests never notice.
+func TestDegradedTierNeverFailsARequest(t *testing.T) {
+	fs := faultinject.New(nil, &faultinject.Rule{
+		Op: faultinject.OpAny, After: 1, Err: errors.New("disk on fire"),
+	})
+	store, err := cachestore.Open(t.TempDir(), cachestore.Options{
+		Version: "v1", FS: fs, MaxFaults: 2, SyncEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	broken := tierServer(t, store)
+	if r := waitReady(t, broken); !r.Degraded || r.Status != "degraded" {
+		t.Fatalf("readyz with a dead disk = %+v, want degraded", r)
+	}
+
+	clean := testServer(t)
+	for i := 0; i < 3; i++ {
+		codeB, bodyB := postEvaluate(t, broken, evalBody)
+		codeC, bodyC := postEvaluate(t, clean, evalBody)
+		if codeB != http.StatusOK || codeC != http.StatusOK {
+			t.Fatalf("round %d: statuses %d/%d", i, codeB, codeC)
+		}
+		if bodyB != bodyC {
+			t.Fatalf("round %d: degraded response differs from storeless baseline:\n%s\nvs\n%s", i, bodyB, bodyC)
+		}
+	}
+	if fs.Injected() == 0 {
+		t.Error("no faults were actually injected")
+	}
+}
+
+// TestWarmRestart is the recovery half of the crash-safety story: a second
+// process over the same cache directory answers from warm entries,
+// byte-identically, without re-evaluating.
+func TestWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	env1, err := experiments.NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store1, err := cachestore.Open(dir, cachestore.Options{Version: env1.CacheVersion(), SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(New(env1, Options{Store: store1}).Handler())
+	waitReady(t, ts1)
+	code, body1 := postEvaluate(t, ts1, evalBody)
+	if code != http.StatusOK {
+		t.Fatalf("first life: status %d: %s", code, body1)
+	}
+	store1.Close() // drains the write-behind queue to disk
+	ts1.Close()
+
+	env2, err := experiments.NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2, err := cachestore.Open(dir, cachestore.Options{Version: env2.CacheVersion(), SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store2.Close)
+	ts2 := httptest.NewServer(New(env2, Options{Store: store2}).Handler())
+	t.Cleanup(ts2.Close)
+	if r := waitReady(t, ts2); r.WarmRecords == 0 {
+		t.Fatalf("second life warm-loaded nothing: %+v", r)
+	}
+
+	code, body2 := postEvaluate(t, ts2, evalBody)
+	if code != http.StatusOK {
+		t.Fatalf("second life: status %d: %s", code, body2)
+	}
+	if body1 != body2 {
+		t.Fatalf("warm answer differs from cold:\n%s\nvs\n%s", body1, body2)
+	}
+
+	code, body, _ := get(t, ts2, "/v1/admin/cache")
+	if code != http.StatusOK {
+		t.Fatalf("admin cache: status %d: %s", code, body)
+	}
+	var stats api.CacheStats
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Disk == nil || stats.Disk.LoadedRecords == 0 {
+		t.Errorf("disk stats after warm restart = %+v", stats.Disk)
+	}
+	if stats.Memory.WarmHits == 0 {
+		t.Error("warm restart answered without any warm hits")
+	}
+}
+
+func TestAdminCacheFlush(t *testing.T) {
+	dir := t.TempDir()
+	env, err := experiments.NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cachestore.Open(dir, cachestore.Options{Version: env.CacheVersion(), SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	ts := httptest.NewServer(New(env, Options{Store: store}).Handler())
+	t.Cleanup(ts.Close)
+	waitReady(t, ts)
+	if code, body := postEvaluate(t, ts, evalBody); code != http.StatusOK {
+		t.Fatalf("evaluate: %d: %s", code, body)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/admin/cache", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: status %d: %s", resp.StatusCode, body)
+	}
+	var flush api.CacheFlush
+	if err := json.Unmarshal(body, &flush); err != nil {
+		t.Fatal(err)
+	}
+	if flush.FlushedKeys == 0 {
+		t.Errorf("flush = %+v, want flushed keys > 0", flush)
+	}
+
+	// After the flush both tiers are empty.
+	code, statsBody, _ := get(t, ts, "/v1/admin/cache")
+	if code != http.StatusOK {
+		t.Fatal(statsBody)
+	}
+	var stats api.CacheStats
+	if err := json.Unmarshal([]byte(statsBody), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Memory.Keys != 0 {
+		t.Errorf("memory keys after flush = %d", stats.Memory.Keys)
+	}
+	// And evaluation still works (recomputes).
+	if code, body := postEvaluate(t, ts, evalBody); code != http.StatusOK {
+		t.Fatalf("post-flush evaluate: %d: %s", code, body)
+	}
+
+	// Method guard: POST is rejected with Allow.
+	resp2, err := ts.Client().Post(ts.URL+"/v1/admin/cache", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body) //nolint:errcheck
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST admin cache: status %d, want 405", resp2.StatusCode)
+	}
+}
+
+// TestPanicRecoveryEnvelope pins the middleware contract for a panic
+// before the response starts: the client gets the uniform internal-error
+// envelope and the daemon keeps serving.
+func TestPanicRecoveryEnvelope(t *testing.T) {
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	s := New(envVal, Options{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", s.instrument(routeEvaluate, func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}))
+	mux.HandleFunc(api.PathHealthz, s.instrument(routeHealthz, s.handleHealthz))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	before := s.metrics.panics.Value()
+	code, body, _ := get(t, ts, "/boom")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var e api.Error
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("panic response is not the error envelope: %s", body)
+	}
+	if e.Code != "internal" {
+		t.Errorf("code %q, want internal", e.Code)
+	}
+	if got := s.metrics.panics.Value(); got != before+1 {
+		t.Errorf("panics counter = %v, want %v", got, before+1)
+	}
+	// The daemon survived.
+	if code, _, _ := get(t, ts, "/healthz"); code != http.StatusOK {
+		t.Errorf("healthz after panic: %d", code)
+	}
+}
+
+// TestPanicMidStreamAbortsCleanly pins the other half: once an NDJSON
+// stream has started, a panic must abort the connection — never inject an
+// error envelope between lines, which would corrupt the framing for every
+// line after it.
+func TestPanicMidStreamAbortsCleanly(t *testing.T) {
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	s := New(envVal, Options{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stream-boom", s.instrument(routeEvaluateStream, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		for i := 0; i < 3; i++ {
+			io.WriteString(w, `{"index":`+string(rune('0'+i))+"}\n") //nolint:errcheck
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic("mid-stream bug")
+	}))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	resp, err := ts.Client().Get(ts.URL + "/stream-boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d before the panic point", resp.StatusCode)
+	}
+	var lines []string
+	var readErr error
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	readErr = sc.Err()
+	if readErr == nil {
+		t.Error("stream ended cleanly; a mid-stream panic must abort the connection")
+	}
+	for _, line := range lines {
+		if strings.Contains(line, `"internal"`) {
+			t.Errorf("error envelope leaked into the NDJSON stream: %s", line)
+		}
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Errorf("corrupt NDJSON line %q: %v", line, err)
+		}
+	}
+}
+
+// TestStreamSurvivesGlobalWriteTimeout proves the stream route's rolling
+// write deadline overrides a server-wide WriteTimeout far shorter than the
+// stream's duration.
+func TestStreamSurvivesGlobalWriteTimeout(t *testing.T) {
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	s := New(envVal, Options{StreamWriteTimeout: 10 * time.Second})
+	ts := httptest.NewUnstartedServer(s.Handler())
+	ts.Config.WriteTimeout = 250 * time.Millisecond
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	// A batch big enough to stream past the 250ms write deadline, with the
+	// client reading slowly to stretch delivery time.
+	var sb strings.Builder
+	sb.WriteString(`{"points":[`)
+	for i := 0; i < 600; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"pdn":"IVR","tdp":18,"workload":"multi-thread","ar":0.6}`)
+	}
+	sb.WriteString(`]}`)
+	resp, err := ts.Client().Post(ts.URL+"/v1/evaluate/stream", "application/json", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines++
+		if lines%100 == 0 {
+			time.Sleep(60 * time.Millisecond) // stretch past WriteTimeout
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream died after %d lines: %v (global WriteTimeout leaked in?)", lines, err)
+	}
+	if lines != 600 {
+		t.Errorf("received %d lines, want 600", lines)
+	}
+}

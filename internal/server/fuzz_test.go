@@ -1,0 +1,53 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// FuzzEvaluateRequest throws arbitrary bytes at the evaluate request
+// decoder — the daemon's main untrusted input surface — and pins that it
+// always terminates in one of two states: validated jobs, or a written
+// 4xx error envelope. No input may panic, and no failure may leave the
+// response unwritten (a hung client).
+func FuzzEvaluateRequest(f *testing.F) {
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		f.Fatal(envErr)
+	}
+	s := New(envVal, Options{})
+
+	f.Add([]byte(`{"points":[{"pdn":"IVR","tdp":18,"workload":"multi-thread","ar":0.6}]}`))
+	f.Add([]byte(`{"points":[{"pdn":"FlexWatts","tdp":4,"workload":"single-thread","ar":0.5}]}`))
+	f.Add([]byte(`{"points":[{"pdn":"LDO","cstate":"C6"}]}`))
+	f.Add([]byte(`{"points":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"points":[{"pdn":"IVR","tdp":-1e308,"workload":"multi-thread","ar":2}]}`))
+	f.Add([]byte(`{"pts":"nope"}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/v1/evaluate", bytes.NewReader(body))
+		jobs, ok := s.decodeEvalRequest(w, r)
+		if ok {
+			if len(jobs) == 0 {
+				t.Fatal("ok with zero jobs")
+			}
+			if w.Body.Len() != 0 {
+				t.Fatalf("ok but response written: %s", w.Body.String())
+			}
+			return
+		}
+		if w.Body.Len() == 0 {
+			t.Fatal("rejected without writing an error envelope")
+		}
+		if w.Code < 400 || w.Code >= 500 {
+			t.Fatalf("rejection status %d, want 4xx", w.Code)
+		}
+	})
+}

@@ -3,8 +3,11 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"runtime/debug"
 	"time"
 
+	"repro/flexwatts/api"
+	"repro/internal/cachestore"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
@@ -14,6 +17,8 @@ import (
 // to one of these.
 const (
 	routeHealthz        = "healthz"
+	routeReadyz         = "readyz"
+	routeAdminCache     = "admin_cache"
 	routeMetrics        = "metrics"
 	routeExperiments    = "experiments"
 	routeExperiment     = "experiment"
@@ -23,7 +28,8 @@ const (
 )
 
 var routes = []string{
-	routeHealthz, routeMetrics, routeExperiments, routeExperiment,
+	routeHealthz, routeReadyz, routeAdminCache, routeMetrics,
+	routeExperiments, routeExperiment,
 	routeEvaluate, routeEvaluateStream, routePprof,
 }
 
@@ -62,11 +68,12 @@ type serverMetrics struct {
 	inflightPoints *metrics.Gauge
 	pointsTotal    *metrics.Counter
 	streamedTotal  *metrics.Counter
+	panics         *metrics.Counter
 }
 
-// newServerMetrics builds the registry over the shared evaluation cache
-// and the server's start time.
-func newServerMetrics(cache *sweep.Cache, start time.Time) *serverMetrics {
+// newServerMetrics builds the registry over the shared evaluation cache,
+// the optional persistent tier, and the server's start time.
+func newServerMetrics(cache *sweep.Cache, store *cachestore.Store, start time.Time) *serverMetrics {
 	reg := metrics.NewRegistry()
 	m := &serverMetrics{
 		reg:      reg,
@@ -99,6 +106,8 @@ func newServerMetrics(cache *sweep.Cache, start time.Time) *serverMetrics {
 		"Evaluation points completed, buffered and streamed.")
 	m.streamedTotal = reg.Counter("flexwattsd_points_streamed_total",
 		"Evaluation points delivered over /v1/evaluate/stream.")
+	m.panics = reg.Counter("flexwattsd_panics_total",
+		"Handler panics recovered by the serving middleware.")
 
 	reg.CounterFunc("flexwattsd_cache_hits_total",
 		"Evaluation cache hits of the shared sweep cache.",
@@ -121,6 +130,40 @@ func newServerMetrics(cache *sweep.Cache, start time.Time) *serverMetrics {
 	reg.GaugeFunc("flexwattsd_uptime_seconds",
 		"Seconds since the daemon started.",
 		func() float64 { return time.Since(start).Seconds() })
+	reg.CounterFunc("flexwattsd_tier_hits_total",
+		"Evaluations answered by entries warm-loaded from the persistent tier.",
+		func() float64 { return float64(cache.WarmHits()) })
+	if store != nil {
+		reg.CounterFunc("flexwattsd_tier_persisted_total",
+			"Results written behind to the persistent cache tier.",
+			func() float64 { return float64(store.Stats().Persisted) })
+		reg.CounterFunc("flexwattsd_tier_dropped_total",
+			"Write-behind records dropped (queue full or tier degraded).",
+			func() float64 { return float64(store.Stats().Dropped) })
+		reg.CounterFunc("flexwattsd_tier_faults_total",
+			"Disk faults absorbed by the persistent tier.",
+			func() float64 { return float64(store.Stats().Faults) })
+		reg.GaugeFunc("flexwattsd_tier_quarantined_records",
+			"Records lost to quarantined (corrupt) segment files.",
+			func() float64 { return float64(store.Stats().QuarantinedRecords) })
+		reg.GaugeFunc("flexwattsd_tier_queue_depth",
+			"Write-behind records waiting for the persister goroutine.",
+			func() float64 { return float64(store.Stats().QueueDepth) })
+		reg.GaugeFunc("flexwattsd_tier_degraded",
+			"1 when the persistent tier has disabled itself after repeated faults.",
+			func() float64 {
+				if store.Degraded() {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("flexwattsd_tier_warm_start_seconds",
+			"Wall time the boot warm-start scan took; 0 until it completes.",
+			func() float64 { return store.Stats().WarmStartSeconds })
+		reg.GaugeFunc("flexwattsd_tier_loaded_records",
+			"Records replayed from disk into the in-memory cache at warm start.",
+			func() float64 { return float64(store.Stats().Loaded) })
+	}
 	return m
 }
 
@@ -166,6 +209,12 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the wrapped writer so http.NewResponseController can
+// reach the connection's extended controls (per-request write deadlines).
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
+}
+
 // accessRecord is one structured access-log line.
 type accessRecord struct {
 	Time     string  `json:"time"`
@@ -185,28 +234,56 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r)
-		if sw.status == 0 {
-			// Handler wrote nothing (e.g. aborted by client disconnect).
-			sw.status = http.StatusOK
-		}
-		d := time.Since(start)
-		s.metrics.observe(route, sw.status, d)
-		if s.opts.AccessLog != nil {
-			line, err := json.Marshal(accessRecord{
-				Time:     start.UTC().Format(time.RFC3339Nano),
-				Method:   r.Method,
-				Path:     r.URL.Path,
-				Route:    route,
-				Status:   sw.status,
-				Bytes:    sw.bytes,
-				Duration: d.Seconds(),
-				Remote:   clientKey(r),
-			})
-			if err == nil {
-				s.opts.AccessLog.Println(string(line))
+		// Book the request whatever happens below — deferred first so it
+		// still runs when the panic guard re-panics to abort a stream.
+		defer func() {
+			if sw.status == 0 {
+				// Handler wrote nothing (e.g. aborted by client disconnect).
+				sw.status = http.StatusOK
 			}
-		}
+			d := time.Since(start)
+			s.metrics.observe(route, sw.status, d)
+			if s.opts.AccessLog != nil {
+				line, err := json.Marshal(accessRecord{
+					Time:     start.UTC().Format(time.RFC3339Nano),
+					Method:   r.Method,
+					Path:     r.URL.Path,
+					Route:    route,
+					Status:   sw.status,
+					Bytes:    sw.bytes,
+					Duration: d.Seconds(),
+					Remote:   clientKey(r),
+				})
+				if err == nil {
+					s.opts.AccessLog.Println(string(line))
+				}
+			}
+		}()
+		// Contain handler panics: one broken request must not take the
+		// daemon down. If the response has not started, the client gets
+		// the uniform internal-error envelope; mid-response (a committed
+		// stream) the connection is aborted instead — injecting an error
+		// envelope into half-sent NDJSON would corrupt every line after
+		// it, and an aborted connection is unambiguous to the client.
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel identity per net/http contract
+				panic(rec)
+			}
+			s.metrics.panics.Inc()
+			s.logf("flexwattsd: panic serving %s %s: %v\n%s",
+				r.Method, r.URL.Path, rec, debug.Stack())
+			if sw.status == 0 {
+				writeJSON(sw, http.StatusInternalServerError,
+					api.Error{Code: "internal", Message: "internal server error"})
+				return
+			}
+			panic(http.ErrAbortHandler)
+		}()
+		h(sw, r)
 	}
 }
 

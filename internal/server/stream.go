@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"net/http"
+	"time"
 
 	"repro/flexwatts/api"
 	"repro/internal/pdn"
@@ -52,6 +53,19 @@ func (s *Server) handleEvaluateStream(w http.ResponseWriter, r *http.Request) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// A long stream legitimately outlives any server-wide WriteTimeout, so
+	// this route manages its own: a rolling deadline re-armed before every
+	// flush. Each chunk gets StreamWriteTimeout to reach the client; only a
+	// reader stalled for that long — not a long computation — kills the
+	// connection. SetWriteDeadline reaches the net.Conn through the
+	// statusWriter's Unwrap; on transports without deadlines (tests using
+	// httptest.ResponseRecorder) it reports ErrNotSupported and the stream
+	// simply runs unbounded.
+	rc := http.NewResponseController(w)
+	extend := func() {
+		rc.SetWriteDeadline(time.Now().Add(s.opts.StreamWriteTimeout)) //nolint:errcheck // unsupported transport = no deadline
+	}
+	extend()
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -88,6 +102,7 @@ func (s *Server) handleEvaluateStream(w http.ResponseWriter, r *http.Request) {
 			s.metrics.streamedTotal.Inc()
 			lines++
 			if lines%flushEvery == 0 {
+				extend()
 				if err := bw.Flush(); err != nil {
 					return err
 				}
@@ -97,6 +112,7 @@ func (s *Server) handleEvaluateStream(w http.ResponseWriter, r *http.Request) {
 			}
 			return nil
 		})
+	extend()
 	if err := bw.Flush(); err != nil {
 		return
 	}

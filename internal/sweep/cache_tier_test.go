@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/pdn"
+)
+
+// recordingTier captures Put calls; it stands in for the persistent store.
+type recordingTier struct {
+	mu   sync.Mutex
+	puts []pdn.Scenario
+}
+
+func (rt *recordingTier) Put(kind pdn.Kind, s pdn.Scenario, res pdn.Result) {
+	rt.mu.Lock()
+	rt.puts = append(rt.puts, s)
+	rt.mu.Unlock()
+}
+
+func (rt *recordingTier) count() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.puts)
+}
+
+func TestTierReceivesEachKeyOnce(t *testing.T) {
+	c := NewCache()
+	tier := &recordingTier{}
+	c.AttachTier(tier)
+	m := &countingModel{kind: pdn.IVR}
+	s := testScenario(4)
+
+	for i := 0; i < 5; i++ {
+		if _, err := c.Evaluate(m, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tier.count() != 1 {
+		t.Errorf("tier saw %d puts for one key, want exactly 1", tier.count())
+	}
+
+	// A failed evaluation never reaches the tier.
+	bad := &countingModel{kind: pdn.LDO, err: errors.New("boom")}
+	c.Evaluate(bad, s) //nolint:errcheck // the error is the point
+	if tier.count() != 1 {
+		t.Errorf("tier saw a failed evaluation (puts = %d)", tier.count())
+	}
+
+	// Detach stops the flow.
+	c.AttachTier(nil)
+	if _, err := c.Evaluate(m, testScenario(8)); err != nil {
+		t.Fatal(err)
+	}
+	if tier.count() != 1 {
+		t.Errorf("detached tier still saw puts (%d)", tier.count())
+	}
+}
+
+func TestPreloadAndWarmHits(t *testing.T) {
+	c := NewCache()
+	m := &countingModel{kind: pdn.IVR}
+	s := testScenario(4)
+	want := pdn.Result{PDN: pdn.IVR, PNomTotal: 42, PIn: 52.5}
+
+	if !c.Preload(pdn.IVR, s, want) {
+		t.Fatal("Preload of a fresh key reported false")
+	}
+	if c.Preload(pdn.IVR, s, pdn.Result{}) {
+		t.Error("Preload of an existing key reported true")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+
+	// A hit on the preloaded entry returns the stored result without
+	// evaluating, and counts as a warm hit.
+	got, err := c.Evaluate(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("preloaded result %+v, want %+v", got, want)
+	}
+	if m.calls.Load() != 0 {
+		t.Errorf("model evaluated %d times behind a preloaded entry", m.calls.Load())
+	}
+	if c.WarmHits() != 1 {
+		t.Errorf("WarmHits = %d, want 1", c.WarmHits())
+	}
+
+	// Cold keys still evaluate and do not count as warm.
+	if _, err := c.Evaluate(m, testScenario(8)); err != nil {
+		t.Fatal(err)
+	}
+	if c.WarmHits() != 1 {
+		t.Errorf("cold evaluation bumped WarmHits to %d", c.WarmHits())
+	}
+}
+
+// TestPreloadNeverWritesBack pins the replay loop invariant: warm-started
+// entries must not echo into the tier, or every boot would rewrite the
+// whole log.
+func TestPreloadNeverWritesBack(t *testing.T) {
+	c := NewCache()
+	tier := &recordingTier{}
+	c.AttachTier(tier)
+	m := &countingModel{kind: pdn.IVR}
+	s := testScenario(4)
+
+	c.Preload(pdn.IVR, s, pdn.Result{PDN: pdn.IVR, PNomTotal: 1})
+	if _, err := c.Evaluate(m, s); err != nil {
+		t.Fatal(err)
+	}
+	if tier.count() != 0 {
+		t.Errorf("preloaded entry wrote back to the tier (%d puts)", tier.count())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCache()
+	m := &countingModel{kind: pdn.IVR}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Evaluate(m, testScenario(float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if removed := c.Reset(); removed != 4 {
+		t.Errorf("Reset removed %d, want 4", removed)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after Reset, want 0", c.Len())
+	}
+	// The cache keeps working: the next Evaluate recomputes.
+	calls := m.calls.Load()
+	if _, err := c.Evaluate(m, testScenario(1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.calls.Load() != calls+1 {
+		t.Error("post-Reset Evaluate did not recompute")
+	}
+}
+
+// TestPreloadRacesEvaluate drives concurrent Preload and Evaluate on the
+// same keys; under -race this pins the shard handoff, and the result must
+// come out of exactly one source.
+func TestPreloadRacesEvaluate(t *testing.T) {
+	c := NewCache()
+	m := &countingModel{kind: pdn.IVR}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := testScenario(float64(i % 10))
+				if g%2 == 0 {
+					c.Preload(pdn.IVR, s, pdn.Result{PDN: pdn.IVR, PNomTotal: s.TotalNominal()})
+				} else if _, err := c.Evaluate(m, s); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 10 {
+		t.Errorf("Len = %d, want 10 distinct keys", c.Len())
+	}
+}

@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Crash-safety smoke for the flexwattsd persistent cache tier: boot the
+# daemon (race-built) with -cache-dir, drive evaluate load over baseline
+# PDN kinds (the cached path), SIGKILL it mid-traffic, corrupt a byte of
+# the on-disk log for good measure, then restart over the same directory
+# and assert the crash-safety contract:
+#
+#   - the second boot reaches /readyz 200 (recovery never wedges boot)
+#   - records persisted by the first life warm-load into the second
+#   - repeated requests score warm hits (the tier actually answers)
+#   - the served bodies are byte-identical across the crash
+#   - no request ever 5xxes (boot-time /readyz 503s are the probe's
+#     documented contract and are excluded)
+#   - DELETE /v1/admin/cache flushes both tiers
+#
+# Run by `make crash-smoke` locally and by the CI crash-smoke job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${CRASH_PORT:-18091}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+CACHE="$TMP/cache"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    [ -n "$PID" ] && wait "$PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== building flexwattsd (-race)"
+go build -race -o "$TMP/flexwattsd" ./cmd/flexwattsd
+
+# batch renders an evaluate body spreading every baseline kind over a TDP
+# grid (the modeled range is [4, 50] W); offset shifts the AR axis so
+# distinct calls create distinct cache keys.
+batch() {
+    local offset="$1" pts="" sep="" kind i tdp ar
+    for kind in IVR MBVR LDO IMBVR; do
+        for i in $(seq 0 15); do
+            tdp=$(awk "BEGIN{printf \"%.3f\", 4 + $i * 0.5}")
+            ar=$(awk "BEGIN{printf \"%.4f\", 0.2 + (($offset * 16 + $i) % 750) / 1000.0}")
+            pts="$pts$sep{\"pdn\":\"$kind\",\"tdp\":$tdp,\"workload\":\"multi-thread\",\"ar\":$ar}"
+            sep=","
+        done
+    done
+    printf '{"points":[%s]}' "$pts"
+}
+
+wait_ready() {
+    for _ in $(seq 1 150); do
+        if curl -fsS "$BASE/readyz" -o /dev/null 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "crash-smoke: FAILED — daemon never became ready" >&2
+    exit 1
+}
+
+# evaluate POSTs one body and fails the script on any non-200.
+evaluate() {
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        --data-binary @- "$BASE/v1/evaluate" <<<"$1"
+}
+
+echo "== first life: boot with -cache-dir $CACHE"
+"$TMP/flexwattsd" -addr "127.0.0.1:${PORT}" -cache-dir "$CACHE" >"$TMP/life1.log" 2>&1 &
+PID=$!
+wait_ready
+
+echo "== drive cached load"
+BODY="$(batch 0)"
+BASELINE="$(evaluate "$BODY")"
+evaluate "$(batch 1)" >/dev/null
+evaluate "$(batch 2)" >/dev/null
+
+echo "== SIGKILL mid-traffic"
+for i in $(seq 1 40); do
+    evaluate "$(batch "$((2 + i))")" >/dev/null 2>&1 &
+done
+sleep 0.3
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+wait || true # reap the in-flight curls; mid-kill failures are expected
+
+if ! ls "$CACHE"/*.seg >/dev/null 2>&1; then
+    echo "crash-smoke: FAILED — no segment files written before the kill" >&2
+    exit 1
+fi
+
+echo "== corrupt one byte of the log"
+SEG="$(ls "$CACHE"/*.seg | head -1)"
+SIZE=$(wc -c <"$SEG")
+if [ "$SIZE" -gt 64 ]; then
+    printf '\xff' | dd of="$SEG" bs=1 seek=$((SIZE - 24)) count=1 conv=notrunc status=none
+fi
+
+echo "== second life: recover from the crashed, corrupted directory"
+"$TMP/flexwattsd" -addr "127.0.0.1:${PORT}" -cache-dir "$CACHE" >"$TMP/life2.log" 2>&1 &
+PID=$!
+wait_ready
+
+echo "== warm recovery must answer byte-identically"
+WARM="$(evaluate "$BODY")"
+if [ "$BASELINE" != "$WARM" ]; then
+    echo "crash-smoke: FAILED — warm response differs from pre-crash response" >&2
+    exit 1
+fi
+evaluate "$BODY" >/dev/null
+
+echo "== tier statistics: warm-loaded records and warm hits"
+curl -fsS "$BASE/v1/admin/cache" -o "$TMP/cache.json"
+LOADED=$(grep -o '"loaded_records": *[0-9]*' "$TMP/cache.json" | grep -o '[0-9]*$')
+WARM_HITS=$(grep -o '"warm_hits": *[0-9]*' "$TMP/cache.json" | grep -o '[0-9]*$')
+if [ -z "$LOADED" ] || [ "$LOADED" -eq 0 ]; then
+    echo "crash-smoke: FAILED — second life warm-loaded zero records" >&2
+    cat "$TMP/cache.json" >&2
+    exit 1
+fi
+if [ -z "$WARM_HITS" ] || [ "$WARM_HITS" -eq 0 ]; then
+    echo "crash-smoke: FAILED — zero warm hits after recovery" >&2
+    cat "$TMP/cache.json" >&2
+    exit 1
+fi
+echo "   loaded_records=$LOADED warm_hits=$WARM_HITS"
+
+echo "== zero 5xx (excluding the /readyz boot-gating contract)"
+curl -fsS "$BASE/metrics" -o "$TMP/metrics.txt"
+if grep -E 'flexwattsd_requests_total\{[^}]*status="5xx"\} [1-9]' "$TMP/metrics.txt" \
+        | grep -v 'route="readyz"' | grep .; then
+    echo "crash-smoke: FAILED — daemon served 5xx responses" >&2
+    exit 1
+fi
+
+echo "== admin flush empties both tiers"
+curl -fsS -X DELETE "$BASE/v1/admin/cache" -o "$TMP/flush.json"
+grep -q '"flushed_keys"' "$TMP/flush.json"
+curl -fsS "$BASE/v1/admin/cache" -o "$TMP/cache2.json"
+KEYS=$(grep -o '"keys": *[0-9]*' "$TMP/cache2.json" | grep -o '[0-9]*$')
+if [ "$KEYS" != "0" ]; then
+    echo "crash-smoke: FAILED — memory tier still holds $KEYS keys after flush" >&2
+    exit 1
+fi
+evaluate "$BODY" >/dev/null # and the daemon still evaluates after the flush
+
+echo "== graceful shutdown"
+kill -TERM "$PID"
+wait "$PID"
+PID=""
+trap - EXIT
+echo "crash-smoke: all checks passed"
