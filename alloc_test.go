@@ -196,3 +196,76 @@ func TestCacheHitWithTierAllocFree(t *testing.T) {
 		t.Errorf("WarmHits = %d, want >= 200", c.WarmHits())
 	}
 }
+
+// TestEvaluateGridAllocFree pins the batch kernels at 0 allocs/op for a
+// whole 4128-point grid call — not merely per point: the SoA columns are
+// caller-owned, the runners are stack state, and the mask prepass uses a
+// fixed stack block, so nothing on the path may touch the heap. All five
+// PDN kinds plus FlexWatts in both hybrid modes.
+func TestEvaluateGridAllocFree(t *testing.T) {
+	e := benchEnv(t)
+	g := gridBenchGrid(t)
+	out := make([]pdn.Result, g.Len())
+	for _, k := range pdn.Kinds() {
+		m, ok := e.Baselines[k].(sweep.GridEvaluator)
+		if !ok {
+			t.Fatalf("%v baseline has no EvaluateGrid", k)
+		}
+		if avg := testing.AllocsPerRun(10, func() {
+			if err := m.EvaluateGrid(g, out); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("%v.EvaluateGrid: %.1f allocs per grid call, want 0", k, avg)
+		}
+	}
+	for _, mode := range core.Modes() {
+		mode := mode
+		if avg := testing.AllocsPerRun(10, func() {
+			if err := e.Flex.EvaluateGridMode(g, out, mode); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("FlexWatts EvaluateGridMode(%v): %.1f allocs per grid call, want 0", mode, avg)
+		}
+	}
+}
+
+// TestCacheGridAllocs pins the memoizing grid path on both sides of the
+// cache: a warm repeat must allocate nothing at all (every key hits, no
+// scratch grid is built), and the cold first pass may allocate only the
+// cache's own bookkeeping — a small bounded number of objects per point
+// (entry, interned key, shard map growth), not per-point evaluation
+// garbage.
+func TestCacheGridAllocs(t *testing.T) {
+	e := benchEnv(t)
+	g := gridBenchGrid(t)
+	out := make([]pdn.Result, g.Len())
+	m := e.Baselines[pdn.IVR]
+
+	cold := testing.AllocsPerRun(1, func() {
+		c := sweep.NewCache()
+		if err := c.EvaluateGrid(m, g, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPoint := cold / float64(g.Len()); perPoint > 8 {
+		t.Errorf("cold cache grid pass: %.2f allocs/point, budget 8", perPoint)
+	}
+
+	c := sweep.NewCache()
+	if err := c.EvaluateGrid(m, g, out); err != nil { // warm every key
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if err := c.EvaluateGrid(m, g, out); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm cache grid repeat: %.1f allocs per call, want 0", avg)
+	}
+	if hits, misses := c.Stats(); misses != int64(g.Len()) || hits < int64(10*g.Len()) {
+		t.Errorf("stats hits=%d misses=%d, want exactly %d misses and >=%d hits",
+			hits, misses, g.Len(), 10*g.Len())
+	}
+}

@@ -142,6 +142,85 @@ func BenchmarkEvaluateETEE(b *testing.B) {
 	}
 }
 
+// gridBenchGrid builds the batch-evaluation benchmark grid: every workload
+// type × 32 TDP steps × 43 activity ratios = 4128 points, TDP-major with AR
+// innermost — the rectangular shape experiment drivers and batch API
+// clients submit, and the one the grid kernels' previous-point memos are
+// designed for.
+func gridBenchGrid(tb testing.TB) *pdn.Grid {
+	tb.Helper()
+	e := benchEnv(tb)
+	g := pdn.NewGrid(3 * 32 * 43)
+	for _, wt := range workload.Types() {
+		for ti := 0; ti < 32; ti++ {
+			tdp := 4 + float64(ti)*46/31
+			for ai := 0; ai <= 42; ai++ {
+				ar := float64(8+ai) / 50 // 0.16 … 1.00
+				s, err := workload.TDPScenario(e.Platform, tdp, wt, ar)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				g.Append(s)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkEvaluateGrid measures the batch evaluation kernel on the
+// 4128-point grid, reporting sustained points/s — the headline number the
+// CI perf gate tracks. Compare against BenchmarkEvaluateGridLooped (the
+// same grid through scalar Evaluate) or BenchmarkEvaluateETEE (one scalar
+// evaluation): the acceptance bar is ≥3× looped throughput. Sub-benchmarks
+// cover every static kind plus FlexWatts in both hybrid modes.
+func BenchmarkEvaluateGrid(b *testing.B) {
+	e := benchEnv(b)
+	g := gridBenchGrid(b)
+	out := make([]pdn.Result, g.Len())
+	run := func(b *testing.B, eval func() error) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eval(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(g.Len())/b.Elapsed().Seconds(), "points/s")
+	}
+	for _, k := range pdn.Kinds() {
+		m := e.Baselines[k].(interface {
+			EvaluateGrid(*pdn.Grid, []pdn.Result) error
+		})
+		b.Run(k.String(), func(b *testing.B) {
+			run(b, func() error { return m.EvaluateGrid(g, out) })
+		})
+	}
+	for _, mode := range core.Modes() {
+		mode := mode
+		b.Run("FlexWatts-"+mode.String(), func(b *testing.B) {
+			run(b, func() error { return e.Flex.EvaluateGridMode(g, out, mode) })
+		})
+	}
+}
+
+// BenchmarkEvaluateGridLooped is the scalar baseline for the grid kernel:
+// the identical 4128-point grid through per-point Evaluate, with the same
+// points/s metric, so the kernel speedup is one division away.
+func BenchmarkEvaluateGridLooped(b *testing.B) {
+	e := benchEnv(b)
+	g := gridBenchGrid(b)
+	m := e.Baselines[pdn.IVR]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < g.Len(); j++ {
+			if _, err := m.Evaluate(g.At(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(g.Len())/b.Elapsed().Seconds(), "points/s")
+}
+
 // BenchmarkPredictor measures one Algorithm 1 table-lookup decision, the
 // operation the PMU performs every 10 ms interval.
 func BenchmarkPredictor(b *testing.B) {

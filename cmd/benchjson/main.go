@@ -11,6 +11,15 @@
 // merged into its "runs" map — recording a new measurement never discards a
 // committed baseline under a different label. Without -out, the document is
 // written to stdout.
+//
+// With -check, benchjson is a perf gate instead of a recorder: it reads a
+// fresh `go test -bench` run from stdin, compares it against a labeled run
+// in the -baseline document, and exits non-zero when any shared benchmark
+// regressed beyond -tolerance — ns/op growing past baseline×(1+tol), or a
+// throughput metric (any custom unit ending in "/s", e.g. the grid
+// kernels' points/s) dropping below baseline×(1−tol):
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -check -baseline BENCH_8.json -tolerance 0.15
 package main
 
 import (
@@ -157,16 +166,124 @@ func merge(path, label string, run Run) (Document, error) {
 	return doc, nil
 }
 
+// compare gates a fresh run against a baseline run: every benchmark present
+// in both is compared on ns/op (higher is worse) and on each shared
+// throughput metric — a custom unit ending in "/s" (lower is worse). It
+// writes one line per comparison and returns the number of regressions
+// beyond tolerance. Benchmarks present on only one side are reported but
+// never fail the gate: short CI runs gate a subset via -bench regexes, and
+// the baseline document may carry runs (SLO lines, retired benchmarks) the
+// fresh output doesn't reproduce.
+func compare(w io.Writer, current, baseline Run, tolerance float64) int {
+	base := make(map[string]Benchmark, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	regressions, shared := 0, 0
+	verdict := func(name, metric string, cur, ref, worstOK float64, regressed bool) {
+		status := "ok"
+		if regressed {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-9s %s %s: %g vs baseline %g (limit %g)\n",
+			status, name, metric, cur, ref, worstOK)
+	}
+	for _, cur := range current.Benchmarks {
+		ref, ok := base[cur.Name]
+		if !ok {
+			fmt.Fprintf(w, "skipped   %s: not in baseline\n", cur.Name)
+			continue
+		}
+		shared++
+		if ref.NsPerOp > 0 {
+			limit := ref.NsPerOp * (1 + tolerance)
+			verdict(cur.Name, "ns/op", cur.NsPerOp, ref.NsPerOp, limit, cur.NsPerOp > limit)
+		}
+		for unit, refV := range ref.Metrics {
+			if !strings.HasSuffix(unit, "/s") || refV <= 0 {
+				continue
+			}
+			curV, ok := cur.Metrics[unit]
+			if !ok {
+				continue
+			}
+			limit := refV * (1 - tolerance)
+			verdict(cur.Name, unit, curV, refV, limit, curV < limit)
+		}
+	}
+	for name := range base {
+		found := false
+		for _, cur := range current.Benchmarks {
+			if cur.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "skipped   %s: not in this run\n", name)
+		}
+	}
+	if shared == 0 {
+		fmt.Fprintln(w, "REGRESSED (no benchmark shared between run and baseline — gate has nothing to hold)")
+		return 1
+	}
+	return regressions
+}
+
+// check runs the perf gate: stdin vs doc.Runs[label] of the baseline file.
+func check(stdin io.Reader, stdout, stderr io.Writer, baselinePath, label string, tolerance float64) int {
+	if baselinePath == "" {
+		fmt.Fprintln(stderr, "benchjson: -check requires -baseline")
+		return 2
+	}
+	cur, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	ref, ok := doc.Runs[label]
+	if !ok {
+		fmt.Fprintf(stderr, "benchjson: %s has no run labeled %q\n", baselinePath, label)
+		return 1
+	}
+	if n := compare(stdout, cur, ref, tolerance); n > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%% of %s %q\n",
+			n, tolerance*100, baselinePath, label)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchjson: no regression beyond %.0f%% of %s %q\n",
+		tolerance*100, baselinePath, label)
+	return 0
+}
+
 func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	label := fs.String("label", "current", "run label to record under (e.g. baseline, current)")
 	out := fs.String("out", "", "JSON file to merge the run into (stdout if empty)")
+	doCheck := fs.Bool("check", false, "gate mode: compare stdin against -baseline instead of recording")
+	baseline := fs.String("baseline", "", "baseline BENCH_<pr>.json document for -check")
+	against := fs.String("against", "current", "run label inside -baseline to compare with")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional regression in -check mode")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	if *doCheck {
+		return check(stdin, stdout, stderr, *baseline, *against, *tolerance)
 	}
 	r, err := parse(stdin)
 	if err != nil {

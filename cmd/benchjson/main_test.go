@@ -92,3 +92,84 @@ func TestStdoutMode(t *testing.T) {
 		t.Errorf("stdout doc = %+v", doc)
 	}
 }
+
+// writeBaseline records sample output under the given label in a temp
+// document and returns its path — the fixture for the -check gate tests.
+func writeBaseline(t *testing.T, label, benchOutput string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut strings.Builder
+	if code := run(strings.NewReader(benchOutput), &out, &errOut, []string{"-label", label, "-out", path}); code != 0 {
+		t.Fatalf("recording baseline exited %d: %s", code, errOut.String())
+	}
+	return path
+}
+
+// TestCheckGate pins the perf-gate semantics end to end: a run within
+// tolerance passes, a ns/op regression beyond it fails, and a throughput
+// ("/s"-unit) drop beyond it fails — the self-test CI runs so the gate
+// itself cannot silently rot.
+func TestCheckGate(t *testing.T) {
+	const baseline = `goos: linux
+BenchmarkEvaluateETEE 1000 400.0 ns/op
+BenchmarkEvaluateGrid/IVR 100 500000 ns/op 9000000 points/s
+PASS
+`
+	path := writeBaseline(t, "current", baseline)
+	cases := []struct {
+		name, input string
+		wantCode    int
+	}{
+		{"identical", baseline, 0},
+		{"within-tolerance", `
+BenchmarkEvaluateETEE 1000 440.0 ns/op
+BenchmarkEvaluateGrid/IVR 100 510000 ns/op 8500000 points/s
+`, 0},
+		{"improvement", `
+BenchmarkEvaluateETEE 1000 200.0 ns/op
+BenchmarkEvaluateGrid/IVR 100 250000 ns/op 18000000 points/s
+`, 0},
+		{"nsop-regression", `
+BenchmarkEvaluateETEE 1000 480.0 ns/op
+BenchmarkEvaluateGrid/IVR 100 510000 ns/op 8500000 points/s
+`, 1},
+		{"throughput-regression", `
+BenchmarkEvaluateETEE 1000 400.0 ns/op
+BenchmarkEvaluateGrid/IVR 100 500000 ns/op 7000000 points/s
+`, 1},
+		{"nothing-shared", "BenchmarkUnrelated 10 5.0 ns/op\n", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code := run(strings.NewReader(tc.input), &out, &errOut,
+				[]string{"-check", "-baseline", path, "-tolerance", "0.15"})
+			if code != tc.wantCode {
+				t.Errorf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.wantCode, out.String(), errOut.String())
+			}
+			if tc.wantCode != 0 && tc.name != "nothing-shared" && !strings.Contains(out.String(), "REGRESSED") {
+				t.Errorf("regression verdict missing from output:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// TestCheckGateFlagErrors pins the gate's operator errors: missing
+// -baseline, an absent file, and an unknown label all fail loudly rather
+// than passing vacuously.
+func TestCheckGateFlagErrors(t *testing.T) {
+	const input = "BenchmarkEvaluateETEE 1000 400.0 ns/op\n"
+	path := writeBaseline(t, "other-label", input)
+	for name, args := range map[string][]string{
+		"no-baseline":   {"-check"},
+		"missing-file":  {"-check", "-baseline", filepath.Join(t.TempDir(), "nope.json")},
+		"unknown-label": {"-check", "-baseline", path, "-against", "current"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := run(strings.NewReader(input), &out, &errOut, args); code == 0 {
+				t.Errorf("exit 0, want non-zero; stderr:\n%s", errOut.String())
+			}
+		})
+	}
+}

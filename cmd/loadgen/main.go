@@ -51,6 +51,24 @@ func points(batch int) []flexwatts.Point {
 	return pts
 }
 
+// gridPoints builds a batch that exercises the daemon's batch-kernel
+// prepass: static-baseline (IVR) points with a dense AR spread, the shape
+// the server resolves through EvaluateGrid before answering.
+func gridPoints(batch int) []flexwatts.Point {
+	pts := make([]flexwatts.Point, batch)
+	for i := range pts {
+		pts[i] = flexwatts.Point{
+			PDN: flexwatts.IVR, TDP: 18, Workload: flexwatts.MultiThread,
+			AR: 0.40 + 0.5*float64(i)/float64(batch),
+		}
+	}
+	return pts
+}
+
+// gridBatchSizes is the -grid sweep: points per request, small to large,
+// bracketing the block size at which the server's grid prepass amortizes.
+var gridBatchSizes = []int{64, 512, 4096}
+
 // tally aggregates the run under one mutex; requests are hundreds per
 // second, not millions, so contention is irrelevant next to the RTT.
 type tally struct {
@@ -90,6 +108,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	stream := fs.Bool("stream", false, "use POST /v1/evaluate/stream instead of /v1/evaluate")
 	workers := fs.Int("workers", 0, "concurrent request slots (0 = ceil(rps), capped at 256)")
 	name := fs.String("name", "", "benchmark line name (default LoadgenBuffered / LoadgenStream)")
+	grid := fs.Bool("grid", false, "sweep grid-kernel batch sizes (64/512/4096 points/request) against /v1/evaluate, one report line per size")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -119,17 +138,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen:", err)
 		return 2
 	}
-	pts := points(*batch)
+	if *grid {
+		// Batch-size sweep: each size gets its own measurement window and
+		// report line, so BENCH_<pr>.json records how request throughput
+		// scales as more points per request ride the batch kernel.
+		for _, n := range gridBatchSizes {
+			lineName := fmt.Sprintf("LoadgenGrid/batch=%d", n)
+			if code := drive(ctx, c, gridPoints(n), *rps, *duration, *workers, false, lineName, stdout, stderr); code != 0 {
+				return code
+			}
+		}
+		return 0
+	}
+	return drive(ctx, c, points(*batch), *rps, *duration, *workers, *stream, *name, stdout, stderr)
+}
 
-	ctx, cancel := context.WithTimeout(ctx, *duration)
+// drive runs one closed-loop measurement window against the daemon and
+// prints its report; it returns the process exit code for the window.
+func drive(ctx context.Context, c *client.Client, pts []flexwatts.Point, rps float64, duration time.Duration, workers int, stream bool, name string, stdout, stderr io.Writer) int {
+	batch := len(pts)
+	ctx, cancel := context.WithTimeout(ctx, duration)
 	defer cancel()
 
 	// The launch clock: one slot per tick; a full channel means every
 	// worker is busy, so the slot is dropped and counted, not queued.
-	slots := make(chan struct{}, *workers)
+	slots := make(chan struct{}, workers)
 	var missed atomic.Int64
 	go func() {
-		interval := time.Duration(float64(time.Second) / *rps)
+		interval := time.Duration(float64(time.Second) / rps)
 		if interval <= 0 {
 			interval = time.Nanosecond
 		}
@@ -154,7 +190,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	oneRequest := func() {
 		start := time.Now()
 		var err error
-		if *stream {
+		if stream {
 			got := 0
 			err = c.EvaluateStream(ctx, pts, func(r api.EvalStreamResult) error {
 				if r.Err() == nil {
@@ -185,7 +221,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i := 0; i < *workers; i++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -216,7 +252,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// pairs — exactly what cmd/benchjson parses into the perf record.
 	fmt.Fprintf(stdout,
 		"Benchmark%s %d %.0f ns/op %.1f evals/s %.1f req/s %.6f p50_s %.6f p95_s %.6f p99_s %d shed %d request_errors %d missed_slots\n",
-		*name, n, float64(sum.Nanoseconds())/float64(n),
+		name, n, float64(sum.Nanoseconds())/float64(n),
 		float64(res.evals)/secs, float64(n)/secs,
 		quantile(res.latencies, 0.50).Seconds(),
 		quantile(res.latencies, 0.95).Seconds(),
@@ -224,7 +260,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		res.shed, res.errs, missed.Load())
 	fmt.Fprintf(stderr,
 		"loadgen: %d requests over %.1fs (batch %d, target %.0f rps%s): %.0f evals/s, p50 %s p95 %s p99 %s, %d shed, %d errors, %d missed slots\n",
-		n, secs, *batch, *rps, map[bool]string{true: ", streaming"}[*stream],
+		n, secs, batch, rps, map[bool]string{true: ", streaming"}[stream],
 		float64(res.evals)/secs,
 		quantile(res.latencies, 0.50).Round(time.Microsecond),
 		quantile(res.latencies, 0.95).Round(time.Microsecond),

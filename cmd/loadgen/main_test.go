@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -83,6 +84,36 @@ func TestLoadgenAgainstDaemon(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestLoadgenGridSweep pins the -grid batch-size sweep: one report line
+// per size, in order, each naming its batch and carrying the benchjson
+// value/unit shape.
+func TestLoadgenGridSweep(t *testing.T) {
+	ts := daemon(t, server.Options{})
+	// Shrink the swept sizes: the mechanics and line format are what the
+	// test pins, and the production 4096-point batch cannot finish inside
+	// the short window when the in-process daemon runs under -race.
+	defer func(orig []int) { gridBatchSizes = orig }(gridBatchSizes)
+	gridBatchSizes = []int{4, 16, 64}
+	var out, errOut strings.Builder
+	args := []string{"-addr", ts.URL, "-rps", "100", "-duration", "400ms", "-grid"}
+	if code := run(context.Background(), args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(gridBatchSizes) {
+		t.Fatalf("got %d report lines, want %d:\n%s", len(lines), len(gridBatchSizes), out.String())
+	}
+	for i, n := range gridBatchSizes {
+		want := fmt.Sprintf("BenchmarkLoadgenGrid/batch=%d ", n)
+		if !strings.HasPrefix(lines[i], want) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], want)
+		}
+		if fields := strings.Fields(lines[i]); len(fields)%2 != 0 {
+			t.Errorf("line %d has %d fields (odd): %q", i, len(fields), lines[i])
+		}
 	}
 }
 

@@ -222,13 +222,63 @@ func (c *Client) EvaluateMode(ctx context.Context, pt Point, mode Mode) (Result,
 	return res, nil
 }
 
+// warmBatch resolves a batch's static-baseline points through the batch
+// evaluation kernel before the per-point pass: valid points are grouped per
+// PDN kind into an SoA grid and each kind's cache misses evaluate in blocks
+// with hoisted per-kind invariants (one compiled-VR stage per grid, not one
+// model walk per point). The kernel is bitwise identical to Evaluate, so
+// the per-point pass then finds every baseline key hot and returns the same
+// bits it would have computed. Invalid points and FlexWatts points (whose
+// mode depends on the per-TDP predictor, not the scenario alone) are
+// skipped here and handled — with their exact error text and index — by
+// the per-point pass.
+func (c *Client) warmBatch(ctx context.Context, pts []Point) {
+	if c.cache == nil {
+		return
+	}
+	var grids map[pdn.Kind]*pdn.Grid
+	for _, pt := range pts {
+		if pt.Validate() != nil {
+			continue
+		}
+		ik, err := internalKind(pt.PDN)
+		if err != nil || ik == pdn.FlexWatts {
+			continue
+		}
+		s, err := c.scenario(pt)
+		if err != nil {
+			continue
+		}
+		if grids == nil {
+			grids = make(map[pdn.Kind]*pdn.Grid, 4)
+		}
+		g := grids[ik]
+		if g == nil {
+			g = pdn.NewGrid(len(pts))
+			grids[ik] = g
+		}
+		g.Append(s)
+	}
+	for k, g := range grids {
+		out := make([]pdn.Result, g.Len())
+		//nolint:errcheck // cache warmer: the per-point pass re-reports failures
+		sweep.GridMapCtx(ctx, c.workers, c.cache, c.baselines[k], g, out, 0)
+	}
+}
+
 // EvaluateBatch evaluates every point concurrently on the deterministic
 // sweep engine (results in input order; the worker bound comes from
 // WithWorkers). Cancelling ctx aborts the batch: workers stop pulling new
 // points and the call returns context.Cause(ctx). Per-point failures
 // report the lowest failing index, the same error a serial loop would stop
 // on.
+//
+// When the memoizing cache is enabled (the default), static-baseline
+// points route through the batch evaluation kernel first — see warmBatch —
+// so large rectangular grids evaluate at grid throughput while results,
+// ordering and errors stay exactly those of the per-point path.
 func (c *Client) EvaluateBatch(ctx context.Context, pts []Point) ([]Result, error) {
+	c.warmBatch(ctx, pts)
 	return sweep.MapCtx(ctx, c.workers, len(pts), func(i int) (Result, error) {
 		r, err := c.evaluate(pts[i].PDN, pts[i])
 		if err != nil {

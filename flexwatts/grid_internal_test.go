@@ -1,0 +1,69 @@
+package flexwatts
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEvaluateBatchWarmsGrid pins the batch fast path: EvaluateBatch must
+// resolve every static-baseline point through the grid kernel into the
+// client's cache (one key per distinct scenario×kind), skipping FlexWatts
+// and invalid points, and a repeat batch must add no keys and change no
+// bits.
+func TestEvaluateBatchWarmsGrid(t *testing.T) {
+	c, err := NewClient(WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point
+	for _, k := range Kinds() {
+		for _, tdp := range []Watt{4, 18, 50} {
+			pts = append(pts, Point{PDN: k, TDP: tdp, Workload: MultiThread, AR: 0.6})
+		}
+	}
+	pts = append(pts, Point{TDP: 18, Workload: Graphics, AR: 0.5}) // FlexWatts: stays scalar
+	ctx := context.Background()
+
+	c.warmBatch(ctx, pts)
+	if got := c.cache.Len(); got != 12 {
+		t.Fatalf("warmBatch cached %d keys, want 12 (baseline points only)", got)
+	}
+	_, misses := c.cache.Stats()
+	if misses != 12 {
+		t.Fatalf("warmBatch recorded %d misses, want 12", misses)
+	}
+
+	first, err := c.EvaluateBatch(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.cache.Len(); got != 12 {
+		t.Errorf("EvaluateBatch after warm grew the cache to %d keys", got)
+	}
+	if _, missesAfter := c.cache.Stats(); missesAfter != misses {
+		t.Errorf("EvaluateBatch after warm recorded new misses (%d -> %d)", misses, missesAfter)
+	}
+	// And the results are the per-point path's, bit for bit.
+	for i, pt := range pts {
+		want, err := c.Evaluate(ctx, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first[i] != want {
+			t.Errorf("point %d: batch result differs from serial Evaluate", i)
+		}
+	}
+
+	// An invalid point must not poison the prepass: the batch still fails
+	// with the per-point error shape (covered elsewhere) and the valid
+	// points still warm.
+	bad := append([]Point{{PDN: IVR, TDP: -3, Workload: MultiThread, AR: 0.6}}, pts...)
+	c2, err := NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.warmBatch(ctx, bad)
+	if got := c2.cache.Len(); got != 12 {
+		t.Errorf("warmBatch with an invalid point cached %d keys, want 12", got)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/pdn"
+	"repro/internal/units"
+)
+
+// Batch evaluation for the hybrid PDN, built from the same kernel runners
+// as the baseline models (internal/pdn/grid.go) and carrying the same
+// contract: for every point i, the result is bitwise identical to
+// EvaluateMode(g.At(i), mode), and the first invalid point stops the run
+// with the scalar error wrapped by its index.
+
+// Kind sets in the scalar EvaluateMode's iteration order.
+var (
+	gridComputeKinds = []domain.Kind{domain.Core0, domain.Core1, domain.LLC, domain.GFX}
+	gridSAKinds      = []domain.Kind{domain.SA}
+	gridIOKinds      = []domain.Kind{domain.IO}
+)
+
+// EvaluateGrid evaluates every grid point into out[:g.Len()] using the
+// currently configured mode, bitwise identical to per-point Evaluate.
+func (m *Model) EvaluateGrid(g *pdn.Grid, out []pdn.Result) error {
+	return m.EvaluateGridMode(g, out, m.Mode())
+}
+
+// EvaluateGridMode evaluates every grid point in the given hybrid mode,
+// bitwise identical to per-point EvaluateMode: the compute stage runs with
+// the hybrid VR compiled at its fixed input rail (IVR-Mode) or the
+// state-free LDO model (LDO-Mode) behind a previous-point stage memo, and
+// the SA/IO board rails behind whole-rail memos.
+func (m *Model) EvaluateGridMode(g *pdn.Grid, out []pdn.Result, mode Mode) error {
+	if err := pdn.CheckGridOut(g, out); err != nil {
+		return err
+	}
+	p := m.params
+	var ivrStage pdn.IVRStageRun
+	var ldoStage pdn.LDOStageRun
+	var rll units.Ohm
+	switch mode {
+	case IVRMode:
+		ivrStage = pdn.NewIVRStageRun(m.ivr, gridComputeKinds, p.TOBIVR, p.VINLevel)
+		rll = p.IVRInLL * p.FlexSharePenalty
+	case LDOMode:
+		ldoStage = pdn.NewLDOStageRun(m.ldo, gridComputeKinds, p.TOBLDO)
+		rll = p.LDOInLL * p.FlexSharePenalty
+	default:
+		return fmt.Errorf("core: unknown mode %v", mode)
+	}
+	vinRail := pdn.NewVinRailRun(m.vin)
+	sa := pdn.NewBoardRailRun(m.sa, gridSAKinds, p.TOBLDO, p.RPG, p.SALL, false)
+	io := pdn.NewBoardRailRun(m.io, gridIOKinds, p.TOBLDO, p.RPG, p.IOLL, false)
+	pdn.ClearResults(out[:g.Len()])
+	var pt pdn.GridPointRun
+	var st pdn.StageOut
+	var masks [pdn.GridMaskBlock]uint16
+	for base := 0; base < g.Len(); base += pdn.GridMaskBlock {
+		blk := g.Len() - base
+		if blk > pdn.GridMaskBlock {
+			blk = pdn.GridMaskBlock
+		}
+		g.ChangeMasks(base, masks[:blk])
+		for j := 0; j < blk; j++ {
+			i := base + j
+			mk := masks[j]
+			if err := pt.Validate(g, i, mk); err != nil {
+				return pdn.GridPointError(i, err)
+			}
+			var vinLevel units.Volt
+			switch mode {
+			case IVRMode:
+				vinLevel = p.VINLevel
+				ivrStage.EvalInto(&st, g, i, mk)
+			case LDOMode:
+				vinLevel = ldoStage.EvalInto(&st, g, i, mk)
+			}
+			res := &out[i]
+			var pin units.Watt
+			if st.PIn > 0 {
+				res.Breakdown.AddFrom(&st.Breakdown)
+				pin += vinRail.EvalInto(&st, vinLevel, rll, g.PSUAt(i), g.CStateAt(i), 1, &res.Breakdown, &res.Rails)
+			}
+			saP := sa.EvalInto(g, i, mk, &res.Breakdown, &res.Rails)
+			ioP := io.EvalInto(g, i, mk, &res.Breakdown, &res.Rails)
+			pin += saP + ioP
+			pdn.FinishGrid(res, pdn.FlexWatts, pt.TotalNominal(), pin, rll)
+		}
+	}
+	return nil
+}

@@ -97,10 +97,20 @@ func FromFuncLog(lo, hi float64, n int, f func(float64) float64) *Table1D {
 	return MustTable1D(pts)
 }
 
-// At returns the piecewise-linear interpolation of the curve at x, clamping
-// to the end values outside the sampled domain.
+// At returns the piecewise-linear interpolation of the curve at x.
+//
+// Edge semantics are explicit and clamped, matching how firmware lookup
+// tables behave in real power-management units: any query at or below the
+// first sample returns exactly ys[0], any query at or above the last sample
+// returns exactly ys[len-1] (no extrapolation, including -Inf/+Inf), and a
+// NaN query returns NaN rather than an arbitrary end value — a NaN operand
+// means the caller's operating point is already poisoned, and clamping it
+// to a plausible efficiency would silently launder the error.
 func (t *Table1D) At(x float64) float64 {
 	n := len(t.xs)
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
 	if x <= t.xs[0] {
 		return t.ys[0]
 	}
@@ -109,6 +119,12 @@ func (t *Table1D) At(x float64) float64 {
 	}
 	// sort.SearchFloat64s returns the first index with xs[i] >= x.
 	i := sort.SearchFloat64s(t.xs, x)
+	if x == t.xs[i] {
+		// A query exactly on a node returns the stored sample bit for bit.
+		// Without this, the node evaluates as the t=1 end of the preceding
+		// interval and y0 + 1·(y1−y0) can round an ULP or two off y1.
+		return t.ys[i]
+	}
 	x0, x1 := t.xs[i-1], t.xs[i]
 	y0, y1 := t.ys[i-1], t.ys[i]
 	frac := (x - x0) / (x1 - x0)
@@ -236,8 +252,13 @@ func FromFunc2D(xs, ys []float64, f func(x, y float64) float64) *Table2D {
 	return MustTable2D(xs, ys, zs)
 }
 
-// At returns the bilinear interpolation at (x, y), clamping outside the grid.
+// At returns the bilinear interpolation at (x, y), clamping outside the grid
+// with the same edge semantics as Table1D.At: infinities clamp to the grid
+// edge values and a NaN coordinate returns NaN instead of an edge cell.
 func (t *Table2D) At(x, y float64) float64 {
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return math.NaN()
+	}
 	xi, xf := locate(t.xs, x)
 	yi, yf := locate(t.ys, y)
 	z00 := t.zs[yi][xi]

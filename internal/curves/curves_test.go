@@ -168,3 +168,139 @@ func TestTable2DAxes(t *testing.T) {
 		t.Errorf("YAxis = %v", got)
 	}
 }
+
+// TestTable1DEdgeSemantics pins the documented clamp behavior for queries
+// outside the sampled domain: exact end-value returns at and beyond both
+// boundaries (bitwise, not approximately), including infinities, a
+// single-point table, and NaN queries — which must return NaN instead of
+// panicking inside the binary search or laundering into an edge value.
+func TestTable1DEdgeSemantics(t *testing.T) {
+	tab := MustTable1D([]Point{{1, 3.5}, {2, 7.25}, {4, -1.5}})
+	cases := []struct {
+		name    string
+		x, want float64
+	}{
+		{"below-lo", 0.25, 3.5},
+		{"at-lo", 1, 3.5},
+		{"at-hi", 4, -1.5},
+		{"above-hi", 1e12, -1.5},
+		{"neg-inf", math.Inf(-1), 3.5},
+		{"pos-inf", math.Inf(1), -1.5},
+	}
+	for _, c := range cases {
+		if got := tab.At(c.x); got != c.want {
+			t.Errorf("%s: At(%g) = %g, want exactly %g", c.name, c.x, got, c.want)
+		}
+	}
+	if got := tab.At(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("At(NaN) = %g, want NaN", got)
+	}
+
+	single := MustTable1D([]Point{{2, 9}})
+	for _, x := range []float64{-1, 2, 5, math.Inf(-1), math.Inf(1)} {
+		if got := single.At(x); got != 9 {
+			t.Errorf("single-point At(%g) = %g, want 9", x, got)
+		}
+	}
+	if got := single.At(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("single-point At(NaN) = %g, want NaN", got)
+	}
+}
+
+// TestTable2DEdgeSemantics pins Table2D's clamp behavior at and beyond the
+// grid boundary, and NaN propagation on either coordinate.
+func TestTable2DEdgeSemantics(t *testing.T) {
+	tab := MustTable2D([]float64{0, 1}, []float64{0, 1},
+		[][]float64{{1, 2}, {3, 4}})
+	cases := []struct{ x, y, want float64 }{
+		{-5, -5, 1}, {math.Inf(-1), 0, 1},
+		{5, -5, 2}, {math.Inf(1), math.Inf(-1), 2},
+		{-5, 5, 3},
+		{5, 5, 4}, {math.Inf(1), math.Inf(1), 4},
+	}
+	for _, c := range cases {
+		if got := tab.At(c.x, c.y); got != c.want {
+			t.Errorf("At(%g,%g) = %g, want exactly %g", c.x, c.y, got, c.want)
+		}
+	}
+	if got := tab.At(math.NaN(), 0.5); !math.IsNaN(got) {
+		t.Errorf("At(NaN, 0.5) = %g, want NaN", got)
+	}
+	if got := tab.At(0.5, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("At(0.5, NaN) = %g, want NaN", got)
+	}
+}
+
+// TestTable1DAccuracyBound pins the interpolation error of sampled tables
+// against the exact function, with the classical piecewise-linear bound as
+// the documented ceiling: for f with |f”| ≤ M on a sample interval of
+// width h, linear interpolation is off by at most M·h²/8 anywhere in the
+// interval. The VR efficiency and guardband curves the model tabulates are
+// smooth, so this is the accuracy contract a resolution choice buys. At the
+// nodes and at (or beyond) the edges the table must reproduce f exactly —
+// interpolation error is zero there by construction, and the edge clamp
+// returns the boundary sample bit for bit.
+func TestTable1DAccuracyBound(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  *Table1D
+		f    func(float64) float64
+		// ddMax returns an upper bound for |f''| on [a, b] (0 < a <= b).
+		ddMax func(a, b float64) float64
+	}{
+		{
+			name:  "square",
+			tab:   FromFunc(0, 10, 101, func(x float64) float64 { return x * x }),
+			f:     func(x float64) float64 { return x * x },
+			ddMax: func(a, b float64) float64 { return 2 },
+		},
+		{
+			name:  "sine",
+			tab:   FromFunc(0, math.Pi, 201, math.Sin),
+			f:     math.Sin,
+			ddMax: func(a, b float64) float64 { return 1 },
+		},
+		{
+			// Log-spaced sampling: the bound is evaluated per interval,
+			// since both h and |f''| = 1/(ln10·x²) vary across the axis.
+			name:  "log10-logspaced",
+			tab:   FromFuncLog(0.1, 10, 50, math.Log10),
+			f:     math.Log10,
+			ddMax: func(a, b float64) float64 { return 1 / (math.Ln10 * a * a) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := tc.tab.Points()
+			for i := 0; i+1 < len(pts); i++ {
+				a, b := pts[i].X, pts[i+1].X
+				h := b - a
+				// The bound for this interval, plus a hair of slack for the
+				// rounding of the interpolation arithmetic itself.
+				bound := tc.ddMax(a, b)*h*h/8 + 1e-12
+				for j := 0; j <= 16; j++ {
+					x := a + h*float64(j)/16
+					if err := math.Abs(tc.tab.At(x) - tc.f(x)); err > bound {
+						t.Fatalf("At(%g): interpolation error %g exceeds M·h²/8 bound %g (interval [%g,%g])",
+							x, err, bound, a, b)
+					}
+				}
+			}
+			// Nodes reproduce the sampled values exactly (not merely within
+			// the bound): At on a node must return the stored Y bit for bit.
+			for _, p := range pts {
+				if got := tc.tab.At(p.X); got != p.Y {
+					t.Errorf("node At(%g) = %g, want exactly %g", p.X, got, p.Y)
+				}
+			}
+			// Beyond the edges the clamp hands back the boundary samples.
+			lo, hi := tc.tab.Domain()
+			if got := tc.tab.At(lo - 1); got != pts[0].Y {
+				t.Errorf("At(lo-1) = %g, want edge sample %g", got, pts[0].Y)
+			}
+			if got := tc.tab.At(hi + 1); got != pts[len(pts)-1].Y {
+				t.Errorf("At(hi+1) = %g, want edge sample %g", got, pts[len(pts)-1].Y)
+			}
+		})
+	}
+}

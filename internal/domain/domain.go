@@ -152,13 +152,14 @@ func (d *Domain) ClampFreq(f units.Hertz) units.Hertz {
 func (d *Domain) VoltageAt(f units.Hertz) units.Volt { return d.p.Curve.VoltageAt(f) }
 
 // Leakage returns the leakage power at supply voltage v and junction
-// temperature tj (°C).
+// temperature tj (°C). The computation is memoized (see leak.go): the
+// evaluation point depends only on (PleakRef, v, tj), and sweep drivers
+// revisit the same operating voltages across thousands of grid points.
 func (d *Domain) Leakage(v units.Volt, tj float64) units.Watt {
 	if v <= 0 {
 		return 0
 	}
-	return d.p.PleakRef * math.Pow(v/LeakVRef, LeakVoltageExp) *
-		math.Exp(LeakTempCoeff*(tj-LeakTRef))
+	return leakage(d.p.PleakRef, v, tj)
 }
 
 // DynVirus returns the dynamic power of the power-virus workload (AR = 1)

@@ -1,0 +1,77 @@
+package domain
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/units"
+)
+
+// leakEntry memoizes one leakage evaluation point. Leakage depends only on
+// (PleakRef, v, tj); grid construction revisits the same handful of
+// voltage/temperature points per domain thousands of times (TDPScenario's
+// binary search over the DVFS grid re-evaluates Power at every probe, and a
+// rectangular TDP×AR sweep re-derives the same frequencies per column), so
+// the math.Pow·math.Exp product is worth memoizing the same way
+// loadline.GuardbandScale is.
+type leakEntry struct {
+	pref units.Watt
+	v    units.Volt
+	tj   float64
+	p    units.Watt
+}
+
+// leakCache is a 4-way set-associative, lock-free memo for Leakage, the
+// same structure as loadline's guardband memo: each slot is an atomic
+// pointer to an immutable entry, a hit is a hash, a pointer load and three
+// float compares. rawLeakage is a pure function, so a cached hit returns
+// the exact float bits the direct computation produced regardless of which
+// goroutine filled the slot.
+const (
+	leakWays  = 4
+	leakSets  = 1 << 10
+	leakSlots = leakSets * leakWays
+)
+
+var leakCache [leakSlots]atomic.Pointer[leakEntry]
+
+// leakSet mixes the three operand bit patterns into a set index
+// (splitmix64-style multiply-xorshift).
+func leakSet(pref units.Watt, v units.Volt, tj float64) uint64 {
+	h := math.Float64bits(pref)
+	h = (h ^ math.Float64bits(v)*0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+	h = (h ^ math.Float64bits(tj)*0x94d049bb133111eb) * 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return (h % leakSets) * leakWays
+}
+
+// rawLeakage is the uncached leakage model shared by the memoized and the
+// direct call paths; both therefore produce identical bits.
+func rawLeakage(pref units.Watt, v units.Volt, tj float64) units.Watt {
+	return pref * math.Pow(v/LeakVRef, LeakVoltageExp) *
+		math.Exp(LeakTempCoeff*(tj-LeakTRef))
+}
+
+// leakage returns rawLeakage(pref, v, tj) through the memo.
+func leakage(pref units.Watt, v units.Volt, tj float64) units.Watt {
+	set := leakSet(pref, v, tj)
+	insert := &leakCache[set]
+	haveEmpty := false
+	for w := uint64(0); w < leakWays; w++ {
+		slot := &leakCache[set+w]
+		e := slot.Load()
+		if e == nil {
+			if !haveEmpty {
+				haveEmpty = true
+				insert = slot
+			}
+			continue
+		}
+		if e.pref == pref && e.v == v && e.tj == tj {
+			return e.p
+		}
+	}
+	p := rawLeakage(pref, v, tj)
+	insert.Store(&leakEntry{pref: pref, v: v, tj: tj, p: p})
+	return p
+}

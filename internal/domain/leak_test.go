@@ -1,0 +1,58 @@
+package domain
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLeakageMemoBitwise pins the memo contract: the memoized Leakage path
+// returns the exact float64 bits of the direct math.Pow·math.Exp model,
+// including on repeated (cached) queries, across distinct PleakRef values
+// that share voltage/temperature points (the set-collision case).
+func TestLeakageMemoBitwise(t *testing.T) {
+	prefs := []float64{0.3, 0.9, 1.7, 2.4}
+	volts := []float64{0.55, 0.6, 0.75, 0.9, 1.0, 1.1}
+	temps := []float64{40, 60, 80, 100}
+	for pass := 0; pass < 2; pass++ { // second pass hits the memo
+		for _, pref := range prefs {
+			for _, v := range volts {
+				for _, tj := range temps {
+					want := rawLeakage(pref, v, tj)
+					got := leakage(pref, v, tj)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("pass %d: leakage(%g, %g, %g) = %x, raw %x",
+							pass, pref, v, tj,
+							math.Float64bits(got), math.Float64bits(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLeakageMemoMatchesModel pins the public method against the closed
+// form, including the v<=0 early return that bypasses the memo.
+func TestLeakageMemoMatchesModel(t *testing.T) {
+	d := New(Params{
+		Kind: Core0, FMin: 0.8e9, FMax: 4e9, FStep: 0.1e9,
+		Curve: VFCurve{A: 0.5, B: 0.15, VMin: 0.55, VMax: 1.2},
+		Cdyn:  1e-9, PleakRef: 1.3,
+	})
+	if got := d.Leakage(0, 80); got != 0 {
+		t.Fatalf("Leakage(0, 80) = %g, want 0", got)
+	}
+	if got := d.Leakage(-1, 80); got != 0 {
+		t.Fatalf("Leakage(-1, 80) = %g, want 0", got)
+	}
+	for _, v := range []float64{0.6, 0.85, 1.0, 1.15} {
+		for _, tj := range []float64{25, 80, 105} {
+			want := 1.3 * math.Pow(v/LeakVRef, LeakVoltageExp) *
+				math.Exp(LeakTempCoeff*(tj-LeakTRef))
+			got := d.Leakage(v, tj)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("Leakage(%g, %g) = %x, want %x",
+					v, tj, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}

@@ -49,20 +49,48 @@ func Validate(s *Scenario) error {
 // total chip input current. pnom is the scenario's total nominal power
 // (Scenario.TotalNominal), which every model already has in hand.
 func Finish(kind Kind, pnom units.Watt, pin units.Watt, bd Breakdown, rails RailSet, railR units.Ohm) Result {
+	var r Result
+	FinishInto(&r, kind, pnom, pin, &bd, &rails, railR)
+	return r
+}
+
+// FinishInto is Finish writing the Result in place. The grid kernels use it
+// to fill their caller's result block directly: a Result is ~260 bytes
+// (mostly the rail set), and building it on the stack only to copy it into
+// out[i] is a measurable fraction of a batch point's budget. The arithmetic
+// is exactly Finish's, so the scalar wrapper above and the batch path
+// produce identical bits.
+func FinishInto(dst *Result, kind Kind, pnom units.Watt, pin units.Watt, bd *Breakdown, rails *RailSet, railR units.Ohm) {
 	var iin units.Amp
 	for i := 0; i < rails.n; i++ {
 		iin += rails.rails[i].Current
 	}
-	return Result{
-		PDN:              kind,
-		PNomTotal:        pnom,
-		PIn:              pin,
-		ETEE:             pnom / pin,
-		Breakdown:        bd,
-		ChipInputCurrent: iin,
-		ComputeRailR:     railR,
-		Rails:            rails,
+	dst.PDN = kind
+	dst.PNomTotal = pnom
+	dst.PIn = pin
+	dst.ETEE = pnom / pin
+	dst.Breakdown = *bd
+	dst.ChipInputCurrent = iin
+	dst.ComputeRailR = railR
+	dst.Rails = *rails
+}
+
+// FinishGrid completes a Result whose Breakdown and Rails a grid kernel has
+// already accumulated in place (the kernels zero the result block up front
+// and let the runners write dst.Breakdown/dst.Rails directly, eliminating
+// the last per-point struct copies). The remaining assignments are exactly
+// Finish's, computed from the in-place rail set.
+func FinishGrid(dst *Result, kind Kind, pnom units.Watt, pin units.Watt, railR units.Ohm) {
+	var iin units.Amp
+	for i := 0; i < dst.Rails.n; i++ {
+		iin += dst.Rails.rails[i].Current
 	}
+	dst.PDN = kind
+	dst.PNomTotal = pnom
+	dst.PIn = pin
+	dst.ETEE = pnom / pin
+	dst.ChipInputCurrent = iin
+	dst.ComputeRailR = railR
 }
 
 // IVRModel is the integrated-VR PDN (Fig 1(a)): one off-chip V_IN VR at

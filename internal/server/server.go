@@ -533,6 +533,40 @@ func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) (jobs
 	return jobs, true
 }
 
+// warmGrid resolves a batch's baseline points through the batch kernel
+// before the per-point sweep: jobs are grouped per PDN kind into an SoA
+// grid and the cache misses of each kind evaluate in blocks with hoisted
+// per-kind invariants (internal/pdn/grid.go) instead of one scalar model
+// run per point. Purely a cache warmer — the kernel is bitwise identical
+// to Evaluate, so the per-point pass then finds every baseline key hot and
+// the response bytes cannot change. Errors (an invalid point, a cancelled
+// request) are deliberately dropped here: the per-point pass reports them
+// with the request's exact error shape and index. FlexWatts points stay
+// scalar — their mode comes from the per-TDP predictor, not the scenario
+// alone, so they are not cacheable by scenario key.
+func (s *Server) warmGrid(r *http.Request, jobs []evalJob) {
+	var grids map[pdn.Kind]*pdn.Grid
+	for _, j := range jobs {
+		if j.kind == pdn.FlexWatts {
+			continue
+		}
+		if grids == nil {
+			grids = make(map[pdn.Kind]*pdn.Grid, 4)
+		}
+		g := grids[j.kind]
+		if g == nil {
+			g = pdn.NewGrid(len(jobs))
+			grids[j.kind] = g
+		}
+		g.Append(j.scenario)
+	}
+	for k, g := range grids {
+		out := make([]pdn.Result, g.Len())
+		//nolint:errcheck // cache warmer: the sweep re-reports any failure
+		sweep.GridMapCtx(r.Context(), s.workers(), s.env.Cache, s.env.Baselines[k], g, out, 0)
+	}
+}
+
 // evalOne evaluates one job, with results flowing through the shared env
 // cache for baseline kinds.
 func (s *Server) evalOne(job evalJob) (pdn.Result, error) {
@@ -579,6 +613,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.inflightSweeps.Add(1)
 	defer s.metrics.inflightSweeps.Add(-1)
+	s.warmGrid(r, jobs)
 	results, err := sweep.MapCtx(r.Context(), workers, len(jobs), func(i int) (api.EvalResult, error) {
 		res, err := s.evalOne(jobs[i])
 		if err != nil {

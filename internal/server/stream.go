@@ -74,6 +74,11 @@ func (s *Server) handleEvaluateStream(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.inflightSweeps.Add(1)
 	defer s.metrics.inflightSweeps.Add(-1)
+	// Warm the baseline keys through the batch kernel first (the jobs slice
+	// is already O(points), so the prepass scratch does not change the
+	// stream's memory order); the streaming sweep below then reads hot cache
+	// entries and delivers through its bounded window as before.
+	s.warmGrid(r, jobs)
 	lines := 0
 	// Errors returned by emit (encode/flush failures) mean the client is
 	// gone; StreamCtx cancels the sweep and we simply stop — there is no

@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/pdn"
+)
+
+// GridEvaluator is a pdn.Model with a batch evaluation path. The batch
+// contract (internal/pdn/grid.go) is bitwise identity with the scalar
+// Evaluate, which is what makes it safe to mix grid- and scalar-computed
+// results in one Cache: whichever path resolves a key first stores the
+// same float64 bits the other would have.
+type GridEvaluator interface {
+	pdn.Model
+	EvaluateGrid(g *pdn.Grid, out []pdn.Result) error
+}
+
+// gridBlock is the cache-consultation granularity of EvaluateGrid: keys
+// are looked up (and claimed) a block at a time, then one kernel call
+// resolves the block's misses. Big enough to amortize the kernel's
+// per-call invariant hoisting, small enough to keep the per-block scratch
+// state in fixed stack arrays.
+const gridBlock = 256
+
+// EvaluateGrid evaluates every grid point into out[:g.Len()], consulting
+// the cache per point exactly as Evaluate does — same key, same hit/miss
+// accounting, same once-per-key model invocation and tier write-behind —
+// but resolving each block's misses with a single EvaluateGrid kernel call
+// instead of per-point Evaluate. On a warm cache no model is invoked at
+// all. Concurrent scalar and grid evaluations of the same key are safe:
+// the entry's once serializes them and both paths produce identical bits.
+//
+// Per-point errors surface as the lowest failing index wrapped by
+// pdn.GridPointError; results for preceding points are valid. A nil cache
+// routes straight to the kernel (or a scalar loop for models without one).
+func (c *Cache) EvaluateGrid(m pdn.Model, g *pdn.Grid, out []pdn.Result) error {
+	if err := pdn.CheckGridOut(g, out); err != nil {
+		return err
+	}
+	ge, isGrid := m.(GridEvaluator)
+	if c == nil {
+		if isGrid {
+			return ge.EvaluateGrid(g, out)
+		}
+		for i := 0; i < g.Len(); i++ {
+			res, err := m.Evaluate(g.At(i))
+			if err != nil {
+				return pdn.GridPointError(i, err)
+			}
+			out[i] = res
+		}
+		return nil
+	}
+	n := g.Len()
+	kind := m.Kind()
+	var entries [gridBlock]*cacheEntry
+	var missIdx [gridBlock]int
+	// The miss-resolution scratch (sub-grid and result block) is built
+	// lazily on the first miss: a warm pass allocates nothing, and escape
+	// analysis would heap-allocate the result block per call if it were a
+	// stack array handed to the kernel interface.
+	var missOut []pdn.Result
+	var missGrid *pdn.Grid
+	for lo := 0; lo < n; lo += gridBlock {
+		hi := lo + gridBlock
+		if hi > n {
+			hi = n
+		}
+		// Look up or claim every key in the block, with Evaluate's exact
+		// accounting: present at lookup → hit (warm if tier-preloaded),
+		// created by us → miss.
+		nm := 0
+		for i := lo; i < hi; i++ {
+			key := cacheKey{kind: kind, s: g.At(i)}
+			sh := c.shardFor(key)
+			sh.mu.RLock()
+			e, ok := sh.entries[key]
+			sh.mu.RUnlock()
+			if !ok {
+				sh.mu.Lock()
+				e, ok = sh.entries[key]
+				if !ok {
+					e = &cacheEntry{}
+					sh.entries[key] = e
+					c.size.Add(1)
+				}
+				sh.mu.Unlock()
+			}
+			if ok {
+				c.hits.Add(1)
+				if e.warm {
+					c.warmHits.Add(1)
+				}
+			} else {
+				c.misses.Add(1)
+				missIdx[nm] = i
+				nm++
+			}
+			entries[i-lo] = e
+		}
+		// Resolve the block's claimed keys with one kernel call, storing
+		// each result under its entry's once (the tier write-behind rides
+		// inside, as in Evaluate). Duplicate keys within a block alias the
+		// same entry; the first once.Do wins and the rest are no-ops with
+		// identical bits. If the kernel rejects the sub-grid (an invalid
+		// point), fall back to scalar per-point resolution so every entry
+		// still ends up with exactly the scalar result or error.
+		if nm > 0 {
+			kernelOK := false
+			if isGrid {
+				if missGrid == nil {
+					missGrid = pdn.NewGrid(gridBlock)
+					missOut = make([]pdn.Result, gridBlock)
+				} else {
+					missGrid.Reset()
+				}
+				for j := 0; j < nm; j++ {
+					missGrid.Append(g.At(missIdx[j]))
+				}
+				kernelOK = ge.EvaluateGrid(missGrid, missOut[:nm]) == nil
+			}
+			for j := 0; j < nm; j++ {
+				i := missIdx[j]
+				e := entries[i-lo]
+				var res pdn.Result
+				if kernelOK {
+					res = missOut[j]
+				}
+				e.once.Do(func() {
+					if kernelOK {
+						e.res, e.err = res, nil
+					} else {
+						e.res, e.err = m.Evaluate(g.At(i))
+					}
+					if e.err == nil {
+						if ref := c.tier.Load(); ref != nil {
+							ref.t.Put(kind, g.At(i), e.res)
+						}
+					}
+				})
+			}
+		}
+		// Collect the block in order. Entries claimed by a concurrent
+		// evaluation may still be unresolved; the once blocks until the
+		// winner finishes (or computes scalar if no one started).
+		for i := lo; i < hi; i++ {
+			e := entries[i-lo]
+			e.once.Do(func() {
+				e.res, e.err = m.Evaluate(g.At(i))
+				if e.err == nil {
+					if ref := c.tier.Load(); ref != nil {
+						ref.t.Put(kind, g.At(i), e.res)
+					}
+				}
+			})
+			if e.err != nil {
+				return pdn.GridPointError(i, e.err)
+			}
+			out[i] = e.res
+		}
+	}
+	return nil
+}
+
+// GridMapCtx evaluates a grid on a pool of workers, each worker running
+// whole chunks through (c, m).EvaluateGrid — the batch counterpart of
+// MapCtx's per-point closure dispatch. chunk <= 0 defaults to the cache
+// block size; workers follow MapCtx's convention. out must have at least
+// g.Len() slots. The first failing chunk's error (lowest chunk index, and
+// within it the lowest point index) is returned, wrapped with the chunk's
+// absolute point range.
+func GridMapCtx(ctx context.Context, workers int, c *Cache, m pdn.Model, g *pdn.Grid, out []pdn.Result, chunk int) error {
+	if err := pdn.CheckGridOut(g, out); err != nil {
+		return err
+	}
+	if chunk <= 0 {
+		chunk = gridBlock
+	}
+	n := g.Len()
+	chunks := (n + chunk - 1) / chunk
+	return EachCtx(ctx, workers, chunks, func(ci int) error {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		v := g.View(lo, hi)
+		if err := c.EvaluateGrid(m, &v, out[lo:hi]); err != nil {
+			return fmt.Errorf("sweep: grid points [%d,%d): %w", lo, hi, err)
+		}
+		return nil
+	})
+}

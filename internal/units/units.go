@@ -63,14 +63,18 @@ func MegaHertz(mhz float64) Hertz { return mhz * Mega }
 // non-positive value indicates a programming error, never a runtime
 // condition.
 func CheckPositive(name string, v float64) {
-	if !(v > 0) || math.IsInf(v, 1) {
+	// Open-coded NaN/Inf tests (v > 0 rejects NaN; v > MaxFloat64 is +Inf)
+	// keep the function within the inlining budget: the checks sit inside
+	// the per-point evaluation kernels, where a call per check is
+	// measurable.
+	if !(v > 0) || v > math.MaxFloat64 {
 		panic(fmt.Sprintf("units: %s must be positive and finite, got %g", name, v))
 	}
 }
 
 // CheckNonNegative panics unless v >= 0 and finite.
 func CheckNonNegative(name string, v float64) {
-	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+	if v < 0 || v != v || v > math.MaxFloat64 {
 		panic(fmt.Sprintf("units: %s must be non-negative and finite, got %g", name, v))
 	}
 }

@@ -1,0 +1,134 @@
+package vr
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// This file implements compiled buck operating points: the per-(Vin, power
+// state) invariants of the loss model hoisted out of the per-evaluation
+// call. On a grid sweep the input voltage and the candidate power states of
+// a rail are fixed while Vout/Iout vary per point, so the fixed controller
+// loss, the Vin²-scaled switching loss and the KOverlap·Vin prefix can be
+// computed once per grid instead of once per point — and the BuckParams
+// struct copy that dominates the scalar path's profile disappears entirely.
+//
+// Bitwise contract: BuckOp.Efficiency returns the exact float64 bits of
+// Buck.Efficiency at the same operating point. Every hoisted term is a
+// prefix of the original left-associative expression — (KOverlap·Vin)·Iout
+// is the same operation sequence as KOverlap·Vin·Iout — and every term that
+// is not a pure prefix (the duty-cycle division, the dead-time product)
+// stays per-call in the original order. compile_test.go pins the equality
+// exhaustively across states, voltages and currents.
+
+// BuckOp is a Buck's loss model compiled for one (Vin, PowerState) pair.
+// The zero value is not meaningful; obtain one from Buck.Compile.
+type BuckOp struct {
+	fixed    units.Watt // controller loss at this state
+	sw       units.Watt // switching loss at this Vin and state
+	kovlVin  float64    // KOverlap·Vin (overlap-loss prefix)
+	vin      units.Volt
+	vdt      units.Volt
+	kdrv     float64
+	rser     units.Ohm
+	phaseCur units.Amp
+	maxPh    int
+	etaFloor float64
+	light    bool // state >= PS1: single phase forced
+}
+
+// Compile hoists the (vin, ps)-dependent terms of the loss model. The
+// arithmetic mirrors Buck.loss term by term so the compiled constants carry
+// the same float64 bits the scalar path computes per call.
+func (b *Buck) Compile(vin units.Volt, ps PowerState) BuckOp {
+	p := b.params
+	var fixed, sw units.Watt
+	if ps >= PS1 {
+		fixed = p.PControlLight
+		sw = p.KSwitch * vin * vin / p.LightSwitchDiv
+		if ps >= PS3 {
+			sw /= 4
+			fixed /= 2
+		}
+	} else {
+		fixed = p.PControl
+		sw = p.KSwitch * vin * vin
+	}
+	return BuckOp{
+		fixed:    fixed,
+		sw:       sw,
+		kovlVin:  p.KOverlap * vin,
+		vin:      vin,
+		vdt:      p.VDeadTime,
+		kdrv:     p.KDriver,
+		rser:     p.RSeries,
+		phaseCur: p.PhaseCurrent,
+		maxPh:    p.MaxPhases,
+		etaFloor: p.EtaFloor,
+		light:    ps >= PS1,
+	}
+}
+
+// loss mirrors Buck.loss with the compiled constants substituted.
+func (o *BuckOp) loss(vout units.Volt, iout units.Amp) units.Watt {
+	n := 1
+	if !o.light {
+		n = int(math.Ceil(iout / o.phaseCur))
+		if n < 1 {
+			n = 1
+		}
+		if n > o.maxPh {
+			n = o.maxPh
+		}
+	}
+	rEff := o.rser / float64(n)
+	ovl := o.kovlVin * iout
+	duty := 0.0
+	if o.vin > 0 {
+		duty = units.Clamp(vout/o.vin, 0, 1)
+	}
+	dt := o.vdt * (1 - duty) * iout
+	drv := o.kdrv * iout
+	cond := rEff * iout * iout
+	var head units.Watt
+	if duty > maxBuckDuty {
+		head = headroomLossK * vout * iout * (duty - maxBuckDuty) / (1 - maxBuckDuty)
+	}
+	return o.fixed + o.sw + ovl + dt + drv + cond + head
+}
+
+// Efficiency returns exactly Buck.Efficiency(OperatingPoint{Vin, Vout,
+// Iout, State}) for the compiled (Vin, State), bit for bit.
+func (o *BuckOp) Efficiency(vout units.Volt, iout units.Amp) float64 {
+	if iout <= 0 {
+		return o.etaFloor
+	}
+	pout := vout * iout
+	eta := pout / (pout + o.loss(vout, iout))
+	if eta < o.etaFloor {
+		eta = o.etaFloor
+	}
+	return eta
+}
+
+// BuckStates holds one compiled operating point per modeled power state
+// (PS0–PS4) at a fixed Vin, so grid kernels can select by the per-point
+// VR state without recompiling.
+type BuckStates struct {
+	ops [PS4 + 1]BuckOp
+}
+
+// CompileStates compiles the buck at vin for every power state.
+func (b *Buck) CompileStates(vin units.Volt) BuckStates {
+	var s BuckStates
+	for ps := PS0; ps <= PS4; ps++ {
+		s.ops[ps] = b.Compile(vin, ps)
+	}
+	return s
+}
+
+// Efficiency evaluates the compiled operating point for ps.
+func (s *BuckStates) Efficiency(ps PowerState, vout units.Volt, iout units.Amp) float64 {
+	return s.ops[ps].Efficiency(vout, iout)
+}

@@ -14,7 +14,10 @@ BASE="http://127.0.0.1:${PORT}"
 RPS="${SLO_RPS:-40}"
 BATCH="${SLO_BATCH:-64}"
 DURATION="${SLO_DURATION:-5s}"
-BENCH_JSON="${BENCH_JSON:-BENCH_6.json}"
+BENCH_JSON="${BENCH_JSON:-BENCH_8.json}"
+# Grid sweep rate: 4096-point batches are ~64x heavier per request than the
+# SLO batches, so the offered rate is kept conservative.
+GRID_RPS="${SLO_GRID_RPS:-5}"
 BENCH_LABEL="${BENCH_LABEL:-current}"
 TMP="$(mktemp -d)"
 
@@ -43,6 +46,10 @@ echo "== loadgen: streaming endpoint"
 "$TMP/loadgen" -addr "$BASE" -rps "$RPS" -batch "$BATCH" -duration "$DURATION" -stream \
     | tee -a "$TMP/bench.txt"
 
+echo "== loadgen: grid batch-size sweep (64/512/4096 points, ${GRID_RPS} rps)"
+"$TMP/loadgen" -addr "$BASE" -rps "$GRID_RPS" -duration "$DURATION" -grid \
+    | tee -a "$TMP/bench.txt"
+
 echo "== SLO floor: non-zero throughput, zero request errors at low load"
 # The report line carries "<n> shed <n> request_errors"; at this offered
 # load nothing may be shed or fail.
@@ -51,10 +58,11 @@ if grep -E ' [1-9][0-9]* (shed|request_errors)' "$TMP/bench.txt"; then
     exit 1
 fi
 # A line with 0 successful requests never prints (loadgen exits 1), so
-# two report lines mean both endpoints sustained throughput.
+# five report lines mean both endpoints plus the three grid batch sizes
+# all sustained throughput.
 LINES=$(grep -c '^Benchmark' "$TMP/bench.txt")
-if [ "$LINES" -ne 2 ]; then
-    echo "slo: FAILED — expected 2 report lines, got $LINES" >&2
+if [ "$LINES" -ne 5 ]; then
+    echo "slo: FAILED — expected 5 report lines, got $LINES" >&2
     exit 1
 fi
 
