@@ -9,7 +9,11 @@ GO ?= go
 BENCHES ?= BenchmarkEvaluateETEE|BenchmarkEvaluateGrid|BenchmarkReferenceSim|BenchmarkPredictor$$|BenchmarkSuiteSerial|BenchmarkSuiteParallel|BenchmarkTraceSim|BenchmarkCompareOnTraces
 BENCHTIME ?= 1s
 BENCH_LABEL ?= current
-BENCH_JSON ?= BENCH_8.json
+# PR 9 migrated the perf record from BENCH_8.json: BENCH_9's "baseline"
+# run carries BENCH_8's committed "current" numbers forward, so the gate
+# still compares against the pre-PR trajectory. Gate against the old file
+# explicitly with BENCH_JSON=BENCH_8.json if needed during migration.
+BENCH_JSON ?= BENCH_9.json
 # Allowed fractional regression before bench-check fails. Generous by
 # default because shared CI runners are noisy (±40% run-to-run on this
 # suite); tighten locally with BENCH_TOLERANCE=0.15 on a quiet machine.

@@ -231,6 +231,38 @@ func TestEvaluateGridAllocFree(t *testing.T) {
 	}
 }
 
+// TestGridArenaAllocFree pins the pooled request-arena cycle — the path
+// the serving layer and the SDK take per batch request: check a lease out,
+// fill its grid, take a result block, release. After the first cycle
+// builds the backing storage, a steady-state cycle must not allocate at
+// all; this is what keeps the daemon's warm pass allocation-free per
+// request under fleet load.
+func TestGridArenaAllocFree(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race detector drops sync.Pool puts; alloc/reuse pins do not hold")
+	}
+	s := allocScenarios(t)["multithread-18W"]
+	var arena pdn.GridArena
+	cycle := func() {
+		l := arena.Get()
+		g := l.Grid()
+		for i := 0; i < 256; i++ {
+			g.Append(s)
+		}
+		if len(l.Results(g.Len())) != g.Len() {
+			t.Fatal("short result block")
+		}
+		l.Release()
+	}
+	cycle() // build the lease, columns and result block once
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Errorf("warm arena cycle: %.1f allocs/op, want 0", avg)
+	}
+	if gets, reuses := arena.Stats(); reuses < gets-5 {
+		t.Errorf("arena stats (%d gets, %d reuses): pool barely reusing", gets, reuses)
+	}
+}
+
 // TestCacheGridAllocs pins the memoizing grid path on both sides of the
 // cache: a warm repeat must allocate nothing at all (every key hits, no
 // scratch grid is built), and the cold first pass may allocate only the
@@ -238,6 +270,9 @@ func TestEvaluateGridAllocFree(t *testing.T) {
 // (entry, interned key, shard map growth), not per-point evaluation
 // garbage.
 func TestCacheGridAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race detector drops sync.Pool puts; the warm pass's pooled probe scratch may reallocate")
+	}
 	e := benchEnv(t)
 	g := gridBenchGrid(t)
 	out := make([]pdn.Result, g.Len())

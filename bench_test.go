@@ -7,7 +7,9 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -203,22 +205,67 @@ func BenchmarkEvaluateGrid(b *testing.B) {
 	}
 }
 
-// BenchmarkEvaluateGridLooped is the scalar baseline for the grid kernel:
+// BenchmarkEvaluateGridLooped is the scalar baseline for the grid kernels:
 // the identical 4128-point grid through per-point Evaluate, with the same
-// points/s metric, so the kernel speedup is one division away.
+// points/s metric, so each kernel's speedup is one division away. The
+// top-level benchmark keeps the historical IVR-only shape (the BENCH_8
+// headline); sub-benchmarks add the per-kind scalar baselines so every
+// kernel is compared against its own scalar loop, not IVR's.
 func BenchmarkEvaluateGridLooped(b *testing.B) {
 	e := benchEnv(b)
 	g := gridBenchGrid(b)
-	m := e.Baselines[pdn.IVR]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for j := 0; j < g.Len(); j++ {
-			if _, err := m.Evaluate(g.At(j)); err != nil {
-				b.Fatal(err)
+	loop := func(b *testing.B, m pdn.Model) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < g.Len(); j++ {
+				if _, err := m.Evaluate(g.At(j)); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
+		b.ReportMetric(float64(b.N)*float64(g.Len())/b.Elapsed().Seconds(), "points/s")
 	}
-	b.ReportMetric(float64(b.N)*float64(g.Len())/b.Elapsed().Seconds(), "points/s")
+	loop(b, e.Baselines[pdn.IVR])
+	for _, k := range pdn.Kinds() {
+		k := k
+		b.Run(k.String(), func(b *testing.B) { loop(b, e.Baselines[k]) })
+	}
+}
+
+// BenchmarkEvaluateGridParallel measures the full parallel grid pipeline —
+// GridMapCtx chunking the 4128-point grid over a worker pool, each chunk
+// running the shard-batched cache probe and the batch kernel — at 1, 2, 4
+// and GOMAXPROCS workers (deduplicated, so a 4-core machine runs three
+// sub-benchmarks and an 8-core machine four). Each iteration starts from a
+// fresh cache: the measured work is the cold serving path a first-seen
+// request takes (probe, claim, kernel, store), which is where worker
+// scaling matters. The chunk size is the adaptive default (chunk=0).
+// Compare points/s across the workers=N sub-benchmarks for the parallel
+// speedup; single-core hosts necessarily report flat numbers.
+func BenchmarkEvaluateGridParallel(b *testing.B) {
+	e := benchEnv(b)
+	g := gridBenchGrid(b)
+	out := make([]pdn.Result, g.Len())
+	m := e.Baselines[pdn.IVR]
+	seen := make(map[int]bool)
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := sweep.NewCache()
+				if err := sweep.GridMapCtx(context.Background(), w, c, m, g, out, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(g.Len())/b.Elapsed().Seconds(), "points/s")
+		})
+	}
 }
 
 // BenchmarkPredictor measures one Algorithm 1 table-lookup decision, the

@@ -168,19 +168,22 @@ func merge(path, label string, run Run) (Document, error) {
 
 // compare gates a fresh run against a baseline run: every benchmark present
 // in both is compared on ns/op (higher is worse) and on each shared
-// throughput metric — a custom unit ending in "/s" (lower is worse). It
-// writes one line per comparison and returns the number of regressions
-// beyond tolerance. Benchmarks present on only one side are reported but
-// never fail the gate: short CI runs gate a subset via -bench regexes, and
-// the baseline document may carry runs (SLO lines, retired benchmarks) the
-// fresh output doesn't reproduce.
+// throughput metric — a custom unit ending in "/s" (lower is worse). The
+// gate never stops at the first failure: it writes one verdict line per
+// metric comparison, then a final one-line summary of the whole run
+// (benchmarks compared, metric lines, regressions, skips), and returns the
+// number of regressions beyond tolerance. Benchmarks present on only one
+// side are reported but never fail the gate: short CI runs gate a subset
+// via -bench regexes, and the baseline document may carry runs (SLO lines,
+// retired benchmarks) the fresh output doesn't reproduce.
 func compare(w io.Writer, current, baseline Run, tolerance float64) int {
 	base := make(map[string]Benchmark, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
 		base[b.Name] = b
 	}
-	regressions, shared := 0, 0
+	regressions, shared, comparisons, skipped := 0, 0, 0, 0
 	verdict := func(name, metric string, cur, ref, worstOK float64, regressed bool) {
+		comparisons++
 		status := "ok"
 		if regressed {
 			status = "REGRESSED"
@@ -192,6 +195,7 @@ func compare(w io.Writer, current, baseline Run, tolerance float64) int {
 	for _, cur := range current.Benchmarks {
 		ref, ok := base[cur.Name]
 		if !ok {
+			skipped++
 			fmt.Fprintf(w, "skipped   %s: not in baseline\n", cur.Name)
 			continue
 		}
@@ -221,9 +225,12 @@ func compare(w io.Writer, current, baseline Run, tolerance float64) int {
 			}
 		}
 		if !found {
+			skipped++
 			fmt.Fprintf(w, "skipped   %s: not in this run\n", name)
 		}
 	}
+	fmt.Fprintf(w, "benchjson: %d benchmark(s) compared, %d metric line(s), %d regression(s), %d skipped\n",
+		shared, comparisons, regressions, skipped)
 	if shared == 0 {
 		fmt.Fprintln(w, "REGRESSED (no benchmark shared between run and baseline — gate has nothing to hold)")
 		return 1
@@ -258,7 +265,7 @@ func check(stdin io.Reader, stdout, stderr io.Writer, baselinePath, label string
 		return 1
 	}
 	if n := compare(stdout, cur, ref, tolerance); n > 0 {
-		fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%% of %s %q\n",
+		fmt.Fprintf(stderr, "benchjson: %d metric comparison(s) regressed beyond %.0f%% of %s %q\n",
 			n, tolerance*100, baselinePath, label)
 		return 1
 	}

@@ -154,6 +154,39 @@ BenchmarkEvaluateGrid/IVR 100 500000 ns/op 7000000 points/s
 	}
 }
 
+// TestCheckReportsAllRegressions pins the gate's whole-run reporting: when
+// several metrics regress at once, every one gets its own REGRESSED verdict
+// line in a single invocation (no stop-at-first-failure), the stderr count
+// matches, and the run ends with the one-line summary.
+func TestCheckReportsAllRegressions(t *testing.T) {
+	path := writeBaseline(t, "current", `
+BenchmarkEvaluateETEE 1000 400.0 ns/op
+BenchmarkEvaluateGrid/IVR 100 500000 ns/op 9000000 points/s
+BenchmarkEvaluateGridParallel/workers=4 50 1000000 ns/op 4000000 points/s
+`)
+	// Three distinct regressions: ETEE ns/op, grid points/s, parallel ns/op.
+	input := `
+BenchmarkEvaluateETEE 1000 900.0 ns/op
+BenchmarkEvaluateGrid/IVR 100 500000 ns/op 1000000 points/s
+BenchmarkEvaluateGridParallel/workers=4 50 9000000 ns/op 3900000 points/s
+`
+	var out, errOut strings.Builder
+	code := run(strings.NewReader(input), &out, &errOut,
+		[]string{"-check", "-baseline", path, "-tolerance", "0.15"})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if got := strings.Count(out.String(), "REGRESSED"); got != 3 {
+		t.Errorf("want 3 REGRESSED verdict lines in one run, got %d:\n%s", got, out.String())
+	}
+	if !strings.Contains(errOut.String(), "3 metric comparison(s) regressed") {
+		t.Errorf("stderr count missing:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "3 benchmark(s) compared, 5 metric line(s), 3 regression(s), 0 skipped") {
+		t.Errorf("summary line missing or wrong:\n%s", out.String())
+	}
+}
+
 // TestCheckGateFlagErrors pins the gate's operator errors: missing
 // -baseline, an absent file, and an unknown label all fail loudly rather
 // than passing vacuously.

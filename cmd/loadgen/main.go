@@ -140,10 +140,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *grid {
 		// Batch-size sweep: each size gets its own measurement window and
-		// report line, so BENCH_<pr>.json records how request throughput
-		// scales as more points per request ride the batch kernel.
+		// report line — named by the client concurrency too, so `make slo`
+		// can sweep -workers and BENCH_<pr>.json records how request
+		// throughput scales both with points per request riding the batch
+		// kernel and with concurrent requests sharing the daemon's arenas
+		// and cache shards.
 		for _, n := range gridBatchSizes {
-			lineName := fmt.Sprintf("LoadgenGrid/batch=%d", n)
+			lineName := fmt.Sprintf("LoadgenGrid/workers=%d/batch=%d", *workers, n)
 			if code := drive(ctx, c, gridPoints(n), *rps, *duration, *workers, false, lineName, stdout, stderr); code != 0 {
 				return code
 			}

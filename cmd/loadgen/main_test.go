@@ -88,8 +88,8 @@ func TestLoadgenAgainstDaemon(t *testing.T) {
 }
 
 // TestLoadgenGridSweep pins the -grid batch-size sweep: one report line
-// per size, in order, each naming its batch and carrying the benchjson
-// value/unit shape.
+// per size, in order, each naming the client worker count and its batch
+// and carrying the benchjson value/unit shape.
 func TestLoadgenGridSweep(t *testing.T) {
 	ts := daemon(t, server.Options{})
 	// Shrink the swept sizes: the mechanics and line format are what the
@@ -98,7 +98,7 @@ func TestLoadgenGridSweep(t *testing.T) {
 	defer func(orig []int) { gridBatchSizes = orig }(gridBatchSizes)
 	gridBatchSizes = []int{4, 16, 64}
 	var out, errOut strings.Builder
-	args := []string{"-addr", ts.URL, "-rps", "100", "-duration", "400ms", "-grid"}
+	args := []string{"-addr", ts.URL, "-rps", "100", "-duration", "400ms", "-grid", "-workers", "8"}
 	if code := run(context.Background(), args, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d; stderr: %s", code, errOut.String())
 	}
@@ -107,7 +107,7 @@ func TestLoadgenGridSweep(t *testing.T) {
 		t.Fatalf("got %d report lines, want %d:\n%s", len(lines), len(gridBatchSizes), out.String())
 	}
 	for i, n := range gridBatchSizes {
-		want := fmt.Sprintf("BenchmarkLoadgenGrid/batch=%d ", n)
+		want := fmt.Sprintf("BenchmarkLoadgenGrid/workers=8/batch=%d ", n)
 		if !strings.HasPrefix(lines[i], want) {
 			t.Errorf("line %d = %q, want prefix %q", i, lines[i], want)
 		}

@@ -80,6 +80,9 @@ type Client struct {
 	pred      *core.Predictor
 	cache     *sweep.Cache
 	workers   int
+	// arena recycles warmBatch's grid + result blocks across EvaluateBatch
+	// calls; its zero value is ready, so no constructor wiring is needed.
+	arena pdn.GridArena
 }
 
 // NewClient constructs a Client with the paper's calibration,
@@ -236,7 +239,13 @@ func (c *Client) warmBatch(ctx context.Context, pts []Point) {
 	if c.cache == nil {
 		return
 	}
-	var grids map[pdn.Kind]*pdn.Grid
+	// At most four baseline kinds exist, so the grouping is a fixed array
+	// plus a linear scan, and the grids come from the client's arena: their
+	// column storage (and the result blocks) recycle across EvaluateBatch
+	// calls instead of allocating per call.
+	var kinds [4]pdn.Kind
+	var leases [4]*pdn.GridLease
+	nl := 0
 	for _, pt := range pts {
 		if pt.Validate() != nil {
 			continue
@@ -249,20 +258,22 @@ func (c *Client) warmBatch(ctx context.Context, pts []Point) {
 		if err != nil {
 			continue
 		}
-		if grids == nil {
-			grids = make(map[pdn.Kind]*pdn.Grid, 4)
+		t := 0
+		for t < nl && kinds[t] != ik {
+			t++
 		}
-		g := grids[ik]
-		if g == nil {
-			g = pdn.NewGrid(len(pts))
-			grids[ik] = g
+		if t == nl {
+			kinds[t] = ik
+			leases[t] = c.arena.Get()
+			nl++
 		}
-		g.Append(s)
+		leases[t].Grid().Append(s)
 	}
-	for k, g := range grids {
-		out := make([]pdn.Result, g.Len())
+	for t := 0; t < nl; t++ {
+		g := leases[t].Grid()
 		//nolint:errcheck // cache warmer: the per-point pass re-reports failures
-		sweep.GridMapCtx(ctx, c.workers, c.cache, c.baselines[k], g, out, 0)
+		sweep.GridMapCtx(ctx, c.workers, c.cache, c.baselines[kinds[t]], g, leases[t].Results(g.Len()), 0)
+		leases[t].Release()
 	}
 }
 

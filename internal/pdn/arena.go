@@ -1,0 +1,75 @@
+package pdn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// GridArena pools the scenario grid + result block pairs that batch
+// request paths (flexwattsd's evaluate handlers, the SDK's EvaluateBatch)
+// otherwise allocate per request. A lease checked out with Get hands back
+// an empty Grid whose column capacity persists across reuses and a result
+// block resized on demand, so a steady request load settles into zero
+// grid/result allocations per request. The zero GridArena is ready to
+// use; it is safe for concurrent use, and each lease must be used by one
+// goroutine at a time and Released exactly once.
+//
+// The arena keeps its own books — Get checkouts and how many of them the
+// pool satisfied — so serving layers can export an arena-reuse ratio: a
+// ratio near 1 under steady load means requests are recycling warm
+// arenas, while a sagging ratio flags churn (GC pressure clearing the
+// pool, or request concurrency outgrowing it).
+type GridArena struct {
+	pool   sync.Pool
+	gets   atomic.Int64
+	reuses atomic.Int64
+}
+
+// GridLease is one GridArena checkout: a grid to fill and a result block
+// to evaluate into.
+type GridLease struct {
+	arena *GridArena
+	grid  Grid
+	out   []Result
+}
+
+// Get checks a lease out of the arena. The lease's grid is empty; its
+// backing capacity (and the result block's) carries over from the lease's
+// previous life when the pool satisfies the checkout.
+func (a *GridArena) Get() *GridLease {
+	a.gets.Add(1)
+	if v := a.pool.Get(); v != nil {
+		a.reuses.Add(1)
+		l := v.(*GridLease)
+		l.grid.Reset()
+		return l
+	}
+	return &GridLease{arena: a}
+}
+
+// Grid returns the leased grid.
+func (l *GridLease) Grid() *Grid { return &l.grid }
+
+// Results returns a result block with n slots, reusing the lease's
+// backing array when its capacity suffices. The slots are not zeroed —
+// every evaluation path overwrites the block it is handed — so callers
+// must not read slots they have not written.
+func (l *GridLease) Results(n int) []Result {
+	if cap(l.out) < n {
+		l.out = make([]Result, n)
+	}
+	return l.out[:n]
+}
+
+// Release returns the lease to its arena for reuse. The caller must not
+// touch the lease, its grid or any Results block after the release.
+func (l *GridLease) Release() {
+	l.arena.pool.Put(l)
+}
+
+// Stats reports how many leases were checked out and how many of those
+// checkouts the pool satisfied with a recycled lease; reuses/gets is the
+// arena-reuse ratio.
+func (a *GridArena) Stats() (gets, reuses int64) {
+	return a.gets.Load(), a.reuses.Load()
+}

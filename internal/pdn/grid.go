@@ -355,6 +355,47 @@ func (g *Grid) Reset() {
 	g.n = 0
 }
 
+// extend grows *s to length n — reusing capacity when it suffices,
+// reallocating otherwise — and returns the slice for indexed writes.
+func extend[T any](s *[]T, n int) []T {
+	if cap(*s) >= n {
+		*s = (*s)[:n]
+	} else {
+		*s = make([]T, n)
+	}
+	return *s
+}
+
+// Gather resets g to the points of src selected by indices, in order —
+// the column-wise counterpart of an At/Append loop, which materializes a
+// ~200-byte Scenario per point just to scatter it back into columns.
+// Like Append, Gather copies into g's own backing arrays and never
+// aliases src's storage: mutating the gathered grid cannot corrupt src.
+// src must be a different grid than g.
+func (g *Grid) Gather(src *Grid, indices []int) {
+	n := len(indices)
+	for k := range g.pnom {
+		pn := extend(&g.pnom[k], n)
+		vn := extend(&g.vnom[k], n)
+		fl := extend(&g.fl[k], n)
+		ar := extend(&g.ar[k], n)
+		spn, svn, sfl, sar := src.pnom[k], src.vnom[k], src.fl[k], src.ar[k]
+		for j, i := range indices {
+			pn[j] = spn[i]
+			vn[j] = svn[i]
+			fl[j] = sfl[i]
+			ar[j] = sar[i]
+		}
+	}
+	cs := extend(&g.cstate, n)
+	ps := extend(&g.psu, n)
+	for j, i := range indices {
+		cs[j] = src.cstate[i]
+		ps[j] = src.psu[i]
+	}
+	g.n = n
+}
+
 // View returns a sub-grid over points [lo, hi) sharing the receiver's
 // storage — the chunking primitive for parallel sweep workers. Mutating a
 // view's points mutates the parent.
@@ -612,22 +653,38 @@ func (r *VinRailRun) EvalInto(st *StageOut, vin units.Volt, rll units.Ohm, psu u
 }
 
 // BoardRailRun evaluates BoardRail over grid points with the off-chip VR
-// compiled per distinct PSU voltage and a previous-point whole-rail memo:
-// when the rail's loads (AR included), the package state and the PSU all
-// repeat — the SA/IO rails across a TDP or AR sweep — the stored output is
-// returned wholesale on a single mask test. Not safe for concurrent use.
+// compiled per distinct PSU voltage and two memo tiers keyed on the change
+// masks: a whole-rail memo — when the rail's loads (AR included), the
+// package state and the PSU all repeat (the SA/IO rails across a TDP or AR
+// sweep) the stored output is returned wholesale on a single mask test —
+// and a free-field memo that keeps the rail voltage and per-load
+// guardbanded powers (functions of PNom/VNom/FL only) across AR-innermost
+// sweeps, where every point invalidates the whole-rail tier but not the
+// guardband work. Not safe for concurrent use.
 type BoardRailRun struct {
-	b       *vr.Buck
-	kinds   []domain.Kind
-	tob     units.Volt
-	rpg     units.Ohm
-	rll     units.Ohm
-	compute bool
-	need    uint16
+	b        *vr.Buck
+	kinds    []domain.Kind
+	tob      units.Volt
+	rpg      units.Ohm
+	rll      units.Ohm
+	compute  bool
+	need     uint16
+	freeNeed uint16
 
 	psu    units.Volt
 	states vr.BuckStates
 	ready  bool
+
+	// Free-field memo (see evalPoint): the rail voltage, the active load
+	// set in domain order, and per-load guardbanded power / guardband
+	// delta / FL — everything the per-load loop derives before AR enters.
+	fvalid bool
+	railV  units.Volt
+	nact   int
+	actK   [domain.NumKinds]domain.Kind
+	pgb    [domain.NumKinds]units.Watt
+	gbd    [domain.NumKinds]units.Watt
+	flv    [domain.NumKinds]float64
 
 	valid bool
 	out   RailOut
@@ -637,7 +694,8 @@ type BoardRailRun struct {
 func NewBoardRailRun(b *vr.Buck, kinds []domain.Kind, tob units.Volt, rpg, rll units.Ohm, compute bool) BoardRailRun {
 	return BoardRailRun{
 		b: b, kinds: kinds, tob: tob, rpg: rpg, rll: rll, compute: compute,
-		need: kindsMask(kinds, true) | gridMaskCState | gridMaskPSU,
+		need:     kindsMask(kinds, true) | gridMaskCState | gridMaskPSU,
+		freeNeed: kindsMask(kinds, false),
 	}
 }
 
@@ -657,52 +715,77 @@ func (r *BoardRailRun) offChip(psu, vout units.Volt, p units.Watt, c domain.CSta
 	return pin, pin - p
 }
 
-// EvalInto accumulates exactly BoardRail(b, loads, tob, rpg, rll, psu, c,
-// compute) for point i of the grid into the caller's breakdown and rail
-// set, returning the rail's PSU draw; m is point i's change mask. The
-// accumulation performs Breakdown.Add's field additions on the memoized
-// (or freshly computed) rail output, so the bits match the standalone
-// RailOut form exactly.
-func (r *BoardRailRun) EvalInto(g *Grid, i int, m uint16, bd *Breakdown, rails *RailSet) units.Watt {
-	if r.valid && m&r.need == r.need {
-		bd.AddFrom(&r.out.Breakdown)
-		rails.Append(r.out.Rail)
-		return r.out.PIn
+// evalPoint computes the rail's full output for point i into r.out,
+// exactly as the scalar BoardRail does for r.kinds' loads. When the mask
+// says every load's AR-free columns repeat, the free-field memo replays
+// the rail voltage and per-load guardbanded powers instead of recomputing
+// them — those are pure functions of the unchanged PNom/VNom/FL bits, so
+// the replayed values are the bits the calls would produce. Within a
+// point, consecutive active loads with identical guardbanded power, FL
+// and AR share one power-gate solve for the same reason: identical
+// argument bits into the same pure function. Every accumulation below
+// (+= per field, per load, in domain order) is the scalar loop's own
+// sequence, so the result carries identical float64 bits.
+func (r *BoardRailRun) evalPoint(g *Grid, i int, m uint16) {
+	if !r.fvalid || m&r.freeNeed != r.freeNeed {
+		r.fvalid = false
+		var railV units.Volt
+		for _, k := range r.kinds {
+			if g.pnom[k][i] > 0 && g.vnom[k][i] > railV {
+				railV = g.vnom[k][i]
+			}
+		}
+		r.railV = railV
+		r.nact = 0
+		if railV > 0 {
+			for _, k := range r.kinds {
+				pnom, vnom, fl := g.pnom[k][i], g.vnom[k][i], g.fl[k][i]
+				if !(pnom > 0) {
+					continue
+				}
+				pgb := loadline.ApplyGuardband(pnom, vnom, r.tob, fl)
+				if vnom < railV {
+					pgb = loadline.ApplyGuardband(pgb, vnom+r.tob, railV-vnom, fl)
+				}
+				t := r.nact
+				r.actK[t] = k
+				r.pgb[t] = pgb
+				r.gbd[t] = pgb - pnom
+				r.flv[t] = fl
+				r.nact++
+			}
+		}
+		r.fvalid = true
 	}
 	var out RailOut
-	var railV units.Volt
-	for _, k := range r.kinds {
-		if g.pnom[k][i] > 0 && g.vnom[k][i] > railV {
-			railV = g.vnom[k][i]
-		}
-	}
-	if railV == 0 {
+	if r.railV == 0 {
 		out.Rail = RailDraw{Name: r.b.Name()}
 		r.valid = true
 		r.out = out
-		bd.AddFrom(&out.Breakdown)
-		rails.Append(out.Rail)
-		return 0
+		return
 	}
+	railVT := r.railV + r.tob
 	var sum units.Watt
 	var ppeak units.Watt
-	for _, k := range r.kinds {
-		pnom, vnom, fl, ar := g.pnom[k][i], g.vnom[k][i], g.fl[k][i], g.ar[k][i]
-		if !(pnom > 0) {
-			continue
+	var prevAR float64
+	var prevPPG units.Watt
+	for t := 0; t < r.nact; t++ {
+		ar := g.ar[r.actK[t]][i]
+		pgb := r.pgb[t]
+		var ppg units.Watt
+		if t > 0 && pgb == r.pgb[t-1] && r.flv[t] == r.flv[t-1] && ar == prevAR {
+			ppg = prevPPG
+		} else {
+			ppg = loadline.ApplyPowerGate(pgb, railVT, ar, r.flv[t], r.rpg)
 		}
-		pgb := loadline.ApplyGuardband(pnom, vnom, r.tob, fl)
-		if vnom < railV {
-			pgb = loadline.ApplyGuardband(pgb, vnom+r.tob, railV-vnom, fl)
-		}
-		out.Breakdown.Guardband += pgb - pnom
-		ppg := loadline.ApplyPowerGate(pgb, railV+r.tob, ar, fl, r.rpg)
+		out.Breakdown.Guardband += r.gbd[t]
 		out.Breakdown.PowerGate += ppg - pgb
 		sum += ppg
 		ppeak += ppg / ar
+		prevAR, prevPPG = ar, ppg
 	}
 	ar := sum / ppeak
-	ll := loadline.Compensate(sum, railV+r.tob, ar, r.rll)
+	ll := loadline.Compensate(sum, railVT, ar, r.rll)
 	if r.compute {
 		out.Breakdown.CondCompute = ll.Loss
 	} else {
@@ -715,13 +798,44 @@ func (r *BoardRailRun) EvalInto(g *Grid, i int, m uint16, bd *Breakdown, rails *
 		Name:    r.b.Name(),
 		VOut:    ll.V,
 		Current: ll.I,
-		Peak:    sum / ar / (railV + r.tob),
+		Peak:    sum / ar / railVT,
 	}
 	r.valid = true
 	r.out = out
-	bd.AddFrom(&out.Breakdown)
-	rails.Append(out.Rail)
-	return out.PIn
+}
+
+// EvalInto accumulates exactly BoardRail(b, loads, tob, rpg, rll, psu, c,
+// compute) for point i of the grid into the caller's breakdown and rail
+// set, returning the rail's PSU draw; m is point i's change mask. The
+// accumulation performs Breakdown.Add's field additions on the memoized
+// (or freshly computed) rail output, so the bits match the standalone
+// RailOut form exactly.
+func (r *BoardRailRun) EvalInto(g *Grid, i int, m uint16, bd *Breakdown, rails *RailSet) units.Watt {
+	if !r.valid || m&r.need != r.need {
+		r.evalPoint(g, i, m)
+	}
+	bd.AddFrom(&r.out.Breakdown)
+	rails.Append(r.out.Rail)
+	return r.out.PIn
+}
+
+// EvalBlock is EvalInto swept rail-major over points [base, base+blk):
+// each point's breakdown and rail draw accumulate into out[base+j] and
+// the rail's PSU draw adds into pins[j]. The per-point work and memo
+// tests are exactly EvalInto's — only the loop nesting differs, keeping
+// the rail's state hot across consecutive points — and rail order across
+// EvalBlock calls matches the scalar model's rail order per point, so
+// every accumulation sequence (and therefore every bit) is unchanged.
+func (r *BoardRailRun) EvalBlock(g *Grid, base, blk int, masks []uint16, out []Result, pins []units.Watt) {
+	for j := 0; j < blk; j++ {
+		if !r.valid || masks[j]&r.need != r.need {
+			r.evalPoint(g, base+j, masks[j])
+		}
+		res := &out[base+j]
+		res.Breakdown.AddFrom(&r.out.Breakdown)
+		res.Rails.Append(r.out.Rail)
+		pins[j] += r.out.PIn
+	}
 }
 
 // CheckGridOut validates a caller-provided result block against a grid;
@@ -796,7 +910,12 @@ func ClearResults(out []Result) {
 
 // EvaluateGrid evaluates every grid point into out[:g.Len()], bitwise
 // identical to calling Evaluate per point; see IVRModel.EvaluateGrid for
-// the error contract.
+// the error contract. The four board rails sweep the block rail-major —
+// one EvalBlock pass per rail with that rail's state held hot — instead
+// of cycling all four runners through every point. Per point the pin
+// additions, breakdown additions and rail appends still happen in the
+// scalar model's rail order (cores, gfx, sa, io), so the accumulation
+// sequence, and therefore the bits, match the point-major order exactly.
 func (m *MBVRModel) EvaluateGrid(g *Grid, out []Result) error {
 	if err := CheckGridOut(g, out); err != nil {
 		return err
@@ -809,28 +928,38 @@ func (m *MBVRModel) EvaluateGrid(g *Grid, out []Result) error {
 	ClearResults(out[:g.Len()])
 	var pt GridPointRun
 	var masks [GridMaskBlock]uint16
+	var pins [GridMaskBlock]units.Watt
+	var totals [GridMaskBlock]units.Watt
 	for base := 0; base < g.Len(); base += GridMaskBlock {
 		blk := g.Len() - base
 		if blk > GridMaskBlock {
 			blk = GridMaskBlock
 		}
 		g.ChangeMasks(base, masks[:blk])
+		// Validate the block up front: rail-major evaluation finishes every
+		// point of a block before moving on, so an invalid point truncates
+		// the block — points before it still get complete results, matching
+		// the scalar order's stop-at-first-error contract.
+		var verr error
+		vblk := blk
 		for j := 0; j < blk; j++ {
-			i := base + j
-			mk := masks[j]
-			if err := pt.Validate(g, i, mk); err != nil {
-				return GridPointError(i, err)
+			if err := pt.Validate(g, base+j, masks[j]); err != nil {
+				verr = GridPointError(base+j, err)
+				vblk = j
+				break
 			}
-			// Accumulate the four rails in the scalar model's order; summing
-			// one rail at a time keeps the addition sequence (and therefore
-			// the float64 bits) identical.
-			res := &out[i]
-			var pin units.Watt
-			pin += cores.EvalInto(g, i, mk, &res.Breakdown, &res.Rails)
-			pin += gfx.EvalInto(g, i, mk, &res.Breakdown, &res.Rails)
-			pin += sa.EvalInto(g, i, mk, &res.Breakdown, &res.Rails)
-			pin += io.EvalInto(g, i, mk, &res.Breakdown, &res.Rails)
-			FinishGrid(res, MBVR, pt.TotalNominal(), pin, p.CoresLL)
+			totals[j] = pt.TotalNominal()
+			pins[j] = 0
+		}
+		cores.EvalBlock(g, base, vblk, masks[:vblk], out, pins[:vblk])
+		gfx.EvalBlock(g, base, vblk, masks[:vblk], out, pins[:vblk])
+		sa.EvalBlock(g, base, vblk, masks[:vblk], out, pins[:vblk])
+		io.EvalBlock(g, base, vblk, masks[:vblk], out, pins[:vblk])
+		for j := 0; j < vblk; j++ {
+			FinishGrid(&out[base+j], MBVR, totals[j], pins[j], p.CoresLL)
+		}
+		if verr != nil {
+			return verr
 		}
 	}
 	return nil
@@ -882,7 +1011,13 @@ func (m *LDOModel) EvaluateGrid(g *Grid, out []Result) error {
 
 // EvaluateGrid evaluates every grid point into out[:g.Len()], bitwise
 // identical to calling Evaluate per point; see IVRModel.EvaluateGrid for
-// the error contract.
+// the error contract. The IVR stage and V_IN rail run point-major (the
+// stage output feeds the rail immediately), then the two board rails
+// sweep the block rail-major as in MBVRModel.EvaluateGrid. The board
+// draws accumulate into their own per-point column first because the
+// scalar form is pin += saP + ioP — sa and io sum together before
+// joining the V_IN draw — and that grouping must be preserved for the
+// final addition to carry identical bits.
 func (m *IMBVRModel) EvaluateGrid(g *Grid, out []Result) error {
 	if err := CheckGridOut(g, out); err != nil {
 		return err
@@ -896,29 +1031,42 @@ func (m *IMBVRModel) EvaluateGrid(g *Grid, out []Result) error {
 	var pt GridPointRun
 	var st StageOut
 	var masks [GridMaskBlock]uint16
+	var pins [GridMaskBlock]units.Watt
+	var board [GridMaskBlock]units.Watt
+	var totals [GridMaskBlock]units.Watt
 	for base := 0; base < g.Len(); base += GridMaskBlock {
 		blk := g.Len() - base
 		if blk > GridMaskBlock {
 			blk = GridMaskBlock
 		}
 		g.ChangeMasks(base, masks[:blk])
+		var verr error
+		vblk := blk
 		for j := 0; j < blk; j++ {
 			i := base + j
 			mk := masks[j]
 			if err := pt.Validate(g, i, mk); err != nil {
-				return GridPointError(i, err)
+				verr = GridPointError(i, err)
+				vblk = j
+				break
 			}
+			totals[j] = pt.TotalNominal()
 			stage.EvalInto(&st, g, i, mk)
 			res := &out[i]
-			var pin units.Watt
+			pins[j] = 0
 			if st.PIn > 0 {
 				res.Breakdown.AddFrom(&st.Breakdown)
-				pin += vinRail.EvalInto(&st, p.VINLevel, p.IVRInLL, g.psu[i], g.cstate[i], 1, &res.Breakdown, &res.Rails)
+				pins[j] = vinRail.EvalInto(&st, p.VINLevel, p.IVRInLL, g.psu[i], g.cstate[i], 1, &res.Breakdown, &res.Rails)
 			}
-			saP := sa.EvalInto(g, i, mk, &res.Breakdown, &res.Rails)
-			ioP := io.EvalInto(g, i, mk, &res.Breakdown, &res.Rails)
-			pin += saP + ioP
-			FinishGrid(res, IMBVR, pt.TotalNominal(), pin, p.IVRInLL)
+			board[j] = 0
+		}
+		sa.EvalBlock(g, base, vblk, masks[:vblk], out, board[:vblk])
+		io.EvalBlock(g, base, vblk, masks[:vblk], out, board[:vblk])
+		for j := 0; j < vblk; j++ {
+			FinishGrid(&out[base+j], IMBVR, totals[j], pins[j]+board[j], p.IVRInLL)
+		}
+		if verr != nil {
+			return verr
 		}
 	}
 	return nil

@@ -118,6 +118,86 @@ func gridTestScenarios() []Scenario {
 	return out
 }
 
+// TestGridViewAliasing pins View's alias contract: a view shares the
+// parent's column storage, so mutation flows both ways — that sharing is
+// what lets GridMapCtx chunk one grid across workers without copying.
+func TestGridViewAliasing(t *testing.T) {
+	scenarios := gridTestScenarios()
+	g := GridOf(scenarios)
+	v := g.View(3, 9)
+	if v.Len() != 6 {
+		t.Fatalf("view length %d, want 6", v.Len())
+	}
+	for i := 0; i < v.Len(); i++ {
+		if v.At(i) != g.At(3+i) {
+			t.Fatalf("view point %d differs from parent point %d", i, 3+i)
+		}
+	}
+	// Writing through the view must reach the parent…
+	mut := scenarios[len(scenarios)-1]
+	mut.Loads[domain.Core0].PNom = 42
+	mut.PSU = 19.5
+	mut.CState = domain.C2
+	v.Set(2, mut)
+	if got := g.At(5); got != mut {
+		t.Errorf("parent did not see view mutation: got %+v", got)
+	}
+	// …and writing through the parent must be visible in the view.
+	mut.Loads[domain.GFX].AR = 0.123
+	g.Set(7, mut)
+	if got := v.At(4); got != mut {
+		t.Errorf("view did not see parent mutation: got %+v", got)
+	}
+	// Points outside the window stay untouched by the view writes.
+	if g.At(2) != scenarios[2] || g.At(9) != scenarios[9] {
+		t.Error("view mutation leaked outside its [lo,hi) window")
+	}
+}
+
+// TestGridGatherCopies pins Gather's copy contract — the opposite of
+// View's: the gathered sub-grid owns its storage, so mutating it must
+// never corrupt the source (the cache relies on this when it evaluates a
+// miss sub-grid while other workers read the request grid), and mutating
+// the source must not retroactively change the gathered points.
+func TestGridGatherCopies(t *testing.T) {
+	scenarios := gridTestScenarios()
+	src := GridOf(scenarios)
+	indices := []int{7, 0, 3, 3, len(scenarios) - 1}
+	var g Grid
+	g.Gather(src, indices)
+	if g.Len() != len(indices) {
+		t.Fatalf("gathered length %d, want %d", g.Len(), len(indices))
+	}
+	for j, i := range indices {
+		if g.At(j) != src.At(i) {
+			t.Fatalf("gathered point %d differs from source point %d", j, i)
+		}
+	}
+	// Mutate every gathered point; the source must keep its bits.
+	mut := scenarios[1]
+	mut.Loads[domain.Core0].PNom = 99
+	mut.PSU = 7.2
+	for j := 0; j < g.Len(); j++ {
+		g.Set(j, mut)
+	}
+	for i, want := range scenarios {
+		if src.At(i) != want {
+			t.Fatalf("source point %d corrupted by gathered-grid mutation", i)
+		}
+	}
+	// And the reverse: source mutation must not reach the gathered copy.
+	g.Gather(src, indices)
+	src.Set(7, mut)
+	if g.At(0) != scenarios[7] {
+		t.Error("source mutation reached the gathered copy")
+	}
+	// Re-gather into the same grid reuses its columns across lengths.
+	g.Gather(src, indices[:2])
+	if g.Len() != 2 || g.At(1) != src.At(0) {
+		t.Errorf("re-gather: len %d, point 1 mismatch", g.Len())
+	}
+}
+
 // TestEvaluateGridBitwise pins the grid kernels against the scalar models:
 // every Result field of every point must carry identical float64 bits.
 func TestEvaluateGridBitwise(t *testing.T) {

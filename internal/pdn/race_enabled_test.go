@@ -1,0 +1,8 @@
+//go:build race
+
+package pdn
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// The race detector deliberately drops a fraction of sync.Pool puts, so
+// assertions that a released lease comes back from the pool cannot hold.
+const raceDetectorEnabled = true

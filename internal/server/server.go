@@ -135,6 +135,10 @@ type Server struct {
 	metrics *serverMetrics
 	limiter *rateLimiter
 	budget  *pointBudget
+	// arena recycles the warm-pass grid + result blocks across evaluate
+	// requests, so the batch prepass stops costing one grid allocation
+	// per request under steady load.
+	arena pdn.GridArena
 	// ready flips once the persistent tier's warm-start scan completes
 	// (immediately when no tier is configured); /readyz keys off it.
 	ready atomic.Bool
@@ -183,6 +187,21 @@ func New(env *experiments.Env, opts Options) *Server {
 				return 1
 			}
 			return 0
+		})
+	m.reg.CounterFunc("flexwattsd_grid_arena_gets_total",
+		"Grid arena lease checkouts by the evaluate handlers' warm pass.",
+		func() float64 { gets, _ := s.arena.Stats(); return float64(gets) })
+	m.reg.CounterFunc("flexwattsd_grid_arena_reuses_total",
+		"Grid arena checkouts satisfied by a recycled lease.",
+		func() float64 { _, reuses := s.arena.Stats(); return float64(reuses) })
+	m.reg.GaugeFunc("flexwattsd_grid_arena_reuse_ratio",
+		"Recycled fraction of grid arena checkouts; near 1 under steady load.",
+		func() float64 {
+			gets, reuses := s.arena.Stats()
+			if gets == 0 {
+				return 0
+			}
+			return float64(reuses) / float64(gets)
 		})
 	if opts.Store != nil {
 		env.Cache.AttachTier(opts.Store)
@@ -257,6 +276,49 @@ func (s *Server) dataset(id string) (*report.Dataset, error) {
 		m.ds, m.err = experiments.Dataset(id, &env)
 	})
 	return m.ds, m.err
+}
+
+// evalCodec pools the response-encoding state of the hot /v1/evaluate
+// path: the JSON encoder and its backing buffer survive across requests,
+// so a steady batch load reuses one grown buffer per concurrent request
+// instead of allocating encoder state and response bytes each time. The
+// bytes produced are identical to writeJSON's (same indent, same trailing
+// newline from Encode); only the allocation profile changes.
+type evalCodec struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var evalCodecPool = sync.Pool{New: func() any {
+	c := &evalCodec{}
+	c.enc = json.NewEncoder(&c.buf)
+	c.enc.SetIndent("", "  ")
+	return c
+}}
+
+// evalCodecMaxBytes bounds what returns to the pool, so one rare huge
+// response does not pin its buffer for the process lifetime.
+const evalCodecMaxBytes = 1 << 20
+
+// writeJSONPooled renders v exactly as writeJSON does, through a pooled
+// buffer. Unlike writeJSON it encodes before committing the status line,
+// so an unencodable value surfaces as a proper error response instead of
+// a truncated 200.
+func writeJSONPooled(w http.ResponseWriter, status int, v interface{}) {
+	c := evalCodecPool.Get().(*evalCodec)
+	c.buf.Reset()
+	if err := c.enc.Encode(v); err != nil {
+		c.buf.Reset()
+		evalCodecPool.Put(c)
+		writeErr(w, fmt.Errorf("encoding response: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(c.buf.Bytes()) //nolint:errcheck // response already committed
+	if c.buf.Cap() <= evalCodecMaxBytes {
+		evalCodecPool.Put(c)
+	}
 }
 
 // writeJSON renders v as the response body.
@@ -545,25 +607,34 @@ func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) (jobs
 // scalar — their mode comes from the per-TDP predictor, not the scenario
 // alone, so they are not cacheable by scenario key.
 func (s *Server) warmGrid(r *http.Request, jobs []evalJob) {
-	var grids map[pdn.Kind]*pdn.Grid
+	// Group per kind into arena-leased grids: at most four baseline kinds
+	// exist, so a fixed array plus a linear scan replaces the old per-call
+	// map, and the leases recycle their column storage across requests —
+	// the warm pass allocates nothing once the arena is hot.
+	var kinds [4]pdn.Kind
+	var leases [4]*pdn.GridLease
+	nl := 0
 	for _, j := range jobs {
 		if j.kind == pdn.FlexWatts {
 			continue
 		}
-		if grids == nil {
-			grids = make(map[pdn.Kind]*pdn.Grid, 4)
+		t := 0
+		for t < nl && kinds[t] != j.kind {
+			t++
 		}
-		g := grids[j.kind]
-		if g == nil {
-			g = pdn.NewGrid(len(jobs))
-			grids[j.kind] = g
+		if t == nl {
+			kinds[t] = j.kind
+			leases[t] = s.arena.Get()
+			nl++
 		}
-		g.Append(j.scenario)
+		leases[t].Grid().Append(j.scenario)
 	}
-	for k, g := range grids {
-		out := make([]pdn.Result, g.Len())
+	for t := 0; t < nl; t++ {
+		g := leases[t].Grid()
+		s.metrics.gridWarmPoints.Add(int64(g.Len()))
 		//nolint:errcheck // cache warmer: the sweep re-reports any failure
-		sweep.GridMapCtx(r.Context(), s.workers(), s.env.Cache, s.env.Baselines[k], g, out, 0)
+		sweep.GridMapCtx(r.Context(), s.workers(), s.env.Cache, s.env.Baselines[kinds[t]], g, leases[t].Results(g.Len()), 0)
+		leases[t].Release()
 	}
 }
 
@@ -631,5 +702,5 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.EvalResponse{Results: results, Workers: workers})
+	writeJSONPooled(w, http.StatusOK, api.EvalResponse{Results: results, Workers: workers})
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/flexwatts/api"
@@ -19,6 +20,23 @@ const (
 	streamBufBytes = 32 << 10
 	flushEvery     = 64
 )
+
+// streamCodec pools the per-stream write stack — the 32 KiB bufio.Writer
+// and the JSON encoder bound to it — so each stream request rebinds a
+// recycled buffer to its connection instead of allocating both. Before a
+// codec returns to the pool its writer is reset onto nil, dropping the
+// connection reference so a pooled codec never pins a finished request's
+// transport.
+type streamCodec struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+var streamCodecPool = sync.Pool{New: func() any {
+	c := &streamCodec{bw: bufio.NewWriterSize(nil, streamBufBytes)}
+	c.enc = json.NewEncoder(c.bw)
+	return c
+}}
 
 // handleEvaluateStream is POST /v1/evaluate/stream: the same request body
 // as /v1/evaluate, answered as NDJSON — one api.EvalStreamResult per line,
@@ -69,8 +87,13 @@ func (s *Server) handleEvaluateStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	bw := bufio.NewWriterSize(w, streamBufBytes)
-	enc := json.NewEncoder(bw)
+	sc := streamCodecPool.Get().(*streamCodec)
+	sc.bw.Reset(w)
+	bw, enc := sc.bw, sc.enc
+	defer func() {
+		sc.bw.Reset(nil)
+		streamCodecPool.Put(sc)
+	}()
 
 	s.metrics.inflightSweeps.Add(1)
 	defer s.metrics.inflightSweeps.Add(-1)

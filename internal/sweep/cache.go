@@ -66,8 +66,17 @@ type Tier interface {
 
 type tierRef struct{ t Tier }
 
+// cacheEntry is one published evaluation slot, resolved by a
+// creator-computes protocol: the goroutine that inserts the entry under
+// the shard lock is the only one that ever invokes the model for its key
+// (scalar or as one point of a grid kernel call); it stores res/err and
+// closes done, and every other goroutine — scalar hit or grid hit alike —
+// blocks on done and reads the published result. The close gives the
+// happens-before edge, and the exactly-one-invocation guarantee holds
+// even when the batch path claims a block of keys and resolves them with
+// one kernel call while scalar evaluations race the same keys.
 type cacheEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  pdn.Result
 	err  error
 	// warm marks an entry preloaded from a Tier; set before the entry is
@@ -75,6 +84,16 @@ type cacheEntry struct {
 	// beyond the shard map's.
 	warm bool
 }
+
+func newCacheEntry() *cacheEntry { return &cacheEntry{done: make(chan struct{})} }
+
+// closedDone is shared by entries born complete (tier preloads): their
+// result is published at insertion, so waiters must never block.
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // NewCache returns an empty evaluation cache.
 func NewCache() *Cache {
@@ -85,10 +104,15 @@ func NewCache() *Cache {
 	return c
 }
 
-// shardFor picks the shard holding key. cacheKey contains no pointers, so
-// maphash.Comparable hashes it without allocating.
+// shardIndex hashes key to its shard's index. cacheKey contains no
+// pointers, so maphash.Comparable hashes it without allocating.
+func (c *Cache) shardIndex(key cacheKey) int {
+	return int(maphash.Comparable(c.seed, key) % cacheShards)
+}
+
+// shardFor picks the shard holding key.
 func (c *Cache) shardFor(key cacheKey) *cacheShard {
-	return &c.shards[maphash.Comparable(c.seed, key)%cacheShards]
+	return &c.shards[c.shardIndex(key)]
 }
 
 // Evaluate returns m.Evaluate(s) memoized by (m.Kind(), s). A nil cache
@@ -106,7 +130,7 @@ func (c *Cache) Evaluate(m pdn.Model, s pdn.Scenario) (pdn.Result, error) {
 		sh.mu.Lock()
 		e, ok = sh.entries[key]
 		if !ok {
-			e = &cacheEntry{}
+			e = newCacheEntry()
 			sh.entries[key] = e
 			c.size.Add(1)
 		}
@@ -117,22 +141,24 @@ func (c *Cache) Evaluate(m pdn.Model, s pdn.Scenario) (pdn.Result, error) {
 		if e.warm {
 			c.warmHits.Add(1)
 		}
-	} else {
-		c.misses.Add(1)
+		// Someone else claimed the key — a scalar evaluation or a grid
+		// block holding it in flight; wait for the published result
+		// instead of computing a duplicate.
+		<-e.done
+		return e.res, e.err
 	}
-	e.once.Do(func() {
-		e.res, e.err = m.Evaluate(s)
-		// Write-behind: persist the fresh result while still inside the
-		// once, so the tier sees each key at most once per process. The
-		// tier's Put contract is non-blocking, keeping evaluation latency
-		// untouched; preloaded entries never re-enter the tier (their
-		// once is already consumed).
-		if e.err == nil {
-			if ref := c.tier.Load(); ref != nil {
-				ref.t.Put(key.kind, key.s, e.res)
-			}
+	c.misses.Add(1)
+	e.res, e.err = m.Evaluate(s)
+	// Write-behind: persist the fresh result before publishing, so the
+	// tier sees each key at most once per process. The tier's Put contract
+	// is non-blocking, keeping evaluation latency untouched; preloaded
+	// entries never re-enter the tier (they are born published).
+	if e.err == nil {
+		if ref := c.tier.Load(); ref != nil {
+			ref.t.Put(key.kind, key.s, e.res)
 		}
-	})
+	}
+	close(e.done)
 	return e.res, e.err
 }
 
@@ -157,8 +183,7 @@ func (c *Cache) Preload(kind pdn.Kind, s pdn.Scenario, res pdn.Result) bool {
 		return false
 	}
 	key := cacheKey{kind: kind, s: s}
-	e := &cacheEntry{res: res, warm: true}
-	e.once.Do(func() {}) // consume: the entry is born complete
+	e := &cacheEntry{done: closedDone, res: res, warm: true} // born complete
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if _, exists := sh.entries[key]; exists {

@@ -3,6 +3,8 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/pdn"
 )
@@ -20,9 +22,28 @@ type GridEvaluator interface {
 // gridBlock is the cache-consultation granularity of EvaluateGrid: keys
 // are looked up (and claimed) a block at a time, then one kernel call
 // resolves the block's misses. Big enough to amortize the kernel's
-// per-call invariant hoisting, small enough to keep the per-block scratch
-// state in fixed stack arrays.
+// per-call invariant hoisting and the per-shard lock acquisitions, small
+// enough that one pooled probe scratch covers any grid length.
 const gridBlock = 256
+
+// gridProbe is EvaluateGrid's per-block scratch: precomputed keys and
+// shard assignments, the shard-grouped probe order, the claimed entries,
+// and the miss-resolution sub-grid. It is pooled (not stack-allocated)
+// because the key block alone is ~56 KiB and the warm path must stay
+// allocation-free per call; one probe serves one EvaluateGrid call at a
+// time, and the pool bounds live scratch by evaluator concurrency.
+type gridProbe struct {
+	keys     [gridBlock]cacheKey
+	shard    [gridBlock]uint8
+	order    [gridBlock]uint16
+	entries  [gridBlock]*cacheEntry
+	hit      [gridBlock]bool
+	missIdx  [gridBlock]int
+	missGrid pdn.Grid
+	missOut  [gridBlock]pdn.Result
+}
+
+var gridProbePool = sync.Pool{New: func() any { return new(gridProbe) }}
 
 // EvaluateGrid evaluates every grid point into out[:g.Len()], consulting
 // the cache per point exactly as Evaluate does — same key, same hit/miss
@@ -30,7 +51,8 @@ const gridBlock = 256
 // but resolving each block's misses with a single EvaluateGrid kernel call
 // instead of per-point Evaluate. On a warm cache no model is invoked at
 // all. Concurrent scalar and grid evaluations of the same key are safe:
-// the entry's once serializes them and both paths produce identical bits.
+// the entry's creator-computes protocol guarantees exactly one model
+// invocation per key, and both paths produce identical bits.
 //
 // Per-point errors surface as the lowest failing index wrapped by
 // pdn.GridPointError; results for preceding points are valid. A nil cache
@@ -55,106 +77,142 @@ func (c *Cache) EvaluateGrid(m pdn.Model, g *pdn.Grid, out []pdn.Result) error {
 	}
 	n := g.Len()
 	kind := m.Kind()
-	var entries [gridBlock]*cacheEntry
-	var missIdx [gridBlock]int
-	// The miss-resolution scratch (sub-grid and result block) is built
-	// lazily on the first miss: a warm pass allocates nothing, and escape
-	// analysis would heap-allocate the result block per call if it were a
-	// stack array handed to the kernel interface.
-	var missOut []pdn.Result
-	var missGrid *pdn.Grid
+	p := gridProbePool.Get().(*gridProbe)
+	defer gridProbePool.Put(p)
 	for lo := 0; lo < n; lo += gridBlock {
 		hi := lo + gridBlock
 		if hi > n {
 			hi = n
 		}
-		// Look up or claim every key in the block, with Evaluate's exact
-		// accounting: present at lookup → hit (warm if tier-preloaded),
-		// created by us → miss.
-		nm := 0
-		for i := lo; i < hi; i++ {
-			key := cacheKey{kind: kind, s: g.At(i)}
-			sh := c.shardFor(key)
+		bn := hi - lo
+		// Shard-batched probe: hash every key in the block once, group the
+		// points by shard with a counting sort (stable, so within a shard
+		// points keep ascending block order), then visit each shard exactly
+		// once — one RLock pass over its group, plus one Lock pass only if
+		// some keys were absent. Per (shard, block) that is one reader and
+		// at most one writer acquisition, replacing a lock round trip per
+		// point.
+		var count [cacheShards]uint16
+		for j := 0; j < bn; j++ {
+			p.keys[j] = cacheKey{kind: kind, s: g.At(lo + j)}
+			si := c.shardIndex(p.keys[j])
+			p.shard[j] = uint8(si)
+			count[si]++
+		}
+		var start [cacheShards]uint16
+		var pos uint16
+		for s := 0; s < cacheShards; s++ {
+			start[s] = pos
+			pos += count[s]
+		}
+		for j := 0; j < bn; j++ {
+			s := p.shard[j]
+			p.order[start[s]] = uint16(j)
+			start[s]++
+		}
+		grouped := 0
+		for s := 0; s < cacheShards; s++ {
+			cnt := int(count[s])
+			if cnt == 0 {
+				continue
+			}
+			grp := p.order[grouped : grouped+cnt]
+			grouped += cnt
+			sh := &c.shards[s]
+			// Lookup pass: existing entries resolve under one shared lock.
+			absent := 0
 			sh.mu.RLock()
-			e, ok := sh.entries[key]
+			for _, j := range grp {
+				e := sh.entries[p.keys[j]]
+				p.entries[j] = e
+				p.hit[j] = e != nil
+				if e == nil {
+					absent++
+				}
+			}
 			sh.mu.RUnlock()
-			if !ok {
+			// Claim pass: re-check and insert the absent keys under one
+			// write lock. A key another evaluation (or an earlier duplicate
+			// in this group) published since the lookup counts as a hit,
+			// exactly as Evaluate's double-checked claim does.
+			if absent > 0 {
 				sh.mu.Lock()
-				e, ok = sh.entries[key]
-				if !ok {
-					e = &cacheEntry{}
-					sh.entries[key] = e
-					c.size.Add(1)
+				for _, j := range grp {
+					if p.entries[j] != nil {
+						continue
+					}
+					e, ok := sh.entries[p.keys[j]]
+					if !ok {
+						e = newCacheEntry()
+						sh.entries[p.keys[j]] = e
+						c.size.Add(1)
+					} else {
+						p.hit[j] = true
+					}
+					p.entries[j] = e
 				}
 				sh.mu.Unlock()
 			}
-			if ok {
-				c.hits.Add(1)
-				if e.warm {
-					c.warmHits.Add(1)
+		}
+		// Accounting in one batch per block (totals match Evaluate's
+		// per-point adds), and the miss list rebuilt in ascending point
+		// order for the kernel.
+		nm := 0
+		var nh, nw int64
+		for j := 0; j < bn; j++ {
+			if p.hit[j] {
+				nh++
+				if p.entries[j].warm {
+					nw++
 				}
 			} else {
-				c.misses.Add(1)
-				missIdx[nm] = i
+				p.missIdx[nm] = lo + j
 				nm++
 			}
-			entries[i-lo] = e
 		}
-		// Resolve the block's claimed keys with one kernel call, storing
-		// each result under its entry's once (the tier write-behind rides
-		// inside, as in Evaluate). Duplicate keys within a block alias the
-		// same entry; the first once.Do wins and the rest are no-ops with
-		// identical bits. If the kernel rejects the sub-grid (an invalid
-		// point), fall back to scalar per-point resolution so every entry
-		// still ends up with exactly the scalar result or error.
+		c.hits.Add(nh)
+		c.warmHits.Add(nw)
+		c.misses.Add(int64(nm))
+		// Resolve the block's claimed keys with one kernel call and publish
+		// each under its entry (the tier write-behind rides along, as in
+		// Evaluate). This call is the creator of every entry in missIdx, so
+		// it alone computes them — that is the exactly-one-invocation
+		// contract scalar racers rely on when they block on done below.
+		// Duplicate keys within a block alias one entry: the first
+		// occurrence creates (and appears here), later ones are hits. If
+		// the kernel rejects the sub-grid (an invalid point), fall back to
+		// scalar per-point resolution so every claimed entry still ends up
+		// with exactly the scalar result or error.
 		if nm > 0 {
 			kernelOK := false
 			if isGrid {
-				if missGrid == nil {
-					missGrid = pdn.NewGrid(gridBlock)
-					missOut = make([]pdn.Result, gridBlock)
-				} else {
-					missGrid.Reset()
-				}
-				for j := 0; j < nm; j++ {
-					missGrid.Append(g.At(missIdx[j]))
-				}
-				kernelOK = ge.EvaluateGrid(missGrid, missOut[:nm]) == nil
+				p.missGrid.Gather(g, p.missIdx[:nm])
+				kernelOK = ge.EvaluateGrid(&p.missGrid, p.missOut[:nm]) == nil
 			}
 			for j := 0; j < nm; j++ {
-				i := missIdx[j]
-				e := entries[i-lo]
-				var res pdn.Result
+				i := p.missIdx[j]
+				e := p.entries[i-lo]
 				if kernelOK {
-					res = missOut[j]
+					e.res, e.err = p.missOut[j], nil
+				} else {
+					e.res, e.err = m.Evaluate(g.At(i))
 				}
-				e.once.Do(func() {
-					if kernelOK {
-						e.res, e.err = res, nil
-					} else {
-						e.res, e.err = m.Evaluate(g.At(i))
-					}
-					if e.err == nil {
-						if ref := c.tier.Load(); ref != nil {
-							ref.t.Put(kind, g.At(i), e.res)
-						}
-					}
-				})
-			}
-		}
-		// Collect the block in order. Entries claimed by a concurrent
-		// evaluation may still be unresolved; the once blocks until the
-		// winner finishes (or computes scalar if no one started).
-		for i := lo; i < hi; i++ {
-			e := entries[i-lo]
-			e.once.Do(func() {
-				e.res, e.err = m.Evaluate(g.At(i))
 				if e.err == nil {
 					if ref := c.tier.Load(); ref != nil {
 						ref.t.Put(kind, g.At(i), e.res)
 					}
 				}
-			})
+				close(e.done)
+			}
+		}
+		// Collect the block in order. Entries this call claimed are already
+		// published (the wait is a no-op); entries claimed by a concurrent
+		// evaluation block until their creator publishes. Every claim of
+		// this block was resolved above before any wait here, so two grid
+		// calls claiming interleaved keys cannot deadlock.
+		for i := lo; i < hi; i++ {
+			e := p.entries[i-lo]
+			<-e.done
 			if e.err != nil {
 				return pdn.GridPointError(i, e.err)
 			}
@@ -164,19 +222,43 @@ func (c *Cache) EvaluateGrid(m pdn.Model, g *pdn.Grid, out []pdn.Result) error {
 	return nil
 }
 
+// adaptiveChunk sizes GridMapCtx's work unit for a grid of n points on
+// the given worker count: aim for several chunks per worker so a slow
+// chunk doesn't straggle the whole grid, but never slice finer than a
+// quarter cache block — below that the kernel's per-block invariant
+// hoisting and the shard-batched probe stop amortizing.
+func adaptiveChunk(n, workers int) int {
+	if workers <= 1 {
+		return gridBlock
+	}
+	c := n / (workers * 4)
+	if c < gridBlock/4 {
+		c = gridBlock / 4
+	}
+	if c > gridBlock {
+		c = gridBlock
+	}
+	return c
+}
+
 // GridMapCtx evaluates a grid on a pool of workers, each worker running
 // whole chunks through (c, m).EvaluateGrid — the batch counterpart of
-// MapCtx's per-point closure dispatch. chunk <= 0 defaults to the cache
-// block size; workers follow MapCtx's convention. out must have at least
-// g.Len() slots. The first failing chunk's error (lowest chunk index, and
-// within it the lowest point index) is returned, wrapped with the chunk's
-// absolute point range.
+// MapCtx's per-point closure dispatch. chunk <= 0 picks an adaptive size
+// from the grid length and worker count (see adaptiveChunk); workers
+// follow MapCtx's convention. out must have at least g.Len() slots. The
+// first failing chunk's error (lowest chunk index, and within it the
+// lowest point index) is returned, wrapped with the chunk's absolute
+// point range.
 func GridMapCtx(ctx context.Context, workers int, c *Cache, m pdn.Model, g *pdn.Grid, out []pdn.Result, chunk int) error {
 	if err := pdn.CheckGridOut(g, out); err != nil {
 		return err
 	}
 	if chunk <= 0 {
-		chunk = gridBlock
+		w := workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		chunk = adaptiveChunk(g.Len(), w)
 	}
 	n := g.Len()
 	chunks := (n + chunk - 1) / chunk

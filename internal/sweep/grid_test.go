@@ -299,6 +299,103 @@ func TestCacheEvaluateGridConcurrent(t *testing.T) {
 	}
 }
 
+// keyCountingModel wraps a real IVR model and counts, per distinct
+// scenario, how many times the model computed it — through either the
+// scalar Evaluate or as one point of an EvaluateGrid kernel call. It is
+// the instrument for the exactly-one-invocation contract.
+type keyCountingModel struct {
+	inner *pdn.IVRModel
+	mu    sync.Mutex
+	calls map[pdn.Scenario]int
+}
+
+func (m *keyCountingModel) Kind() pdn.Kind { return m.inner.Kind() }
+
+func (m *keyCountingModel) count(s pdn.Scenario) {
+	m.mu.Lock()
+	m.calls[s]++
+	m.mu.Unlock()
+}
+
+func (m *keyCountingModel) Evaluate(s pdn.Scenario) (pdn.Result, error) {
+	m.count(s)
+	return m.inner.Evaluate(s)
+}
+
+func (m *keyCountingModel) EvaluateGrid(g *pdn.Grid, out []pdn.Result) error {
+	for i := 0; i < g.Len(); i++ {
+		m.count(g.At(i))
+	}
+	return m.inner.EvaluateGrid(g, out)
+}
+
+// TestGridMapCtxScalarRaceExactlyOnce races parallel GridMapCtx sweeps
+// against scalar Cache.Evaluate calls over fully overlapping keys and
+// asserts the two guarantees the batched probe must preserve: every
+// observer sees the identical result bits, and the model is invoked
+// exactly once per distinct key — no duplicate kernel work when a scalar
+// racer lands on a grid-claimed entry, and no scalar recomputation of a
+// key a kernel block holds in flight (the creator-computes contract).
+// Run under -race this also pins the locking of the shard-batched claim.
+func TestGridMapCtxScalarRaceExactlyOnce(t *testing.T) {
+	const n = 512
+	inner, g := gridTestModel(t, n)
+	m := &keyCountingModel{inner: inner, calls: make(map[pdn.Scenario]int)}
+	want := make([]pdn.Result, n)
+	for i := range want {
+		res, err := inner.Evaluate(g.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	c := NewCache()
+	var wg sync.WaitGroup
+	var fail atomic.Int32
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			out := make([]pdn.Result, n)
+			if err := GridMapCtx(context.Background(), 4, c, m, g, out, 0); err != nil {
+				fail.Add(1)
+				return
+			}
+			for i := range out {
+				if out[i] != want[i] {
+					fail.Add(1)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := w; i < n; i += 3 {
+				res, err := c.Evaluate(m, g.At(i))
+				if err != nil || res != want[i] {
+					fail.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fail.Load() != 0 {
+		t.Fatalf("%d goroutines observed wrong results or errors", fail.Load())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.calls) != n {
+		t.Errorf("model computed %d distinct keys, want %d", len(m.calls), n)
+	}
+	for s, cnt := range m.calls {
+		if cnt != 1 {
+			t.Errorf("key %+v computed %d times, want exactly 1", s, cnt)
+		}
+	}
+}
+
 // TestGridMapCtx pins the chunked parallel driver: results identical to
 // the serial path for chunk sizes that do and don't divide the grid, and
 // cancellation surfaces the context cause.

@@ -1,0 +1,9 @@
+//go:build race
+
+package repro_test
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// The race detector deliberately drops a fraction of sync.Pool puts to
+// shake out unsynchronized reuse, so alloc-free pins on pooled paths are
+// meaningless under it and skip themselves.
+const raceDetectorEnabled = true

@@ -14,10 +14,15 @@ BASE="http://127.0.0.1:${PORT}"
 RPS="${SLO_RPS:-40}"
 BATCH="${SLO_BATCH:-64}"
 DURATION="${SLO_DURATION:-5s}"
-BENCH_JSON="${BENCH_JSON:-BENCH_8.json}"
+BENCH_JSON="${BENCH_JSON:-BENCH_9.json}"
 # Grid sweep rate: 4096-point batches are ~64x heavier per request than the
 # SLO batches, so the offered rate is kept conservative.
 GRID_RPS="${SLO_GRID_RPS:-5}"
+# Client worker counts for the grid sweep: each count re-runs the full
+# batch-size sweep, so the perf record shows per-batch-size p99 + evals/s
+# both serially and with concurrent requests contending for the daemon's
+# pooled arenas and cache shards.
+GRID_WORKERS="${SLO_GRID_WORKERS:-1 4}"
 BENCH_LABEL="${BENCH_LABEL:-current}"
 TMP="$(mktemp -d)"
 
@@ -46,9 +51,13 @@ echo "== loadgen: streaming endpoint"
 "$TMP/loadgen" -addr "$BASE" -rps "$RPS" -batch "$BATCH" -duration "$DURATION" -stream \
     | tee -a "$TMP/bench.txt"
 
-echo "== loadgen: grid batch-size sweep (64/512/4096 points, ${GRID_RPS} rps)"
-"$TMP/loadgen" -addr "$BASE" -rps "$GRID_RPS" -duration "$DURATION" -grid \
-    | tee -a "$TMP/bench.txt"
+GRID_SWEEPS=0
+for W in $GRID_WORKERS; do
+    echo "== loadgen: grid batch-size sweep (64/512/4096 points, ${GRID_RPS} rps, ${W} workers)"
+    "$TMP/loadgen" -addr "$BASE" -rps "$GRID_RPS" -duration "$DURATION" -grid -workers "$W" \
+        | tee -a "$TMP/bench.txt"
+    GRID_SWEEPS=$((GRID_SWEEPS + 1))
+done
 
 echo "== SLO floor: non-zero throughput, zero request errors at low load"
 # The report line carries "<n> shed <n> request_errors"; at this offered
@@ -58,11 +67,12 @@ if grep -E ' [1-9][0-9]* (shed|request_errors)' "$TMP/bench.txt"; then
     exit 1
 fi
 # A line with 0 successful requests never prints (loadgen exits 1), so
-# five report lines mean both endpoints plus the three grid batch sizes
-# all sustained throughput.
+# both endpoints plus three grid batch sizes per worker count must each
+# have sustained throughput to reach the expected line count.
+WANT=$((2 + 3 * GRID_SWEEPS))
 LINES=$(grep -c '^Benchmark' "$TMP/bench.txt")
-if [ "$LINES" -ne 5 ]; then
-    echo "slo: FAILED — expected 5 report lines, got $LINES" >&2
+if [ "$LINES" -ne "$WANT" ]; then
+    echo "slo: FAILED — expected $WANT report lines, got $LINES" >&2
     exit 1
 fi
 
