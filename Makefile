@@ -6,14 +6,14 @@ GO ?= go
 # applies each piece per sub-benchmark level, so a top-level name match
 # runs all of its sub-benchmarks (BenchmarkEvaluateGrid covers every
 # kind/mode variant plus the Looped scalar reference).
-BENCHES ?= BenchmarkEvaluateETEE|BenchmarkEvaluateGrid|BenchmarkReferenceSim|BenchmarkPredictor$$|BenchmarkSuiteSerial|BenchmarkSuiteParallel|BenchmarkTraceSim|BenchmarkCompareOnTraces
+BENCHES ?= BenchmarkEvaluateETEE|BenchmarkEvaluateGrid|BenchmarkReferenceSim|BenchmarkPredictor$$|BenchmarkSuiteSerial|BenchmarkSuiteParallel|BenchmarkTraceSim|BenchmarkCompareOnTraces|BenchmarkOptimize
 BENCHTIME ?= 1s
 BENCH_LABEL ?= current
-# PR 9 migrated the perf record from BENCH_8.json: BENCH_9's "baseline"
-# run carries BENCH_8's committed "current" numbers forward, so the gate
+# PR 10 migrated the perf record from BENCH_9.json: BENCH_10's "baseline"
+# run carries BENCH_9's committed "current" numbers forward, so the gate
 # still compares against the pre-PR trajectory. Gate against the old file
-# explicitly with BENCH_JSON=BENCH_8.json if needed during migration.
-BENCH_JSON ?= BENCH_9.json
+# explicitly with BENCH_JSON=BENCH_9.json if needed during migration.
+BENCH_JSON ?= BENCH_10.json
 # Allowed fractional regression before bench-check fails. Generous by
 # default because shared CI runners are noisy (±40% run-to-run on this
 # suite); tighten locally with BENCH_TOLERANCE=0.15 on a quiet machine.
@@ -37,8 +37,10 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomizes test (and package-level subtest) execution order
+# each run, so the race job also flushes out inter-test state dependence.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Benchmark smoke run: every benchmark once, so CI catches bit-rot without
 # paying for full measurement.

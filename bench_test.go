@@ -17,6 +17,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/domain"
 	"repro/internal/experiments"
+	"repro/internal/optimize"
 	"repro/internal/pdn"
 	"repro/internal/perf"
 	"repro/internal/refmodel"
@@ -296,6 +297,31 @@ func BenchmarkReferenceSim(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkOptimize measures design-space search throughput: one
+// exhaustive 45-candidate search (every PDN topology at the default
+// parameter scales) per iteration, the same shape `loadgen -optimize`
+// drives at the served surface. candidates/s is the headline gated by
+// bench-check.
+func BenchmarkOptimize(b *testing.B) {
+	e := benchEnv(b)
+	eng := optimize.Engine{Platform: e.Platform, Base: e.Params, Cache: e.Cache, Workers: e.Workers}
+	spec := optimize.Spec{
+		TDP:   18,
+		Kinds: []pdn.Kind{pdn.FlexWatts, pdn.IVR, pdn.MBVR, pdn.LDO, pdn.IMBVR},
+		Seed:  1,
+	}
+	candidates := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(context.Background(), spec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		candidates += res.Evaluated
+	}
+	b.ReportMetric(float64(candidates)/b.Elapsed().Seconds(), "candidates/s")
 }
 
 // BenchmarkTraceSim measures FlexWatts trace simulation throughput

@@ -19,11 +19,15 @@
 //	GET  /v1/experiments/{id}         one experiment; ?format=ascii|json|csv
 //	POST /v1/evaluate                 batch of evaluation points
 //	POST /v1/evaluate/stream          same batch, streamed back as NDJSON
+//	POST /v1/optimize                 design-space Pareto search
+//	POST /v1/optimize/stream          same search, progress + frontier events as NDJSON
 //	GET/DELETE /v1/admin/cache        cache tier statistics / flush
 //
 // Admission control is tuned with -rate/-burst (per-client token bucket,
 // shed with 429) and -max-inflight-points (server-wide budget, shed with
-// 503); both shed paths set Retry-After. -access-log turns on one JSON
+// 503); optimizer searches pin worker capacity for much longer than a
+// sweep, so they draw on their own -max-inflight-optimize slot count
+// instead. All shed paths set Retry-After. -access-log turns on one JSON
 // line per request on stderr.
 //
 // -cache-dir enables the crash-safe persistent cache tier: evaluations are
@@ -73,6 +77,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		"graceful shutdown window for in-flight requests")
 	maxInflight := fs.Int("max-inflight-points", 0,
 		"server-wide inflight-points budget; excess batches shed with 503 (0 = 16×max-batch)")
+	maxInflightOptimize := fs.Int("max-inflight-optimize", 0,
+		fmt.Sprintf("concurrent /v1/optimize searches; excess shed with 503 (0 = %d)",
+			server.DefaultMaxInflightOptimize))
 	rate := fs.Float64("rate", 0,
 		"per-client request rate limit in requests/second; excess shed with 429 (0 = unlimited)")
 	burst := fs.Float64("burst", 0,
@@ -110,16 +117,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	opts := server.Options{
-		Workers:            *parallel,
-		MaxBatch:           *maxBatch,
-		MaxBodyBytes:       *maxBody,
-		MaxInflightPoints:  *maxInflight,
-		RatePerClient:      *rate,
-		BurstPerClient:     *burst,
-		RetryAfter:         *retryAfter,
-		StreamWindow:       *streamWindow,
-		StreamWriteTimeout: *streamWriteTimeout,
-		ErrorLog:           log.New(stderr, "", log.LstdFlags),
+		Workers:             *parallel,
+		MaxBatch:            *maxBatch,
+		MaxBodyBytes:        *maxBody,
+		MaxInflightPoints:   *maxInflight,
+		MaxInflightOptimize: *maxInflightOptimize,
+		RatePerClient:       *rate,
+		BurstPerClient:      *burst,
+		RetryAfter:          *retryAfter,
+		StreamWindow:        *streamWindow,
+		StreamWriteTimeout:  *streamWriteTimeout,
+		ErrorLog:            log.New(stderr, "", log.LstdFlags),
 	}
 	if *accessLog {
 		opts.AccessLog = log.New(stderr, "", 0)

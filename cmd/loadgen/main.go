@@ -14,6 +14,7 @@
 //
 //	loadgen -addr http://localhost:8080 -rps 50 -batch 64 -duration 10s
 //	loadgen -addr http://localhost:8080 -stream          # NDJSON endpoint
+//	loadgen -addr http://localhost:8080 -optimize -rps 2 # design-space searches
 //
 // Exit status is 1 when the run completes without a single successful
 // request, so scripts can gate on it.
@@ -69,6 +70,22 @@ func gridPoints(batch int) []flexwatts.Point {
 // bracketing the block size at which the server's grid prepass amortizes.
 var gridBatchSizes = []int{64, 512, 4096}
 
+// optimizeSpec is the -optimize request: an exhaustive search over every
+// PDN topology at the default parameter scales (45 candidates), the shape
+// of an architect's interactive what-if query. Seeded, so every request
+// asks for byte-identical work and the report measures the daemon, not
+// the workload. "evals" in the report counts candidates evaluated.
+func optimizeSpec() flexwatts.OptimizeSpec {
+	return flexwatts.OptimizeSpec{
+		TDP: 18,
+		PDNs: []flexwatts.Kind{
+			flexwatts.FlexWatts, flexwatts.IVR, flexwatts.MBVR,
+			flexwatts.LDO, flexwatts.IMBVR,
+		},
+		Seed: 1,
+	}
+}
+
 // tally aggregates the run under one mutex; requests are hundreds per
 // second, not millions, so contention is irrelevant next to the RTT.
 type tally struct {
@@ -109,6 +126,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "concurrent request slots (0 = ceil(rps), capped at 256)")
 	name := fs.String("name", "", "benchmark line name (default LoadgenBuffered / LoadgenStream)")
 	grid := fs.Bool("grid", false, "sweep grid-kernel batch sizes (64/512/4096 points/request) against /v1/evaluate, one report line per size")
+	optimize := fs.Bool("optimize", false, "drive POST /v1/optimize design-space searches instead of evaluate batches (evals/s counts candidates)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -126,9 +144,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *name == "" {
-		if *stream {
+		switch {
+		case *optimize:
+			*name = "LoadgenOptimize"
+		case *stream:
 			*name = "LoadgenStream"
-		} else {
+		default:
 			*name = "LoadgenBuffered"
 		}
 	}
@@ -137,6 +158,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "loadgen:", err)
 		return 2
+	}
+	if *optimize {
+		spec := optimizeSpec()
+		return drive(ctx, *rps, *duration, *workers, 1, *name, stdout, stderr,
+			func(ctx context.Context) (int, error) {
+				res, err := c.Optimize(ctx, spec)
+				return res.Evaluated, err
+			})
 	}
 	if *grid {
 		// Batch-size sweep: each size gets its own measurement window and
@@ -147,19 +176,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// and cache shards.
 		for _, n := range gridBatchSizes {
 			lineName := fmt.Sprintf("LoadgenGrid/workers=%d/batch=%d", *workers, n)
-			if code := drive(ctx, c, gridPoints(n), *rps, *duration, *workers, false, lineName, stdout, stderr); code != 0 {
+			if code := drive(ctx, *rps, *duration, *workers, n, lineName, stdout, stderr,
+				evaluateRequest(c, gridPoints(n), false)); code != 0 {
 				return code
 			}
 		}
 		return 0
 	}
-	return drive(ctx, c, points(*batch), *rps, *duration, *workers, *stream, *name, stdout, stderr)
+	return drive(ctx, *rps, *duration, *workers, *batch, *name, stdout, stderr,
+		evaluateRequest(c, points(*batch), *stream))
+}
+
+// evaluateRequest builds the per-request callback for the evaluate
+// endpoints: one buffered batch or one drained stream, returning how many
+// points came back.
+func evaluateRequest(c *client.Client, pts []flexwatts.Point, stream bool) func(context.Context) (int, error) {
+	return func(ctx context.Context) (int, error) {
+		if stream {
+			got := 0
+			err := c.EvaluateStream(ctx, pts, func(r api.EvalStreamResult) error {
+				if r.Err() == nil {
+					got++
+				}
+				return nil
+			})
+			return got, err
+		}
+		out, err := c.EvaluateBatch(ctx, pts)
+		return len(out), err
+	}
 }
 
 // drive runs one closed-loop measurement window against the daemon and
 // prints its report; it returns the process exit code for the window.
-func drive(ctx context.Context, c *client.Client, pts []flexwatts.Point, rps float64, duration time.Duration, workers int, stream bool, name string, stdout, stderr io.Writer) int {
-	batch := len(pts)
+// Each launch slot calls do once; do reports how many evaluations (points
+// or search candidates) the request completed.
+func drive(ctx context.Context, rps float64, duration time.Duration, workers, batch int, name string, stdout, stderr io.Writer, do func(context.Context) (int, error)) int {
 	ctx, cancel := context.WithTimeout(ctx, duration)
 	defer cancel()
 
@@ -192,24 +244,9 @@ func drive(ctx context.Context, c *client.Client, pts []flexwatts.Point, rps flo
 	res := &tally{}
 	oneRequest := func() {
 		start := time.Now()
-		var err error
-		if stream {
-			got := 0
-			err = c.EvaluateStream(ctx, pts, func(r api.EvalStreamResult) error {
-				if r.Err() == nil {
-					got++
-				}
-				return nil
-			})
-			if err == nil {
-				res.success(time.Since(start), got)
-			}
-		} else {
-			var out []api.EvalResult
-			out, err = c.EvaluateBatch(ctx, pts)
-			if err == nil {
-				res.success(time.Since(start), len(out))
-			}
+		got, err := do(ctx)
+		if err == nil {
+			res.success(time.Since(start), got)
 		}
 		switch {
 		case err == nil:
@@ -262,8 +299,8 @@ func drive(ctx context.Context, c *client.Client, pts []flexwatts.Point, rps flo
 		quantile(res.latencies, 0.99).Seconds(),
 		res.shed, res.errs, missed.Load())
 	fmt.Fprintf(stderr,
-		"loadgen: %d requests over %.1fs (batch %d, target %.0f rps%s): %.0f evals/s, p50 %s p95 %s p99 %s, %d shed, %d errors, %d missed slots\n",
-		n, secs, batch, rps, map[bool]string{true: ", streaming"}[stream],
+		"loadgen: %s: %d requests over %.1fs (batch %d, target %.0f rps): %.0f evals/s, p50 %s p95 %s p99 %s, %d shed, %d errors, %d missed slots\n",
+		name, n, secs, batch, rps,
 		float64(res.evals)/secs,
 		quantile(res.latencies, 0.50).Round(time.Microsecond),
 		quantile(res.latencies, 0.95).Round(time.Microsecond),

@@ -70,6 +70,8 @@ var (
 	// ErrOverloaded: the server's inflight-points budget is exhausted and
 	// the request was shed; retry after the Retry-After delay (503).
 	ErrOverloaded = errors.New("server overloaded")
+	// ErrInvalidSpec: an optimizer search spec failed validation (400).
+	ErrInvalidSpec = errors.New("invalid spec")
 )
 
 // mapping is the single errors ↔ status ↔ wire-code table. Every view of
@@ -88,6 +90,11 @@ var mapping = []struct {
 	{ErrEvaluation, http.StatusUnprocessableEntity, "evaluation_failed"},
 	{ErrRateLimited, http.StatusTooManyRequests, "rate_limited"},
 	{ErrOverloaded, http.StatusServiceUnavailable, "overloaded"},
+	// ErrInvalidSpec sits after ErrInvalidPoint on purpose: both map to
+	// 400, and FromStatus returns the table's first match, so the
+	// historical FromStatus(400) → ErrInvalidPoint contract holds. Clients
+	// distinguish the two by wire code (FromCode "invalid_spec").
+	{ErrInvalidSpec, http.StatusBadRequest, "invalid_spec"},
 }
 
 // StatusFor returns the HTTP status the API maps err to: the sentinel

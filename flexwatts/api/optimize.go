@@ -1,0 +1,269 @@
+package api
+
+import (
+	"fmt"
+
+	"repro/flexwatts"
+)
+
+// Optimizer endpoint paths served by flexwattsd.
+const (
+	// PathOptimize runs a design-space search to completion and returns
+	// its Pareto frontier (POST).
+	PathOptimize = "/v1/optimize"
+	// PathOptimizeStream runs a design-space search and streams progress
+	// and frontier-update events back incrementally as NDJSON, one
+	// OptimizeEvent per line, ending with a "result" event (POST).
+	PathOptimizeStream = "/v1/optimize/stream"
+)
+
+// OptimizeRequest is the POST /v1/optimize request body: the wire form of
+// flexwatts.OptimizeSpec, with enums as strings spelled the way the paper
+// spells them ("IVR", …) resp. the optimizer's wire vocabulary ("cost",
+// "anneal", …), parsed case-insensitively.
+type OptimizeRequest struct {
+	TDP             float64   `json:"tdp"`
+	PDNs            []string  `json:"pdns,omitempty"`
+	LoadlineScales  []float64 `json:"loadline_scales,omitempty"`
+	GuardbandScales []float64 `json:"guardband_scales,omitempty"`
+	VRScales        []float64 `json:"vr_scales,omitempty"`
+	Objectives      []string  `json:"objectives,omitempty"`
+	Strategy        string    `json:"strategy,omitempty"`
+	Seed            int64     `json:"seed,omitempty"`
+	Budget          int       `json:"budget,omitempty"`
+	Chains          int       `json:"chains,omitempty"`
+	MaxCost         float64   `json:"max_cost,omitempty"`
+	MaxArea         float64   `json:"max_area,omitempty"`
+	MaxBatteryPower float64   `json:"max_battery_power,omitempty"`
+	MinPerformance  float64   `json:"min_performance,omitempty"`
+}
+
+// OptimizeRequestFromSpec converts a typed search spec to its wire form.
+func OptimizeRequestFromSpec(s flexwatts.OptimizeSpec) OptimizeRequest {
+	r := OptimizeRequest{
+		TDP:             float64(s.TDP),
+		LoadlineScales:  s.LoadlineScales,
+		GuardbandScales: s.GuardbandScales,
+		VRScales:        s.VRScales,
+		Seed:            s.Seed,
+		Budget:          s.Budget,
+		Chains:          s.Chains,
+		MaxCost:         s.MaxCost,
+		MaxArea:         s.MaxArea,
+		MaxBatteryPower: float64(s.MaxBatteryPower),
+		MinPerformance:  s.MinPerformance,
+	}
+	if s.PDNs != nil {
+		r.PDNs = make([]string, len(s.PDNs))
+		for i, k := range s.PDNs {
+			r.PDNs[i] = k.String()
+		}
+	}
+	if s.Objectives != nil {
+		r.Objectives = make([]string, len(s.Objectives))
+		for i, o := range s.Objectives {
+			r.Objectives[i] = o.String()
+		}
+	}
+	if s.Strategy != flexwatts.StrategyAuto {
+		r.Strategy = s.Strategy.String()
+	}
+	return r
+}
+
+// Spec parses the wire request back into the typed vocabulary.
+func (r OptimizeRequest) Spec() (flexwatts.OptimizeSpec, error) {
+	s := flexwatts.OptimizeSpec{
+		TDP:             flexwatts.Watt(r.TDP),
+		LoadlineScales:  r.LoadlineScales,
+		GuardbandScales: r.GuardbandScales,
+		VRScales:        r.VRScales,
+		Seed:            r.Seed,
+		Budget:          r.Budget,
+		Chains:          r.Chains,
+		MaxCost:         r.MaxCost,
+		MaxArea:         r.MaxArea,
+		MaxBatteryPower: flexwatts.Watt(r.MaxBatteryPower),
+		MinPerformance:  r.MinPerformance,
+	}
+	if r.PDNs != nil {
+		s.PDNs = make([]flexwatts.Kind, len(r.PDNs))
+		for i, name := range r.PDNs {
+			k, err := flexwatts.ParseKind(name)
+			if err != nil {
+				return flexwatts.OptimizeSpec{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+			}
+			s.PDNs[i] = k
+		}
+	}
+	if r.Objectives != nil {
+		s.Objectives = make([]flexwatts.Objective, len(r.Objectives))
+		for i, name := range r.Objectives {
+			o, err := flexwatts.ParseObjective(name)
+			if err != nil {
+				return flexwatts.OptimizeSpec{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+			}
+			s.Objectives[i] = o
+		}
+	}
+	st, err := flexwatts.ParseSearchStrategy(r.Strategy)
+	if err != nil {
+		return flexwatts.OptimizeSpec{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	s.Strategy = st
+	return s, nil
+}
+
+// OptimizeConfig is one candidate design on the wire.
+type OptimizeConfig struct {
+	PDN            string  `json:"pdn"`
+	LoadlineScale  float64 `json:"loadline_scale"`
+	GuardbandScale float64 `json:"guardband_scale"`
+	VRScale        float64 `json:"vr_scale"`
+}
+
+// OptimizeScores are one candidate's objective values on the wire.
+type OptimizeScores struct {
+	Cost         float64 `json:"cost"`
+	Area         float64 `json:"area"`
+	BatteryPower float64 `json:"battery_power"`
+	Performance  float64 `json:"performance"`
+}
+
+// ParetoPoint is one frontier member on the wire. Key is the candidate's
+// index in the kind-major lexicographic enumeration of the space.
+type ParetoPoint struct {
+	Key    int            `json:"key"`
+	Config OptimizeConfig `json:"config"`
+	Scores OptimizeScores `json:"scores"`
+}
+
+// ParetoPointFromPoint converts a typed frontier member to its wire form.
+func ParetoPointFromPoint(p flexwatts.ParetoPoint) ParetoPoint {
+	return ParetoPoint{
+		Key: p.Key,
+		Config: OptimizeConfig{
+			PDN:            p.Config.PDN.String(),
+			LoadlineScale:  p.Config.LoadlineScale,
+			GuardbandScale: p.Config.GuardbandScale,
+			VRScale:        p.Config.VRScale,
+		},
+		Scores: OptimizeScores{
+			Cost:         p.Scores.Cost,
+			Area:         p.Scores.Area,
+			BatteryPower: float64(p.Scores.BatteryPower),
+			Performance:  p.Scores.Performance,
+		},
+	}
+}
+
+// Point parses the wire frontier member back into the typed vocabulary.
+func (p ParetoPoint) Point() (flexwatts.ParetoPoint, error) {
+	k, err := flexwatts.ParseKind(p.Config.PDN)
+	if err != nil {
+		return flexwatts.ParetoPoint{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	return flexwatts.ParetoPoint{
+		Key: p.Key,
+		Config: flexwatts.OptimizeConfig{
+			PDN:            k,
+			LoadlineScale:  p.Config.LoadlineScale,
+			GuardbandScale: p.Config.GuardbandScale,
+			VRScale:        p.Config.VRScale,
+		},
+		Scores: flexwatts.OptimizeScores{
+			Cost:         p.Scores.Cost,
+			Area:         p.Scores.Area,
+			BatteryPower: flexwatts.Watt(p.Scores.BatteryPower),
+			Performance:  p.Scores.Performance,
+		},
+	}, nil
+}
+
+// OptimizeResponse is the POST /v1/optimize response body.
+type OptimizeResponse struct {
+	Frontier  []ParetoPoint `json:"frontier"`
+	Evaluated int           `json:"evaluated"`
+	SpaceSize int           `json:"space_size"`
+	Strategy  string        `json:"strategy"`
+	Workers   int           `json:"workers"`
+}
+
+// OptimizeResponseFromResult converts a typed search result to its wire
+// form (Workers is the server's concern and stays zero here).
+func OptimizeResponseFromResult(r flexwatts.OptimizeResult) OptimizeResponse {
+	out := OptimizeResponse{
+		Frontier:  make([]ParetoPoint, len(r.Frontier)),
+		Evaluated: r.Evaluated,
+		SpaceSize: r.SpaceSize,
+		Strategy:  r.Strategy.String(),
+	}
+	for i, p := range r.Frontier {
+		out.Frontier[i] = ParetoPointFromPoint(p)
+	}
+	return out
+}
+
+// Result parses the wire response back into the typed vocabulary.
+func (r OptimizeResponse) Result() (flexwatts.OptimizeResult, error) {
+	st, err := flexwatts.ParseSearchStrategy(r.Strategy)
+	if err != nil {
+		return flexwatts.OptimizeResult{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	out := flexwatts.OptimizeResult{
+		Frontier:  make([]flexwatts.ParetoPoint, len(r.Frontier)),
+		Evaluated: r.Evaluated,
+		SpaceSize: r.SpaceSize,
+		Strategy:  st,
+	}
+	for i, p := range r.Frontier {
+		if out.Frontier[i], err = p.Point(); err != nil {
+			return flexwatts.OptimizeResult{}, err
+		}
+	}
+	return out, nil
+}
+
+// Optimizer stream event discriminators, the OptimizeEvent.Event values.
+const (
+	// OptimizeEventProgress reports evaluation counts after each batch or
+	// annealing round.
+	OptimizeEventProgress = "progress"
+	// OptimizeEventFrontier reports a candidate entering the Pareto
+	// frontier (it may be displaced again later); Point is set.
+	OptimizeEventFrontier = "frontier"
+	// OptimizeEventResult is the final line of a successful stream; Result
+	// is set.
+	OptimizeEventResult = "result"
+	// OptimizeEventError is the final line of a failed stream; Code and
+	// Error are set.
+	OptimizeEventError = "error"
+)
+
+// OptimizeEvent is one NDJSON line of the POST /v1/optimize/stream
+// response. Event discriminates: "progress" and "frontier" lines arrive
+// while the search runs, then exactly one terminal line — "result" with
+// the finished search, or "error" with the failure rendered in CodeFor's
+// vocabulary.
+type OptimizeEvent struct {
+	Event        string            `json:"event"`
+	Evaluated    int               `json:"evaluated,omitempty"`
+	SpaceSize    int               `json:"space_size,omitempty"`
+	FrontierSize int               `json:"frontier_size,omitempty"`
+	Point        *ParetoPoint      `json:"point,omitempty"`
+	Result       *OptimizeResponse `json:"result,omitempty"`
+	Code         string            `json:"code,omitempty"`
+	Error        string            `json:"error,omitempty"`
+}
+
+// Err returns the stream event's error as a typed error — the sentinel for
+// its wire code wrapping the message — or nil for a non-error event.
+func (e OptimizeEvent) Err() error {
+	if e.Event != OptimizeEventError {
+		return nil
+	}
+	if sentinel := FromCode(e.Code); sentinel != nil {
+		return fmt.Errorf("optimize: %w: %s", sentinel, e.Error)
+	}
+	return fmt.Errorf("optimize: %s", e.Error)
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/activity"
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/internal/optimize"
 	"repro/internal/pdn"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -83,6 +84,10 @@ type Client struct {
 	// arena recycles warmBatch's grid + result blocks across EvaluateBatch
 	// calls; its zero value is ready, so no constructor wiring is needed.
 	arena pdn.GridArena
+	// opt is the design-space search engine behind Optimize; it shares the
+	// client's platform, parameters, cache and worker bound, and owns its
+	// own grid arena so search candidates recycle blocks across runs.
+	opt optimize.Engine
 }
 
 // NewClient constructs a Client with the paper's calibration,
@@ -119,6 +124,12 @@ func NewClient(opts ...Option) (*Client, error) {
 	}
 	if cfg.cache {
 		c.cache = sweep.NewCache()
+	}
+	c.opt = optimize.Engine{
+		Platform: cfg.platform,
+		Base:     cfg.params,
+		Cache:    c.cache,
+		Workers:  cfg.workers,
 	}
 	return c, nil
 }

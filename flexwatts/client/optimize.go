@@ -1,0 +1,120 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/flexwatts"
+	"repro/flexwatts/api"
+)
+
+// OptimizeRaw posts a raw wire-form search (POST /v1/optimize). Most
+// callers want Optimize; use OptimizeRaw to control the wire body
+// directly.
+func (c *Client) OptimizeRaw(ctx context.Context, req api.OptimizeRequest) (api.OptimizeResponse, error) {
+	var out api.OptimizeResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	b, err := c.do(ctx, http.MethodPost, api.PathOptimize, body)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Optimize runs a design-space search on the daemon and returns its Pareto
+// frontier (POST /v1/optimize). Malformed specs return api.ErrInvalidSpec;
+// when the daemon's search slots are busy the request is shed and retried
+// per the client's retry policy before api.ErrOverloaded surfaces.
+// Cancelling ctx drops the connection, which aborts the server's search
+// mid-batch.
+func (c *Client) Optimize(ctx context.Context, spec flexwatts.OptimizeSpec) (flexwatts.OptimizeResult, error) {
+	resp, err := c.OptimizeRaw(ctx, api.OptimizeRequestFromSpec(spec))
+	if err != nil {
+		return flexwatts.OptimizeResult{}, err
+	}
+	res, err := resp.Result()
+	if err != nil {
+		return flexwatts.OptimizeResult{}, fmt.Errorf("client: optimize response: %w", err)
+	}
+	return res, nil
+}
+
+// OptimizeStream runs a design-space search through POST
+// /v1/optimize/stream and delivers progress and frontier-update events
+// incrementally: fn (when non-nil) is called once per event line as it
+// arrives off the wire, so a caller can render a live frontier while the
+// server is still searching. The final "result" line becomes the return
+// value; a terminal "error" line surfaces as that error (typed via its
+// wire code, so errors.Is works). Returning a non-nil error from fn stops
+// the stream — the server's search is cancelled via the dropped
+// connection — and OptimizeStream returns that error.
+func (c *Client) OptimizeStream(ctx context.Context, spec flexwatts.OptimizeSpec, fn func(api.OptimizeEvent) error) (flexwatts.OptimizeResult, error) {
+	var zero flexwatts.OptimizeResult
+	body, err := json.Marshal(api.OptimizeRequestFromSpec(spec))
+	if err != nil {
+		return zero, err
+	}
+	resp, err := c.send(ctx, http.MethodPost, api.PathOptimizeStream, body)
+	if err != nil {
+		return zero, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return zero, err
+		}
+		return zero, apiError(resp, b)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	delivered := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev api.OptimizeEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return zero, fmt.Errorf("client: optimize stream line %d: %w", delivered, err)
+		}
+		delivered++
+		switch ev.Event {
+		case api.OptimizeEventResult:
+			if ev.Result == nil {
+				return zero, fmt.Errorf("client: optimize stream: result event without result")
+			}
+			res, err := ev.Result.Result()
+			if err != nil {
+				return zero, fmt.Errorf("client: optimize stream: %w", err)
+			}
+			return res, nil
+		case api.OptimizeEventError:
+			return zero, ev.Err()
+		default:
+			if fn != nil {
+				if err := fn(ev); err != nil {
+					return zero, err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return zero, context.Cause(ctx)
+		}
+		return zero, fmt.Errorf("client: optimize stream interrupted after %d events: %w", delivered, err)
+	}
+	return zero, fmt.Errorf("client: optimize stream ended after %d events without a terminal line", delivered)
+}

@@ -1,0 +1,148 @@
+package client_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/flexwatts"
+	"repro/flexwatts/api"
+	"repro/flexwatts/client"
+	"repro/internal/server"
+)
+
+func sdkOptimizeSpec() flexwatts.OptimizeSpec {
+	return flexwatts.OptimizeSpec{
+		TDP:             15,
+		PDNs:            []flexwatts.Kind{flexwatts.IVR, flexwatts.MBVR},
+		LoadlineScales:  []float64{0.9, 1},
+		GuardbandScales: []float64{1, 1.25},
+	}
+}
+
+// TestOptimizeSDKMatchesLibrary is the served half of the optimizer's
+// identity contract: the SDK's answer through a real flexwattsd handler
+// must be byte-identical (as JSON) to the in-process library client's for
+// the same spec — one engine, two doors.
+func TestOptimizeSDKMatchesLibrary(t *testing.T) {
+	c := testClient(t, server.Options{})
+	served, err := c.Optimize(ctx, sdkOptimizeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served.Frontier) == 0 {
+		t.Fatal("empty served frontier")
+	}
+	lib, err := flexwatts.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := lib.Optimize(ctx, sdkOptimizeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedJSON, err := json.Marshal(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(servedJSON) != string(localJSON) {
+		t.Errorf("served and library results differ:\n%s\n%s", servedJSON, localJSON)
+	}
+}
+
+// TestOptimizeStreamSDK drains a real served stream through the SDK:
+// incremental events arrive through the callback and the terminal result
+// equals the buffered endpoint's answer.
+func TestOptimizeStreamSDK(t *testing.T) {
+	c := testClient(t, server.Options{})
+	frontiers, progress := 0, 0
+	streamed, err := c.OptimizeStream(ctx, sdkOptimizeSpec(), func(ev api.OptimizeEvent) error {
+		switch ev.Event {
+		case api.OptimizeEventFrontier:
+			frontiers++
+			if ev.Point == nil {
+				t.Error("frontier event without point")
+			}
+		case api.OptimizeEventProgress:
+			progress++
+		default:
+			t.Errorf("unexpected callback event %q", ev.Event)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frontiers == 0 || progress == 0 {
+		t.Errorf("%d frontier and %d progress events, want both > 0", frontiers, progress)
+	}
+	buffered, err := c.Optimize(ctx, sdkOptimizeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("streamed result differs from buffered:\n%s\n%s", a, b)
+	}
+
+	sentinel := errors.New("stop here")
+	if _, err := c.OptimizeStream(ctx, sdkOptimizeSpec(), func(api.OptimizeEvent) error {
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("callback error surfaced as %v", err)
+	}
+}
+
+func TestOptimizeSDKInvalidSpec(t *testing.T) {
+	c := testClient(t, server.Options{})
+	if _, err := c.Optimize(ctx, flexwatts.OptimizeSpec{TDP: 900}); !errors.Is(err, api.ErrInvalidSpec) {
+		t.Errorf("err %v, want api.ErrInvalidSpec", err)
+	}
+	if _, err := c.OptimizeStream(ctx, flexwatts.OptimizeSpec{TDP: 900}, nil); !errors.Is(err, api.ErrInvalidSpec) {
+		t.Errorf("stream err %v, want api.ErrInvalidSpec", err)
+	}
+}
+
+// TestOptimizeStreamTerminalError pins the protocol edge the real server
+// rarely exercises: a terminal "error" line must surface as its typed
+// sentinel, and a stream that ends without any terminal line must fail
+// rather than return a zero result.
+func TestOptimizeStreamTerminalError(t *testing.T) {
+	lines := []string{
+		`{"event":"progress","evaluated":4,"space_size":8}`,
+		`{"event":"error","code":"overloaded","error":"2 searches already in flight"}`,
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OptimizeStream(ctx, sdkOptimizeSpec(), nil); !errors.Is(err, api.ErrOverloaded) {
+		t.Errorf("terminal error line surfaced as %v, want api.ErrOverloaded", err)
+	}
+
+	lines = lines[:1] // drop the terminal line entirely
+	if _, err := c.OptimizeStream(ctx, sdkOptimizeSpec(), nil); err == nil {
+		t.Error("truncated stream returned a result")
+	}
+}

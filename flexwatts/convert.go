@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/internal/optimize"
 	"repro/internal/pdn"
 	"repro/internal/workload"
 )
@@ -228,6 +229,139 @@ func batteryWorkloadFromInternal(w workload.BatteryWorkload) BatteryWorkload {
 	}
 	for c, res := range w.Residency {
 		out.Residency[cstateFromInternal(c)] = res
+	}
+	return out
+}
+
+// internalOptimizeSpec converts a public optimizer spec; the engine
+// revalidates, but kind conversion can already fail here.
+func internalOptimizeSpec(s OptimizeSpec) (optimize.Spec, error) {
+	out := optimize.Spec{
+		TDP:             float64(s.TDP),
+		LoadlineScales:  s.LoadlineScales,
+		GuardbandScales: s.GuardbandScales,
+		VRScales:        s.VRScales,
+		Seed:            s.Seed,
+		Budget:          s.Budget,
+		Chains:          s.Chains,
+		MaxCost:         s.MaxCost,
+		MaxArea:         s.MaxArea,
+		MaxBatteryPower: float64(s.MaxBatteryPower),
+		MinPerformance:  s.MinPerformance,
+	}
+	if s.PDNs != nil {
+		out.Kinds = make([]pdn.Kind, len(s.PDNs))
+		for i, k := range s.PDNs {
+			ik, err := internalKind(k)
+			if err != nil {
+				return optimize.Spec{}, fmt.Errorf("%w: unknown PDN kind %v", ErrInvalidSpec, k)
+			}
+			out.Kinds[i] = ik
+		}
+	}
+	if s.Objectives != nil {
+		out.Objectives = make([]optimize.Objective, len(s.Objectives))
+		for i, o := range s.Objectives {
+			io, err := internalObjective(o)
+			if err != nil {
+				return optimize.Spec{}, err
+			}
+			out.Objectives[i] = io
+		}
+	}
+	st, err := internalStrategy(s.Strategy)
+	if err != nil {
+		return optimize.Spec{}, err
+	}
+	out.Strategy = st
+	return out, nil
+}
+
+// internalObjective maps a public objective to the internal enum.
+func internalObjective(o Objective) (optimize.Objective, error) {
+	switch o {
+	case ObjectiveCost:
+		return optimize.Cost, nil
+	case ObjectiveArea:
+		return optimize.Area, nil
+	case ObjectiveBattery:
+		return optimize.BatteryPower, nil
+	case ObjectivePerformance:
+		return optimize.Performance, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown objective %v", ErrInvalidSpec, o)
+	}
+}
+
+// internalStrategy maps a public search strategy to the internal enum.
+func internalStrategy(s SearchStrategy) (optimize.Strategy, error) {
+	switch s {
+	case StrategyAuto:
+		return optimize.Auto, nil
+	case StrategyExhaustive:
+		return optimize.Exhaustive, nil
+	case StrategyAnneal:
+		return optimize.Anneal, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown strategy %v", ErrInvalidSpec, s)
+	}
+}
+
+// strategyFromInternal maps the internal strategy enum to the public one.
+func strategyFromInternal(s optimize.Strategy) SearchStrategy {
+	switch s {
+	case optimize.Exhaustive:
+		return StrategyExhaustive
+	case optimize.Anneal:
+		return StrategyAnneal
+	default:
+		return StrategyAuto
+	}
+}
+
+// paretoPointFromInternal converts one frontier member.
+func paretoPointFromInternal(p optimize.Point) ParetoPoint {
+	return ParetoPoint{
+		Key: p.Key,
+		Config: OptimizeConfig{
+			PDN:            kindFromInternal(p.Config.Kind),
+			LoadlineScale:  p.Config.LoadlineScale,
+			GuardbandScale: p.Config.GuardbandScale,
+			VRScale:        p.Config.VRScale,
+		},
+		Scores: OptimizeScores{
+			Cost:         p.Scores.Cost,
+			Area:         p.Scores.Area,
+			BatteryPower: Watt(p.Scores.BatteryPower),
+			Performance:  p.Scores.Performance,
+		},
+	}
+}
+
+// optimizeResultFromInternal converts a finished search.
+func optimizeResultFromInternal(r optimize.Result) OptimizeResult {
+	out := OptimizeResult{
+		Frontier:  make([]ParetoPoint, len(r.Frontier)),
+		Evaluated: r.Evaluated,
+		SpaceSize: r.SpaceSize,
+		Strategy:  strategyFromInternal(r.Strategy),
+	}
+	for i, p := range r.Frontier {
+		out.Frontier[i] = paretoPointFromInternal(p)
+	}
+	return out
+}
+
+// optimizeEventFromInternal converts an incremental search event.
+func optimizeEventFromInternal(ev optimize.Event) OptimizeEvent {
+	out := OptimizeEvent{
+		Evaluated:    ev.Evaluated,
+		SpaceSize:    ev.SpaceSize,
+		FrontierSize: ev.FrontierSize,
+	}
+	if ev.Kind == optimize.EventFrontier {
+		out.Kind = OptimizeFrontier
+		out.Point = paretoPointFromInternal(ev.Point)
 	}
 	return out
 }

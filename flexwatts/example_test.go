@@ -67,6 +67,39 @@ func ExamplePoint() {
 	// Output: {"pdn":"LDO","tdp":4,"workload":"Multi-Thread","ar":0.6}
 }
 
+// Optimize searches a configuration space — PDN topology × parameter
+// scales — and returns the Pareto frontier over the chosen objectives.
+// Small spaces are enumerated exhaustively, so the frontier is exact; the
+// search is seeded and deterministic either way.
+func ExampleClient_Optimize() {
+	c, err := flexwatts.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Optimize(context.Background(), flexwatts.OptimizeSpec{
+		TDP:             15,
+		PDNs:            []flexwatts.Kind{flexwatts.FlexWatts, flexwatts.IVR, flexwatts.LDO},
+		LoadlineScales:  []float64{1},
+		GuardbandScales: []float64{1, 1.25},
+		Objectives:      []flexwatts.Objective{flexwatts.ObjectiveCost, flexwatts.ObjectiveBattery},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d of %d candidates on the cost/battery frontier:\n", len(res.Frontier), res.SpaceSize)
+	for _, p := range res.Frontier {
+		fmt.Printf("%-9s gb x%.2f  cost %.2f  battery %.2f W\n",
+			p.Config.PDN, p.Config.GuardbandScale, p.Scores.Cost, float64(p.Scores.BatteryPower))
+	}
+	// Output:
+	// 5 of 6 candidates on the cost/battery frontier:
+	// FlexWatts gb x1.00  cost 1.18  battery 1.02 W
+	// FlexWatts gb x1.25  cost 1.09  battery 1.03 W
+	// IVR       gb x1.00  cost 1.00  battery 1.17 W
+	// IVR       gb x1.25  cost 0.92  battery 1.23 W
+	// LDO       gb x1.00  cost 1.96  battery 1.02 W
+}
+
 // The vocabulary parses the way the paper spells it, case-insensitively.
 func ExampleParseKind() {
 	k, err := flexwatts.ParseKind("i+mbvr")

@@ -37,6 +37,10 @@ var (
 	// point (missing workload, out-of-range AR or TDP, contradictory
 	// idle-state parameters).
 	ErrInvalidPoint = errors.New("flexwatts: invalid point")
+	// ErrInvalidSpec wraps every rejection of a malformed optimizer search
+	// spec (out-of-range TDP, empty or duplicate axes, oversized space,
+	// non-finite constraints).
+	ErrInvalidSpec = errors.New("flexwatts: invalid optimize spec")
 )
 
 // SPECCPU2006 returns the 29 SPEC CPU2006 benchmarks in Fig 7's order

@@ -1,0 +1,290 @@
+package flexwatts
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/optimize"
+)
+
+// Objective is one axis of an Optimize search's Pareto frontier.
+// ObjectiveCost, ObjectiveArea and ObjectiveBattery are minimized;
+// ObjectivePerformance is maximized.
+type Objective int
+
+// The four product objectives (Fig 8's columns).
+const (
+	// ObjectiveCost is BOM cost normalized to the base-parameter IVR PDN.
+	ObjectiveCost Objective = iota
+	// ObjectiveArea is board area normalized to the base-parameter IVR PDN.
+	ObjectiveArea
+	// ObjectiveBattery is mean battery-life drain in watts (§7.1); lower
+	// is longer battery life.
+	ObjectiveBattery
+	// ObjectivePerformance is SPEC CPU2006 suite-mean relative performance
+	// against the base-parameter IVR PDN.
+	ObjectivePerformance
+)
+
+// Objectives lists every objective in canonical order.
+func Objectives() []Objective {
+	return []Objective{ObjectiveCost, ObjectiveArea, ObjectiveBattery, ObjectivePerformance}
+}
+
+// String returns the wire spelling of the objective.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveCost:
+		return "cost"
+	case ObjectiveArea:
+		return "area"
+	case ObjectiveBattery:
+		return "battery"
+	case ObjectivePerformance:
+		return "performance"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ParseObjective resolves a wire spelling ("cost", "area", "battery",
+// "performance"), case-insensitively.
+func ParseObjective(s string) (Objective, error) {
+	for _, o := range Objectives() {
+		if strings.EqualFold(strings.TrimSpace(s), o.String()) {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown objective %q (have cost, area, battery, performance)", ErrInvalidSpec, s)
+}
+
+// MarshalText encodes the objective as its wire spelling.
+func (o Objective) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
+
+// UnmarshalText decodes any spelling ParseObjective accepts.
+func (o *Objective) UnmarshalText(b []byte) error {
+	v, err := ParseObjective(string(b))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
+}
+
+// SearchStrategy selects how Optimize explores the candidate space.
+type SearchStrategy int
+
+// The search strategies.
+const (
+	// StrategyAuto (the zero value) enumerates small spaces exhaustively
+	// and anneals large ones.
+	StrategyAuto SearchStrategy = iota
+	// StrategyExhaustive scores every candidate; the frontier is exact.
+	StrategyExhaustive
+	// StrategyAnneal runs seeded simulated-annealing chains under an
+	// evaluation budget.
+	StrategyAnneal
+)
+
+// SearchStrategies lists the selectable strategies.
+func SearchStrategies() []SearchStrategy {
+	return []SearchStrategy{StrategyAuto, StrategyExhaustive, StrategyAnneal}
+}
+
+// String returns the wire spelling of the strategy.
+func (s SearchStrategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyExhaustive:
+		return "exhaustive"
+	case StrategyAnneal:
+		return "anneal"
+	default:
+		return fmt.Sprintf("SearchStrategy(%d)", int(s))
+	}
+}
+
+// ParseSearchStrategy resolves a wire spelling ("auto", "exhaustive",
+// "anneal"), case-insensitively; the empty string parses to StrategyAuto.
+func ParseSearchStrategy(s string) (SearchStrategy, error) {
+	if strings.TrimSpace(s) == "" {
+		return StrategyAuto, nil
+	}
+	for _, st := range SearchStrategies() {
+		if strings.EqualFold(strings.TrimSpace(s), st.String()) {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown strategy %q (have auto, exhaustive, anneal)", ErrInvalidSpec, s)
+}
+
+// MarshalText encodes the strategy as its wire spelling.
+func (s SearchStrategy) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText decodes any spelling ParseSearchStrategy accepts.
+func (s *SearchStrategy) UnmarshalText(b []byte) error {
+	v, err := ParseSearchStrategy(string(b))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// OptimizeSpec describes one design-space search: the TDP design point,
+// the candidate axes (PDN architecture × load-line scale × guardband scale
+// × VR-sizing scale), the Pareto objectives, optional constraint ceilings,
+// and the search strategy. The zero value is not runnable — TDP is
+// required — but every other field has a documented default.
+//
+// Determinism contract: a search is a pure function of the client's
+// parameters and the spec. Same seed, same spec ⇒ byte-identical results,
+// independent of WithWorkers.
+type OptimizeSpec struct {
+	// TDP is the design point in watts (the modeled axis spans 4–50 W).
+	TDP Watt `json:"tdp"`
+	// PDNs is the architecture axis; nil means all five PDNs.
+	PDNs []Kind `json:"pdns,omitempty"`
+	// LoadlineScales multiplies every load-line resistance in the model
+	// parameters (lower = stiffer board = less I²R loss, at a cost
+	// premium). Nil means {0.8, 1, 1.25}.
+	LoadlineScales []float64 `json:"loadline_scales,omitempty"`
+	// GuardbandScales multiplies the three voltage-tolerance bands (lower
+	// = tighter regulation, at a cost premium). Nil means {0.75, 1, 1.25}.
+	GuardbandScales []float64 `json:"guardband_scales,omitempty"`
+	// VRScales multiplies every Iccmax design limit (oversized or
+	// undersized VRs). Nil means {1}.
+	VRScales []float64 `json:"vr_scales,omitempty"`
+	// Objectives selects the Pareto axes; nil means all four.
+	Objectives []Objective `json:"objectives,omitempty"`
+	// Strategy picks the search algorithm; the zero value is StrategyAuto.
+	Strategy SearchStrategy `json:"strategy,omitempty"`
+	// Seed drives the annealing chains' RNGs.
+	Seed int64 `json:"seed,omitempty"`
+	// Budget caps annealing candidate evaluations; <= 0 means the engine
+	// default (1024), clamped to the space size.
+	Budget int `json:"budget,omitempty"`
+	// Chains is the annealing chain count; <= 0 means the engine default
+	// (8). Fixed, never derived from machine parallelism.
+	Chains int `json:"chains,omitempty"`
+	// MaxCost, MaxArea and MaxBatteryPower are feasibility ceilings on the
+	// corresponding scores; <= 0 disables each.
+	MaxCost         float64 `json:"max_cost,omitempty"`
+	MaxArea         float64 `json:"max_area,omitempty"`
+	MaxBatteryPower Watt    `json:"max_battery_power,omitempty"`
+	// MinPerformance is a feasibility floor on relative performance; <= 0
+	// disables it.
+	MinPerformance float64 `json:"min_performance,omitempty"`
+}
+
+// OptimizeConfig is one candidate design: a PDN architecture with its
+// parameter scales.
+type OptimizeConfig struct {
+	PDN            Kind    `json:"pdn"`
+	LoadlineScale  float64 `json:"loadline_scale"`
+	GuardbandScale float64 `json:"guardband_scale"`
+	VRScale        float64 `json:"vr_scale"`
+}
+
+// OptimizeScores are one candidate's objective values. All four are
+// reported whichever subset the spec selected.
+type OptimizeScores struct {
+	// Cost and Area are normalized to the base-parameter IVR PDN.
+	Cost float64 `json:"cost"`
+	Area float64 `json:"area"`
+	// BatteryPower is the mean §7.1 battery-life drain.
+	BatteryPower Watt `json:"battery_power"`
+	// Performance is the SPEC suite-mean relative performance vs the
+	// base-parameter IVR PDN.
+	Performance float64 `json:"performance"`
+}
+
+// ParetoPoint is one frontier member. Key is the candidate's index in the
+// kind-major lexicographic enumeration of the space — the deterministic
+// reporting order.
+type ParetoPoint struct {
+	Key    int            `json:"key"`
+	Config OptimizeConfig `json:"config"`
+	Scores OptimizeScores `json:"scores"`
+}
+
+// OptimizeResult is a finished search.
+type OptimizeResult struct {
+	// Frontier is the Pareto frontier over the spec's objectives, sorted
+	// by Key.
+	Frontier []ParetoPoint `json:"frontier"`
+	// Evaluated counts scored candidates; SpaceSize is the enumerable
+	// candidate count.
+	Evaluated int `json:"evaluated"`
+	SpaceSize int `json:"space_size"`
+	// Strategy is what actually ran (StrategyAuto resolves to one of the
+	// other two).
+	Strategy SearchStrategy `json:"strategy"`
+}
+
+// OptimizeEventKind tags an OptimizeStream callback.
+type OptimizeEventKind int
+
+// The incremental event kinds.
+const (
+	// OptimizeProgress reports evaluation counts after each batch or
+	// annealing round.
+	OptimizeProgress OptimizeEventKind = iota
+	// OptimizeFrontier reports a candidate entering the Pareto frontier
+	// (it may be displaced again later).
+	OptimizeFrontier
+)
+
+// String returns the wire spelling of the event kind.
+func (k OptimizeEventKind) String() string {
+	if k == OptimizeFrontier {
+		return "frontier"
+	}
+	return "progress"
+}
+
+// OptimizeEvent is one incremental report from a running search.
+type OptimizeEvent struct {
+	Kind         OptimizeEventKind `json:"kind"`
+	Evaluated    int               `json:"evaluated"`
+	SpaceSize    int               `json:"space_size"`
+	FrontierSize int               `json:"frontier_size"`
+	// Point is the frontier entrant; meaningful only for OptimizeFrontier.
+	Point ParetoPoint `json:"point,omitempty"`
+}
+
+// Optimize searches the design space described by spec and returns its
+// Pareto frontier. The search runs candidates concurrently on the sweep
+// engine (bounded by WithWorkers) but is deterministic: same client
+// parameters, same spec ⇒ byte-identical results. Cancelling ctx aborts
+// the search with context.Cause(ctx). Invalid specs return an error
+// wrapping ErrInvalidSpec.
+func (c *Client) Optimize(ctx context.Context, spec OptimizeSpec) (OptimizeResult, error) {
+	return c.OptimizeStream(ctx, spec, nil)
+}
+
+// OptimizeStream is Optimize with an incremental callback: fn (when
+// non-nil) observes every frontier entrant and per-batch progress on the
+// searching goroutine. A non-nil error from fn cancels the search and is
+// returned.
+func (c *Client) OptimizeStream(ctx context.Context, spec OptimizeSpec, fn func(OptimizeEvent) error) (OptimizeResult, error) {
+	ispec, err := internalOptimizeSpec(spec)
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	var emit func(optimize.Event) error
+	if fn != nil {
+		emit = func(ev optimize.Event) error { return fn(optimizeEventFromInternal(ev)) }
+	}
+	res, err := c.opt.Run(ctx, ispec, emit)
+	if err != nil {
+		if errors.Is(err, optimize.ErrInvalidSpec) {
+			return OptimizeResult{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+		return OptimizeResult{}, err
+	}
+	return optimizeResultFromInternal(res), nil
+}

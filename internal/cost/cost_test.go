@@ -1,11 +1,13 @@
 package cost
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/domain"
 	"repro/internal/pdn"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -32,6 +34,51 @@ func TestSizeRailCounts(t *testing.T) {
 	}
 	if _, err := Size(plat, pdn.Kind(99), 18); err == nil {
 		t.Error("unknown kind accepted")
+	}
+}
+
+// TestPriceDegenerateInputs pins the pricing model's behavior at the
+// edges the optimizer can steer it to: an empty rail set, a zero-current
+// (zero-area) VR, and sub-phase currents must all price to finite,
+// non-negative numbers — a NaN or Inf here would silently poison every
+// frontier score derived from the estimate.
+func TestPriceDegenerateInputs(t *testing.T) {
+	finite := func(name string, e Estimate) {
+		t.Helper()
+		if math.IsNaN(e.BOM) || math.IsInf(e.BOM, 0) || e.BOM < 0 {
+			t.Errorf("%s: BOM %g", name, e.BOM)
+		}
+		if math.IsNaN(e.Area) || math.IsInf(e.Area, 0) || e.Area < 0 {
+			t.Errorf("%s: area %g", name, e.Area)
+		}
+	}
+	for _, tdp := range []float64{4, 18, 18.01, 50} {
+		finite("empty rails", Price(Requirements{PDN: pdn.IVR, TDP: units.Watt(tdp)}))
+		finite("zero-area VR", Price(Requirements{PDN: pdn.IVR, TDP: units.Watt(tdp),
+			Rails: []Rail{{Name: "V_IN", VOut: 1.8, Iccmax: 0}}}))
+		finite("sub-phase current", Price(Requirements{PDN: pdn.MBVR, TDP: units.Watt(tdp),
+			Rails: []Rail{{Name: "V_Cores", VOut: 0.8, Iccmax: 0.01}}}))
+	}
+}
+
+// TestNormalizedFiniteAtTDPEdges sweeps the TDP extremes the optimizer's
+// spec validation admits and demands finite, strictly positive normalized
+// ratios for every PDN — the denominators of the optimizer's cost and
+// area objectives.
+func TestNormalizedFiniteAtTDPEdges(t *testing.T) {
+	plat := domain.NewClientPlatform()
+	for _, tdp := range []float64{4, 17.99, 18, 18.01, 50} {
+		bom, area, err := Normalized(plat, units.Watt(tdp))
+		if err != nil {
+			t.Fatalf("tdp %g: %v", tdp, err)
+		}
+		for _, k := range pdn.AllKinds() {
+			for name, v := range map[string]float64{"bom": bom[k], "area": area[k]} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+					t.Errorf("tdp %g %v: %s ratio %g", tdp, k, name, v)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,76 @@
+package optimize
+
+import "sort"
+
+// frontier is the incremental Pareto archive over the spec's selected
+// objectives. Insertion order is deterministic (candidates arrive in key
+// order within each batch), so the archive's contents are a pure function
+// of the evaluated set.
+type frontier struct {
+	objs []Objective
+	pts  []Point
+}
+
+func newFrontier(objs []Objective) *frontier {
+	return &frontier{objs: objs}
+}
+
+// dominatesEq reports whether a is at least as good as b on every
+// selected objective.
+func (f *frontier) dominatesEq(a, b Scores) bool {
+	for _, o := range f.objs {
+		if a.key(o) > b.key(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates reports strict Pareto dominance: at least as good everywhere
+// and strictly better somewhere.
+func (f *frontier) dominates(a, b Scores) bool {
+	strict := false
+	for _, o := range f.objs {
+		ka, kb := a.key(o), b.key(o)
+		if ka > kb {
+			return false
+		}
+		if ka < kb {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// add offers a feasible candidate to the archive. It reports whether the
+// candidate entered the frontier; entering evicts every point it strictly
+// dominates. A candidate matched or dominated by an existing point is
+// rejected — ties keep the earlier arrival, which is the lower key within
+// a batch, keeping the archive minimal and deterministic.
+func (f *frontier) add(p Point) bool {
+	for _, q := range f.pts {
+		if f.dominatesEq(q.Scores, p.Scores) {
+			return false
+		}
+	}
+	keep := f.pts[:0]
+	for _, q := range f.pts {
+		if !f.dominates(p.Scores, q.Scores) {
+			keep = append(keep, q)
+		}
+	}
+	f.pts = append(keep, p)
+	return true
+}
+
+// size is the current frontier cardinality.
+func (f *frontier) size() int { return len(f.pts) }
+
+// sorted returns the frontier ordered by candidate key — the reported,
+// reproducible order.
+func (f *frontier) sorted() []Point {
+	out := make([]Point, len(f.pts))
+	copy(out, f.pts)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

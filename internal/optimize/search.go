@@ -1,0 +1,252 @@
+package optimize
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	"repro/internal/sweep"
+)
+
+// Batch and annealing schedule constants. All fixed: they shape the
+// search trajectory, so none may derive from the machine.
+const (
+	// scoreBatch is how many candidates one sweep.MapCtx dispatch scores;
+	// big enough to keep a pool busy, small enough for responsive
+	// progress events and prompt cancellation.
+	scoreBatch = 64
+	// annealT0 is the initial temperature on the normalized energy scale
+	// (energies are sums of scores normalized by the IVR reference, so
+	// typical deltas are well under 1).
+	annealT0 = 0.5
+	// annealCooling is the per-round geometric cooling factor.
+	annealCooling = 0.95
+	// seedMix spreads chain indices across the seed space (the 64-bit
+	// golden ratio, the usual SplitMix64 increment).
+	seedMix = 0x9E3779B97F4A7C15
+)
+
+// runExhaustive scores every candidate in key order, batching through the
+// sweep pool. The frontier is exact.
+func (s *search) runExhaustive(ctx context.Context, emit func(Event) error) (Result, error) {
+	size := s.spec.spaceSize()
+	res := Result{SpaceSize: size, Strategy: Exhaustive}
+	f := newFrontier(s.spec.Objectives)
+	for lo := 0; lo < size; lo += scoreBatch {
+		hi := lo + scoreBatch
+		if hi > size {
+			hi = size
+		}
+		batch, err := sweep.MapCtx(ctx, s.e.Workers, hi-lo, func(i int) (scored, error) {
+			return s.score(s.spec.config(lo + i)), nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		for i, cs := range batch {
+			res.Evaluated++
+			if err := s.offer(emit, f, lo+i, cs, &res); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := send(emit, Event{
+			Kind: EventProgress, Evaluated: res.Evaluated,
+			SpaceSize: size, FrontierSize: f.size(),
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	res.Frontier = f.sorted()
+	return res, nil
+}
+
+// offer books one evaluated candidate: feasible candidates are offered to
+// the frontier, and entrants are reported to the caller.
+func (s *search) offer(emit func(Event) error, f *frontier, key int, cs scored, res *Result) error {
+	if !cs.ok || !s.spec.feasible(cs.sc) {
+		return nil
+	}
+	p := Point{Key: key, Config: s.spec.config(key), Scores: cs.sc}
+	if !f.add(p) {
+		return nil
+	}
+	return send(emit, Event{
+		Kind: EventFrontier, Evaluated: res.Evaluated,
+		SpaceSize: res.SpaceSize, FrontierSize: f.size(), Point: p,
+	})
+}
+
+// runAnneal walks Spec.Chains Metropolis chains over the candidate
+// lattice under a geometric cooling schedule, spending Spec.Budget
+// evaluations. Each round every chain proposes a lattice neighbor; the
+// round's distinct unseen proposals score as one parallel batch
+// (memoized, so revisits are free), then each chain accepts or rejects
+// with its own seeded RNG. Every scored candidate — accepted or not — is
+// offered to the frontier: the archive keeps what the walk merely
+// brushed past.
+func (s *search) runAnneal(ctx context.Context, emit func(Event) error) (Result, error) {
+	size := s.spec.spaceSize()
+	res := Result{SpaceSize: size, Strategy: Anneal}
+	f := newFrontier(s.spec.Objectives)
+	memo := make(map[int]scored, s.spec.Budget)
+
+	nc := s.spec.Chains
+	cur := make([]int, nc)
+	rngs := make([]*rand.Rand, nc)
+	for i := 0; i < nc; i++ {
+		// Chains start spread evenly across the key space; each owns an
+		// RNG derived from the spec seed, never the global source.
+		cur[i] = i * size / nc
+		rngs[i] = newChainRNG(s.spec.Seed, i)
+	}
+
+	// evalKeys scores the distinct unseen keys (already deduplicated, in
+	// deterministic first-proposal order) as one batch and books them.
+	evalKeys := func(keys []int) error {
+		batch, err := sweep.MapCtx(ctx, s.e.Workers, len(keys), func(i int) (scored, error) {
+			return s.score(s.spec.config(keys[i])), nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, cs := range batch {
+			memo[keys[i]] = cs
+			res.Evaluated++
+			if err := s.offer(emit, f, keys[i], cs, &res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Round 0: the starting positions.
+	if err := evalKeys(dedupe(cur, memo)); err != nil {
+		return Result{}, err
+	}
+
+	// maxRounds backstops the loop when the budget cannot be spent (the
+	// chains keep proposing already-scored keys in an exhausted
+	// neighborhood); it is generous enough to never bind a healthy walk.
+	maxRounds := 16 * (s.spec.Budget/nc + 1)
+	for round := 0; res.Evaluated < s.spec.Budget && len(memo) < size && round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, context.Cause(ctx)
+		}
+		props := make([]int, nc)
+		for i := 0; i < nc; i++ {
+			props[i] = s.neighbor(cur[i], rngs[i])
+		}
+		if err := evalKeys(dedupe(props, memo)); err != nil {
+			return Result{}, err
+		}
+		temp := annealT0 * math.Pow(annealCooling, float64(round))
+		for i := 0; i < nc; i++ {
+			ea := s.energy(memo[cur[i]])
+			eb := s.energy(memo[props[i]])
+			// The acceptance draw happens only on an uphill move, so the
+			// RNG stream consumed by a chain is a pure function of its
+			// trajectory. Infeasible candidates carry +Inf energy: chains
+			// never walk into them from feasible ground, but can escape
+			// if stranded (eb <= ea when both are +Inf).
+			if eb <= ea || rngs[i].Float64() < math.Exp((ea-eb)/temp) {
+				cur[i] = props[i]
+			}
+		}
+		if err := send(emit, Event{
+			Kind: EventProgress, Evaluated: res.Evaluated,
+			SpaceSize: size, FrontierSize: f.size(),
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	res.Frontier = f.sorted()
+	return res, nil
+}
+
+// newChainRNG derives chain i's private RNG from the spec seed with a
+// SplitMix64-style mix, so chains draw independent streams and nothing
+// touches the global source.
+func newChainRNG(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(uint64(seed) + uint64(i+1)*seedMix)))
+}
+
+// dedupe returns keys' distinct members that are not yet memoized,
+// preserving first-appearance order.
+func dedupe(keys []int, memo map[int]scored) []int {
+	out := make([]int, 0, len(keys))
+	seen := make(map[int]bool, len(keys))
+	for _, k := range keys {
+		if _, done := memo[k]; done || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	return out
+}
+
+// energy collapses a candidate's selected objectives to one scalar for
+// the Metropolis acceptance rule: each score is normalized by the IVR
+// reference so heterogeneous units mix, maximized objectives enter
+// negated, and infeasible candidates are +Inf. Lower is better.
+func (s *search) energy(cs scored) float64 {
+	if !cs.ok || !s.spec.feasible(cs.sc) {
+		return math.Inf(1)
+	}
+	var e float64
+	for _, o := range s.spec.Objectives {
+		ref := s.ref.value(o)
+		if !(ref > 0) || math.IsInf(ref, 0) {
+			ref = 1
+		}
+		t := cs.sc.value(o) / ref
+		if o.Maximize() {
+			t = -t
+		}
+		e += t
+	}
+	return e
+}
+
+// neighbor proposes a lattice move from key: one axis with more than one
+// level steps ±1 (clamped at the edges — a clamped step is a legal
+// self-proposal the acceptance rule treats as a free stay).
+func (s *search) neighbor(key int, rng *rand.Rand) int {
+	sp := s.spec
+	dims := [4]int{len(sp.Kinds), len(sp.LoadlineScales), len(sp.GuardbandScales), len(sp.VRScales)}
+	// Decompose kind-major: key = ((ki*nl + li)*ng + gi)*nv + vi.
+	idx := [4]int{}
+	rem := key
+	idx[3] = rem % dims[3]
+	rem /= dims[3]
+	idx[2] = rem % dims[2]
+	rem /= dims[2]
+	idx[1] = rem % dims[1]
+	idx[0] = rem / dims[1]
+	// Collect the movable axes; the space has at least one when this is
+	// called (size > chains ≥ 1 implies some axis has > 1 level; a
+	// single-candidate space never reaches the proposal loop).
+	var movable []int
+	for a, n := range dims {
+		if n > 1 {
+			movable = append(movable, a)
+		}
+	}
+	if len(movable) == 0 {
+		return key
+	}
+	axis := movable[rng.Intn(len(movable))]
+	step := 1
+	if rng.Intn(2) == 0 {
+		step = -1
+	}
+	v := idx[axis] + step
+	if v < 0 {
+		v = 0
+	}
+	if v >= dims[axis] {
+		v = dims[axis] - 1
+	}
+	idx[axis] = v
+	return ((idx[0]*dims[1]+idx[1])*dims[2]+idx[2])*dims[3] + idx[3]
+}

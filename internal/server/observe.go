@@ -24,13 +24,16 @@ const (
 	routeExperiment     = "experiment"
 	routeEvaluate       = "evaluate"
 	routeEvaluateStream = "evaluate_stream"
+	routeOptimize       = "optimize"
+	routeOptimizeStream = "optimize_stream"
 	routePprof          = "pprof"
 )
 
 var routes = []string{
 	routeHealthz, routeReadyz, routeAdminCache, routeMetrics,
 	routeExperiments, routeExperiment,
-	routeEvaluate, routeEvaluateStream, routePprof,
+	routeEvaluate, routeEvaluateStream,
+	routeOptimize, routeOptimizeStream, routePprof,
 }
 
 // statusClasses the counters distinguish; an exotic status lands in its
@@ -70,6 +73,11 @@ type serverMetrics struct {
 	streamedTotal  *metrics.Counter
 	gridWarmPoints *metrics.Counter
 	panics         *metrics.Counter
+
+	optimizeInflight   *metrics.Gauge
+	optimizeCandidates *metrics.Counter
+	optimizeFrontier   *metrics.Gauge
+	optimizeSeconds    *metrics.Histogram
 }
 
 // newServerMetrics builds the registry over the shared evaluation cache,
@@ -111,6 +119,15 @@ func newServerMetrics(cache *sweep.Cache, store *cachestore.Store, start time.Ti
 		"Baseline points routed through the batch-kernel warm pass.")
 	m.panics = reg.Counter("flexwattsd_panics_total",
 		"Handler panics recovered by the serving middleware.")
+	m.optimizeInflight = reg.Gauge("flexwattsd_optimize_inflight",
+		"Design-space searches currently running.")
+	m.optimizeCandidates = reg.Counter("flexwattsd_optimize_candidates_total",
+		"Design-space candidates evaluated by the optimizer endpoints.")
+	m.optimizeFrontier = reg.Gauge("flexwattsd_optimize_frontier_size",
+		"Pareto frontier size last reported by a running search.")
+	m.optimizeSeconds = reg.Histogram("flexwattsd_optimize_seconds",
+		"Design-space search wall time in seconds.",
+		metrics.LatencyBuckets())
 
 	reg.CounterFunc("flexwattsd_cache_hits_total",
 		"Evaluation cache hits of the shared sweep cache.",

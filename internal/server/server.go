@@ -21,6 +21,8 @@
 //	GET  /v1/experiments/{id}?format=F     one experiment (ascii|json|csv)
 //	POST /v1/evaluate                      batch of arbitrary evaluation points
 //	POST /v1/evaluate/stream               same batch, streamed back as NDJSON
+//	POST /v1/optimize                      design-space Pareto search
+//	POST /v1/optimize/stream               same search, progress + frontier events as NDJSON
 //	GET  /debug/pprof/...                  runtime profiling
 //
 // The serving tier is observable and self-protecting: every route is
@@ -51,6 +53,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/experiments"
+	"repro/internal/optimize"
 	"repro/internal/pdn"
 	"repro/internal/sweep"
 	"repro/internal/units"
@@ -94,6 +97,11 @@ type Options struct {
 	// server-wide WriteTimeout (a healthy stream outlives it by design)
 	// and unsticks a stalled reader. <= 0 means DefaultStreamWriteTimeout.
 	StreamWriteTimeout time.Duration
+	// MaxInflightOptimize caps concurrent /v1/optimize searches. A search
+	// pins worker-pool capacity for seconds, so the slot count is small;
+	// excess searches are shed with 503 + Retry-After. <= 0 means
+	// DefaultMaxInflightOptimize.
+	MaxInflightOptimize int
 	// Store, when non-nil, is the persistent cache tier: it is attached
 	// under the environment's in-memory cache (write-behind) and its
 	// segments are replayed into it by an asynchronous warm-start scan.
@@ -122,6 +130,9 @@ const (
 	// DefaultStreamWriteTimeout is the per-chunk write deadline on
 	// /v1/evaluate/stream.
 	DefaultStreamWriteTimeout = 30 * time.Second
+	// DefaultMaxInflightOptimize is the concurrent design-space search cap
+	// when Options.MaxInflightOptimize is unset.
+	DefaultMaxInflightOptimize = 2
 )
 
 // Server is the flexwattsd request handler: one shared evaluation
@@ -135,6 +146,11 @@ type Server struct {
 	metrics *serverMetrics
 	limiter *rateLimiter
 	budget  *pointBudget
+	// optBudget is the optimizer's dedicated inflight-searches slot count;
+	// opt is the design-space search engine behind /v1/optimize, sharing
+	// the environment's platform, parameters and evaluation cache.
+	optBudget *pointBudget
+	opt       optimize.Engine
 	// arena recycles the warm-pass grid + result blocks across evaluate
 	// requests, so the batch prepass stops costing one grid allocation
 	// per request under steady load.
@@ -170,6 +186,9 @@ func New(env *experiments.Env, opts Options) *Server {
 	if opts.StreamWriteTimeout <= 0 {
 		opts.StreamWriteTimeout = DefaultStreamWriteTimeout
 	}
+	if opts.MaxInflightOptimize <= 0 {
+		opts.MaxInflightOptimize = DefaultMaxInflightOptimize
+	}
 	start := time.Now()
 	m := newServerMetrics(env.Cache, opts.Store, start)
 	s := &Server{
@@ -179,6 +198,15 @@ func New(env *experiments.Env, opts Options) *Server {
 		metrics: m,
 		limiter: newRateLimiter(opts.RatePerClient, opts.BurstPerClient),
 		budget:  &pointBudget{max: int64(opts.MaxInflightPoints), gauge: m.inflightPoints},
+		// The optimizer's slot budget reuses the pointBudget mechanics with
+		// n=1 acquisitions; its gauge is the inflight-searches metric.
+		optBudget: &pointBudget{max: int64(opts.MaxInflightOptimize), gauge: m.optimizeInflight},
+		opt: optimize.Engine{
+			Platform: env.Platform,
+			Base:     env.Params,
+			Cache:    env.Cache,
+			Workers:  opts.Workers,
+		},
 	}
 	m.reg.GaugeFunc("flexwattsd_ready",
 		"1 once the warm-start scan has completed and the daemon is ready.",
@@ -249,6 +277,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(api.PathExperiments+"/", s.instrument(routeExperiment, s.handleExperiment))
 	mux.HandleFunc(api.PathEvaluate, s.instrument(routeEvaluate, s.handleEvaluate))
 	mux.HandleFunc(api.PathEvaluateStream, s.instrument(routeEvaluateStream, s.handleEvaluateStream))
+	mux.HandleFunc(api.PathOptimize, s.instrument(routeOptimize, s.handleOptimize))
+	mux.HandleFunc(api.PathOptimizeStream, s.instrument(routeOptimizeStream, s.handleOptimizeStream))
 	mux.HandleFunc("/debug/pprof/", s.instrument(routePprof, pprof.Index))
 	mux.HandleFunc("/debug/pprof/cmdline", s.instrument(routePprof, pprof.Cmdline))
 	mux.HandleFunc("/debug/pprof/profile", s.instrument(routePprof, pprof.Profile))

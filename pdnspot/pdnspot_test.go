@@ -2,8 +2,10 @@ package pdnspot_test
 
 import (
 	"context"
+	"math"
 	"testing"
 
+	"repro/flexwatts"
 	"repro/pdnspot"
 )
 
@@ -106,6 +108,61 @@ func TestCostAndArea(t *testing.T) {
 	}
 	if !(bom[pdnspot.MBVR] > bom[pdnspot.LDO]) {
 		t.Error("MBVR should cost more than LDO")
+	}
+}
+
+// TestCostAndAreaFiniteAcrossTDPRange sweeps CostAndArea across the full
+// admitted TDP range, both pricing regimes included, and demands finite
+// positive ratios for every PDN: the optimizer divides by these numbers,
+// so a NaN, Inf or zero here would silently corrupt Pareto frontiers.
+func TestCostAndAreaFiniteAcrossTDPRange(t *testing.T) {
+	ps, err := pdnspot.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []pdnspot.Kind{
+		flexwatts.FlexWatts, pdnspot.IVR, pdnspot.MBVR, pdnspot.LDO, pdnspot.IMBVR,
+	}
+	for _, tdp := range []pdnspot.Watt{4, 17.99, 18, 18.01, 50} {
+		bom, area, err := ps.CostAndArea(ctx, tdp)
+		if err != nil {
+			t.Fatalf("tdp %g: %v", float64(tdp), err)
+		}
+		for _, k := range kinds {
+			for name, v := range map[string]float64{"bom": bom[k], "area": area[k]} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+					t.Errorf("tdp %g %v: %s ratio %g", float64(tdp), k, name, v)
+				}
+			}
+		}
+	}
+}
+
+// TestCostAndAreaExtremeGuardband prices the cost model under an extreme
+// guardband (tolerance band) parameterization — the corner an optimizer
+// candidate at the scale bounds reaches — and demands finite ratios.
+func TestCostAndAreaExtremeGuardband(t *testing.T) {
+	p := pdnspot.DefaultParams()
+	p.TOBIVR *= 10
+	p.TOBMBVR *= 10
+	p.TOBLDO *= 10
+	ps, err := pdnspot.NewWithParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bom, area, err := ps.CostAndArea(ctx, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range bom {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Errorf("%v: bom %g", k, v)
+		}
+	}
+	for k, v := range area {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Errorf("%v: area %g", k, v)
+		}
 	}
 }
 

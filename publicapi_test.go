@@ -71,15 +71,22 @@ func TestPublicSurfaceSelfContained(t *testing.T) {
 var requiredExports = map[string][]string{
 	"repro/flexwatts/api": {
 		"PathEvaluate", "PathEvaluateStream", "PathMetrics",
+		"PathOptimize", "PathOptimizeStream",
 		"EvalStreamResult", "Error",
-		"ErrRateLimited", "ErrOverloaded", "ErrBatchTooLarge",
+		"OptimizeRequest", "OptimizeResponse", "OptimizeEvent",
+		"ErrRateLimited", "ErrOverloaded", "ErrBatchTooLarge", "ErrInvalidSpec",
 		"StatusFor", "CodeFor", "FromStatus", "FromCode", "Retryable",
 	},
 	"repro/flexwatts/client": {
 		"Client.EvaluateStream", "Client.EvaluateBatch",
+		"Client.Optimize", "Client.OptimizeStream",
 		"WithRetries", "WithMaxRetryWait", "DefaultRetries",
 	},
-	"repro/flexwatts": {"Point", "Result", "NewClient"},
+	"repro/flexwatts": {
+		"Point", "Result", "NewClient",
+		"OptimizeSpec", "OptimizeResult", "Client.Optimize", "Client.OptimizeStream",
+		"Objective", "SearchStrategy",
+	},
 }
 
 // hasExport resolves a required-exports entry: a bare name is a

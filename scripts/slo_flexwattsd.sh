@@ -14,7 +14,7 @@ BASE="http://127.0.0.1:${PORT}"
 RPS="${SLO_RPS:-40}"
 BATCH="${SLO_BATCH:-64}"
 DURATION="${SLO_DURATION:-5s}"
-BENCH_JSON="${BENCH_JSON:-BENCH_9.json}"
+BENCH_JSON="${BENCH_JSON:-BENCH_10.json}"
 # Grid sweep rate: 4096-point batches are ~64x heavier per request than the
 # SLO batches, so the offered rate is kept conservative.
 GRID_RPS="${SLO_GRID_RPS:-5}"
@@ -23,6 +23,10 @@ GRID_RPS="${SLO_GRID_RPS:-5}"
 # both serially and with concurrent requests contending for the daemon's
 # pooled arenas and cache shards.
 GRID_WORKERS="${SLO_GRID_WORKERS:-1 4}"
+# Optimizer search rate: each request is a 45-candidate design-space
+# search, far heavier than an evaluate batch, and the daemon admits only
+# DefaultMaxInflightOptimize of them at once.
+OPT_RPS="${SLO_OPT_RPS:-2}"
 BENCH_LABEL="${BENCH_LABEL:-current}"
 TMP="$(mktemp -d)"
 
@@ -51,6 +55,10 @@ echo "== loadgen: streaming endpoint"
 "$TMP/loadgen" -addr "$BASE" -rps "$RPS" -batch "$BATCH" -duration "$DURATION" -stream \
     | tee -a "$TMP/bench.txt"
 
+echo "== loadgen: optimizer endpoint (${OPT_RPS} rps, ${DURATION})"
+"$TMP/loadgen" -addr "$BASE" -rps "$OPT_RPS" -duration "$DURATION" -optimize \
+    | tee -a "$TMP/bench.txt"
+
 GRID_SWEEPS=0
 for W in $GRID_WORKERS; do
     echo "== loadgen: grid batch-size sweep (64/512/4096 points, ${GRID_RPS} rps, ${W} workers)"
@@ -67,9 +75,10 @@ if grep -E ' [1-9][0-9]* (shed|request_errors)' "$TMP/bench.txt"; then
     exit 1
 fi
 # A line with 0 successful requests never prints (loadgen exits 1), so
-# both endpoints plus three grid batch sizes per worker count must each
-# have sustained throughput to reach the expected line count.
-WANT=$((2 + 3 * GRID_SWEEPS))
+# both evaluate endpoints, the optimizer scenario, and three grid batch
+# sizes per worker count must each have sustained throughput to reach the
+# expected line count.
+WANT=$((3 + 3 * GRID_SWEEPS))
 LINES=$(grep -c '^Benchmark' "$TMP/bench.txt")
 if [ "$LINES" -ne "$WANT" ]; then
     echo "slo: FAILED — expected $WANT report lines, got $LINES" >&2
@@ -83,6 +92,8 @@ if grep -E 'flexwattsd_requests_total\{[^}]*status="5xx"\} [1-9]' "$TMP/metrics.
     exit 1
 fi
 grep -q 'flexwattsd_points_evaluated_total' "$TMP/metrics.txt"
+# The optimizer scenario must have booked candidates into its counter.
+grep -Eq 'flexwattsd_optimize_candidates_total [1-9]' "$TMP/metrics.txt"
 
 echo "== recording into ${BENCH_JSON}"
 go run ./cmd/benchjson -label "$BENCH_LABEL" -out "$BENCH_JSON" < "$TMP/bench.txt"
